@@ -1,0 +1,64 @@
+"""Figure 6 -- simultaneous-takedown partition threshold vs network size.
+
+Paper setup: 10-regular graphs from n=1000 to n=15000; for each size, find
+how many nodes must be removed *simultaneously* (no time to self-repair) to
+split the survivors into more than one component.  The paper overlays the line
+``f(x) = 0.4 * x``: the threshold sits at roughly 40 % of the nodes across
+every size.
+
+The benchmark sweeps smaller sizes by default (the threshold fraction is
+already stable there) and additionally contrasts the result with the
+centralized-C&C baseline, where a single takedown suffices.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.experiments import run_fig6_partition_threshold
+from repro.analysis.reporting import format_series, render_result_rows
+from repro.baselines.centralized import CentralizedBotnet
+
+SIZES = (200, 400, 600, 800, 1000)
+
+
+def test_fig6_partition_threshold(benchmark):
+    """Figure 6: nodes that must be removed at once to partition, per size."""
+    result = benchmark.pedantic(
+        lambda: run_fig6_partition_threshold(
+            sizes=SIZES, k=10, seed=60, resolution=0.05, trials_per_fraction=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 6 — simultaneous deletions needed to partition (10-regular)",
+        format_series("nodes deleted", result.sizes, result.nodes_to_partition)
+        + "\n"
+        + format_series("fraction", result.sizes, result.fractions)
+        + f"\nmean fraction: {result.mean_fraction():.2f} (paper: ~0.4)",
+    )
+    # Paper shape: a substantial constant fraction (~0.4) across sizes -- far
+    # from both "a handful of nodes" and "everyone".
+    assert 0.3 <= result.mean_fraction() <= 0.75
+    assert max(result.fractions) - min(result.fractions) <= 0.3
+
+
+def test_fig6_contrast_with_centralized_baseline(benchmark):
+    """One C&C seizure ends a centralized botnet; 40 % bot cleanup does not."""
+    rows = benchmark(
+        lambda: [
+            {
+                "scenario": name,
+                "operational": outcome.operational,
+                "surviving_fraction": outcome.surviving_fraction,
+            }
+            for name, outcome in zip(
+                ("remove 40% of bots", "remove the single C&C"),
+                CentralizedBotnet.takedown_comparison(2000),
+            )
+        ]
+    )
+    emit("Figure 6 context — centralized C&C baseline", render_result_rows(rows))
+    assert rows[0]["operational"] is True
+    assert rows[1]["operational"] is False

@@ -1,0 +1,51 @@
+"""Section VI-A -- HSDir interception: denying access to a bot's descriptors.
+
+The defender computes a target's responsible HSDirs, injects relays with
+crafted fingerprints, waits out the 25-hour HSDir-flag delay, then refuses to
+serve the descriptors.  The benchmark measures the full flow and the two
+limitations the paper points out: six relays and >25 hours of lead time are
+needed *per bot per period*, and the bot escapes by rotating its address.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.experiments import run_hsdir_interception
+from repro.analysis.reporting import render_result_rows
+from repro.defenses.hsdir_takeover import interception_cost_estimate
+
+
+def test_hsdir_interception_denies_then_rotation_escapes(benchmark):
+    """Interception denies the current address; the next period's address escapes."""
+    result = benchmark.pedantic(lambda: run_hsdir_interception(relays=40, seed=80), rounds=1, iterations=1)
+    emit(
+        "HSDir interception against one bot",
+        render_result_rows(
+            [
+                {
+                    "relays_injected": result.interception.relays_injected,
+                    "lead_time_hours": round(result.interception.lead_time_hours, 1),
+                    "responsible_controlled": result.interception.responsible_controlled,
+                    "denied_before_rotation": result.denial_before_rotation,
+                    "reachable_after_rotation": result.reachable_after_rotation,
+                }
+            ]
+        ),
+    )
+    assert result.denial_before_rotation
+    assert result.reachable_after_rotation
+    assert result.interception.lead_time_hours >= 25.0
+
+
+def test_hsdir_interception_cost_at_botnet_scale(benchmark):
+    """Why the paper dismisses this mitigation at scale: relays needed per period."""
+    rows = benchmark(
+        lambda: [
+            {"bots": bots, **interception_cost_estimate(bots=bots, periods=7)}
+            for bots in (10, 100, 1000, 10000)
+        ]
+    )
+    emit("HSDir interception cost for a week of daily rotations", render_result_rows(rows))
+    assert rows[-1]["relays_needed"] == 10000 * 6 * 7
+    assert all(row["lead_exceeds_daily_rotation"] == 1.0 for row in rows)

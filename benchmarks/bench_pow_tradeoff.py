@@ -1,0 +1,82 @@
+"""Section VII-A -- proof-of-work / rate-limiting vs SOAP: the trade-off.
+
+"Although such actions increase the adversarial resilience of the network,
+they also decrease the flexibility and the recoverability of the network."
+The benchmark sweeps the PoW escalation factor and the rate-limit patience and
+reports both sides: how far SOAP containment gets (and what it costs the
+defender) versus how much extra work/delay the botnet's own self-repair pays.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import emit
+
+from repro.adversary.soap import SoapAttack
+from repro.analysis.experiments import run_pow_tradeoff
+from repro.analysis.reporting import render_result_rows
+from repro.core.ddsr import DDSROverlay
+from repro.defenses.rate_limit import RateLimitedAdmission, RateLimitParameters
+
+
+def test_pow_escalation_tradeoff(benchmark):
+    """Sweep the PoW escalation factor: SOAP containment vs repair cost."""
+    points = benchmark.pedantic(
+        lambda: run_pow_tradeoff(
+            n=200, k=10, seed=90, escalation_factors=(1.0, 1.5, 2.0, 3.0), work_budget_per_clone=64.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {
+            "escalation": point.escalation_factor,
+            "containment_fraction": round(point.containment_fraction, 3),
+            "clones_created": point.clones_created,
+            "attacker_work": round(point.attacker_work),
+            "requests_rejected": point.requests_rejected,
+            "botnet_repair_work": round(point.repair_work_cost),
+        }
+        for point in points
+    ]
+    emit("PoW admission trade-off (section VII-A)", render_result_rows(rows))
+    by_factor = {row["escalation"]: row for row in rows}
+    assert by_factor[1.0]["containment_fraction"] == 1.0
+    assert by_factor[3.0]["containment_fraction"] < 0.5
+    # The botnet pays for its own repairs under the same pricing.
+    assert all(row["botnet_repair_work"] > 0 for row in rows)
+
+
+def test_rate_limit_tradeoff(benchmark):
+    """Rate limiting: SOAP slows down, but so does legitimate self-repair."""
+
+    def run():
+        rows = []
+        for patience, label in ((10_000.0, "patient defender"), (1_800.0, "30-minute budget per clone")):
+            overlay = DDSROverlay.k_regular(150, 8, seed=91)
+            admission = RateLimitedAdmission(
+                RateLimitParameters(base_delay=60.0, per_degree_delay=30.0, max_acceptable_delay=patience)
+            )
+            attack = SoapAttack(rng=random.Random(1), admission=admission, time_budget=48 * 3600.0)
+            result = attack.run_campaign(overlay, [overlay.nodes()[0]])
+            repair_overlay = DDSROverlay.k_regular(150, 8, seed=92)
+            repair_overlay.remove_fraction(0.3, rng=random.Random(2))
+            rows.append(
+                {
+                    "policy": label,
+                    "containment_fraction": round(result.containment_fraction, 3),
+                    "attack_delay_hours": round(result.time_spent / 3600.0, 1),
+                    "repair_delay_hours": round(
+                        admission.repair_delay(repair_overlay, repair_overlay.stats.repair_edges_added)
+                        / 3600.0,
+                        1,
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Rate-limit admission trade-off (section VII-A)", render_result_rows(rows))
+    assert rows[0]["attack_delay_hours"] > 1.0
+    assert all(row["repair_delay_hours"] > 0 for row in rows)

@@ -1,0 +1,98 @@
+"""Figure 7 / section VI-B -- SOAP containment of the basic OnionBot.
+
+The paper presents SOAP pictorially (Figure 7): clones progressively replace a
+target's peers until it is contained, then the campaign spreads until the
+botnet is neutralized.  The benchmark quantifies that process against
+k-regular OnionBot overlays: clones spent per bot, campaign length, final
+containment fraction, and the state of the benign communication graph.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import emit
+
+from repro.adversary.soap import SoapAttack
+from repro.analysis.experiments import run_soap_campaign
+from repro.analysis.reporting import format_series, render_result_rows
+from repro.core.ddsr import DDSROverlay
+
+
+def test_soap_single_node_containment(benchmark):
+    """Figure 7 steps 2-9: containing one bot with low-degree clones."""
+
+    def run():
+        overlay = DDSROverlay.k_regular(300, 10, seed=70)
+        attack = SoapAttack(rng=random.Random(0))
+        target = overlay.nodes()[0]
+        return attack.contain_node(overlay, target), overlay
+
+    result, overlay = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Figure 7 — single-node soaping",
+        render_result_rows(
+            [
+                {
+                    "contained": result.contained,
+                    "clones_used": result.clones_used,
+                    "benign_peers_displaced": result.benign_peers_displaced,
+                    "final_degree": overlay.degree(result.target),
+                }
+            ]
+        ),
+    )
+    assert result.contained
+    assert result.benign_peers_displaced >= 10
+
+
+def test_soap_full_campaign_neutralizes_basic_onionbot(benchmark):
+    """Section VI-B: the whole botnet is gradually contained and neutralized."""
+    result = benchmark.pedantic(
+        lambda: run_soap_campaign(n=400, k=10, seed=71), rounds=1, iterations=1
+    )
+    campaign = result.campaign
+    timeline_x = [processed for processed, _ in campaign.timeline]
+    timeline_y = [fraction for _, fraction in campaign.timeline]
+    emit(
+        "SOAP campaign against a 400-bot basic OnionBot",
+        render_result_rows(
+            [
+                {
+                    "bots": result.n,
+                    "neutralized": campaign.neutralized,
+                    "containment_fraction": campaign.containment_fraction,
+                    "clones_created": campaign.clones_created,
+                    "clones_per_bot": round(campaign.clones_per_bot, 2),
+                    "benign_largest_component": result.benign_components["largest_component"],
+                }
+            ]
+        )
+        + "\n"
+        + format_series("containment fraction vs targets processed", timeline_x, timeline_y),
+    )
+    assert campaign.neutralized
+    assert result.benign_components["nontrivial_components"] == 0
+
+
+def test_soap_cost_scales_with_botnet_size(benchmark):
+    """Defender cost model: clones needed grow linearly with the botnet."""
+
+    def run():
+        rows = []
+        for n in (100, 200, 400):
+            outcome = run_soap_campaign(n=n, k=10, seed=72)
+            rows.append(
+                {
+                    "bots": n,
+                    "clones_created": outcome.campaign.clones_created,
+                    "clones_per_bot": round(outcome.campaign.clones_per_bot, 2),
+                    "neutralized": outcome.campaign.neutralized,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("SOAP cost vs botnet size", render_result_rows(rows))
+    assert all(row["neutralized"] for row in rows)
+    assert rows[-1]["clones_created"] > rows[0]["clones_created"]

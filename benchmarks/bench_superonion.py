@@ -1,0 +1,69 @@
+"""Figure 8 / section VII-B -- SuperOnionBots vs SOAP.
+
+The SuperOnion construction (n physical hosts x m virtual bots, i peers per
+virtual bot) detects soaped virtual bots through connectivity self-probes and
+re-bootstraps them, so the *physical* botnet survives a SOAP campaign that
+fully neutralizes the basic design.  The benchmark runs the two head-to-head
+with the Figure 8 parameters (n=5, m=3, i=2) and at a larger scale.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.experiments import run_superonion_vs_soap
+from repro.analysis.reporting import format_series, render_result_rows
+
+
+def _render(super_result, basic_result):
+    rows = [
+        {
+            "construction": "SuperOnion",
+            "hosts_or_bots": super_result.hosts_total,
+            "survival_fraction": round(super_result.host_survival_fraction, 2),
+            "replacements": super_result.virtual_nodes_replaced,
+            "attacker_clones": super_result.clones_spent,
+        },
+        {
+            "construction": "Basic OnionBot",
+            "hosts_or_bots": basic_result.n,
+            "survival_fraction": round(1.0 - basic_result.campaign.containment_fraction, 2),
+            "replacements": 0,
+            "attacker_clones": basic_result.campaign.clones_created,
+        },
+    ]
+    timeline = format_series(
+        "SuperOnion host survival per round",
+        [r for r, _ in super_result.survival_timeline],
+        [f for _, f in super_result.survival_timeline],
+    )
+    return render_result_rows(rows) + "\n" + timeline
+
+
+def test_superonion_figure8_parameters(benchmark):
+    """The exact Figure 8 construction: n=5 hosts, m=3 virtual bots, i=2 peers."""
+    super_result, basic_result = benchmark.pedantic(
+        lambda: run_superonion_vs_soap(
+            hosts=5, virtual_per_host=3, peers_per_virtual=2, rounds=8, targets_per_round=3, seed=81
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 8 — SuperOnion (n=5, m=3, i=2) vs SOAP", _render(super_result, basic_result))
+    assert basic_result.neutralized
+    assert super_result.host_survival_fraction > 0.0
+
+
+def test_superonion_larger_deployment(benchmark):
+    """A larger SuperOnion deployment sustains its hosts through a longer campaign."""
+    super_result, basic_result = benchmark.pedantic(
+        lambda: run_superonion_vs_soap(
+            hosts=12, virtual_per_host=4, peers_per_virtual=3, rounds=10, targets_per_round=4, seed=82
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("SuperOnion (n=12, m=4, i=3) vs SOAP", _render(super_result, basic_result))
+    assert basic_result.neutralized
+    assert super_result.host_survival_fraction >= 0.5
+    assert super_result.virtual_nodes_replaced > 0

@@ -1,0 +1,54 @@
+"""Table I -- cryptographic use in different botnets.
+
+Regenerates the paper's Table I rows (crypto, signing, replay) and augments
+them with empirical measurements from the simulator: byte entropy and
+uniformity of representative wire messages, and whether message sizes leak the
+plaintext length.  The benchmark timing covers building the full table,
+including generating and measuring the sample messages and OnionBot envelopes.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.reporting import render_result_rows
+from repro.analysis.table1 import build_table1
+from repro.adversary.hijack import HijackAttempt
+from repro.core.botnet import OnionBotnet
+
+
+def test_table1_crypto_comparison(benchmark):
+    """Table I: published columns plus measured distinguishability columns."""
+    rows = benchmark(build_table1, 8)
+    emit("Table I — cryptographic use in different botnets", render_result_rows(rows))
+
+    onionbot = next(row for row in rows if row["Botnet"] == "OnionBot")
+    legacy = [row for row in rows if row["Botnet"] != "OnionBot"]
+    assert onionbot["LooksUniform"] and onionbot["ConstantSize"]
+    assert all(not row["ConstantSize"] for row in legacy)
+    assert all(row["Replay"] == "yes" for row in legacy)
+    assert onionbot["Replay"] == "no"
+
+
+def test_table1_replay_and_hijack_resistance(benchmark):
+    """Empirical complement to the Replay column: injection attempts against live bots."""
+
+    def run():
+        net = OnionBotnet(seed=41)
+        net.build(12)
+        attempt = HijackAttempt()
+        unsigned = attempt.inject_unsigned(net)
+        self_signed = attempt.inject_self_signed(net)
+        original = net.botmaster.issue_broadcast("report-status", now=net.simulator.now)
+        for label in net.active_labels():
+            net.bots[label].process_command(original, net.simulator.now)
+        replay = attempt.replay(net, original)
+        return [
+            {"technique": outcome.technique, "attempted": outcome.attempted,
+             "accepted": outcome.accepted, "success_rate": outcome.success_rate}
+            for outcome in (unsigned, self_signed, replay)
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Table I complement — command injection against OnionBot", render_result_rows(rows))
+    assert all(row["accepted"] == 0 for row in rows)

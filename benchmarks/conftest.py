@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Adds ``src`` to ``sys.path`` (so the suite runs without an installed package)
+and provides a helper for printing the regenerated table/figure data beneath
+the pytest-benchmark timing output.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def emit(title: str, body: str) -> None:
+    """Print a clearly delimited block of regenerated experiment output."""
+    print()
+    print(f"=== {title} ===")
+    print(body)
+    print(f"=== end {title} ===")

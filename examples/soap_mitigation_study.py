@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""SOAP mitigation study: neutralizing a basic OnionBot, and what stops SOAP.
+
+Walks through section VI-B and VII-A of the paper:
+
+1. a defender captures one bot (honeypot) and learns its peers;
+2. a SOAP campaign surrounds every reachable bot with low-degree clones until
+   the whole botnet is contained;
+3. the same campaign is re-run against a botnet that deploys proof-of-work
+   peering admission, and against one that rate-limits peering -- showing the
+   trade-off between adversarial resilience and self-repair flexibility.
+
+Run with:  python examples/soap_mitigation_study.py
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.adversary import HoneypotOperator, SoapAttack  # noqa: E402
+from repro.core import DDSROverlay  # noqa: E402
+from repro.defenses import PowAdmission, RateLimitedAdmission  # noqa: E402
+from repro.defenses.pow import PowParameters  # noqa: E402
+from repro.defenses.rate_limit import RateLimitParameters  # noqa: E402
+
+
+def campaign_summary(name: str, overlay: DDSROverlay, attack: SoapAttack) -> None:
+    operator = HoneypotOperator(rng=random.Random(0))
+    capture = operator.capture_from_overlay(overlay)
+    print(f"\n--- {name} ---")
+    print(f"  honeypot captured bot {capture.captured!r}, exposing {capture.exposure} peer addresses")
+    result = attack.run_campaign(overlay, [capture.captured])
+    print(f"  contained {len(result.contained)}/{result.total_benign} bots "
+          f"({result.containment_fraction:.0%})")
+    print(f"  clones created: {result.clones_created} "
+          f"({result.clones_per_bot:.1f} per contained bot)")
+    print(f"  peering requests rejected by the botnet: {result.requests_rejected}")
+    if result.work_spent:
+        print(f"  proof-of-work spent by the defender: {result.work_spent:,.0f} units")
+    if result.time_spent:
+        print(f"  waiting time imposed on the defender: {result.time_spent / 3600.0:.1f} hours")
+    print(f"  botnet neutralized: {result.neutralized}")
+    components = SoapAttack.benign_subgraph_components(overlay)
+    print(f"  benign communication graph: {components['nontrivial_components']} usable components, "
+          f"largest = {components['largest_component']} bot(s)")
+
+
+def main() -> None:
+    n, k = 200, 10
+
+    # 1. Basic OnionBot: open peering admission -> fully neutralized.
+    basic = DDSROverlay.k_regular(n, k, seed=1)
+    campaign_summary("Basic OnionBot (open admission)", basic,
+                     SoapAttack(rng=random.Random(1)))
+
+    # 2. Proof-of-work admission (section VII-A): clone floods become too
+    #    expensive once the per-target price escalates past the budget.
+    pow_overlay = DDSROverlay.k_regular(n, k, seed=1)
+    pow_admission = PowAdmission(PowParameters(base_work=1.0, escalation_factor=2.0,
+                                               work_budget_per_clone=64.0))
+    campaign_summary("OnionBot with proof-of-work peering", pow_overlay,
+                     SoapAttack(rng=random.Random(1), admission=pow_admission))
+    repair_probe = DDSROverlay.k_regular(n, k, seed=2)
+    repair_probe.remove_fraction(0.3, rng=random.Random(3))
+    print(f"  ...but the botnet's own repairs after a 30% takedown now cost "
+          f"{pow_admission.repair_cost(repair_probe.stats.repair_edges_added):,.0f} work units")
+
+    # 3. Rate-limited admission: SOAP still wins eventually, unless the
+    #    defender's patience per clone is bounded.
+    rl_overlay = DDSROverlay.k_regular(n, k, seed=1)
+    rl_admission = RateLimitedAdmission(RateLimitParameters(base_delay=60.0, per_degree_delay=30.0,
+                                                            max_acceptable_delay=10_000.0))
+    campaign_summary("OnionBot with rate-limited peering (patient defender)", rl_overlay,
+                     SoapAttack(rng=random.Random(1), admission=rl_admission))
+
+    rl_overlay2 = DDSROverlay.k_regular(n, k, seed=1)
+    rl_admission2 = RateLimitedAdmission(RateLimitParameters(base_delay=60.0, per_degree_delay=30.0,
+                                                             max_acceptable_delay=10_000.0))
+    campaign_summary("Same, but the defender only waits 24h total", rl_overlay2,
+                     SoapAttack(rng=random.Random(1), admission=rl_admission2,
+                                time_budget=24 * 3600.0))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""SuperOnionBots vs SOAP: the arms race of paper section VII.
+
+Pits the SOAP containment campaign against two constructions of equal size:
+
+* the basic OnionBot overlay, which SOAP fully neutralizes;
+* a SuperOnion network (Figure 8: n hosts x m virtual bots, i peers each)
+  whose hosts detect soaped virtual bots through connectivity self-probes and
+  re-bootstrap them, keeping the physical botnet alive.
+
+Run with:  python examples/superonion_vs_soap.py
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.adversary import SoapAttack  # noqa: E402
+from repro.analysis import run_soap_campaign  # noqa: E402
+from repro.defenses import SuperOnionNetwork  # noqa: E402
+
+
+def main() -> None:
+    hosts, virtual_per_host, peers_per_virtual = 8, 3, 2
+    total_virtual = hosts * virtual_per_host
+
+    print("--- Basic OnionBot under SOAP ---")
+    basic = run_soap_campaign(n=total_virtual, k=4, seed=5)
+    print(f"  bots: {basic.n}")
+    print(f"  containment: {basic.campaign.containment_fraction:.0%} "
+          f"(neutralized: {basic.campaign.neutralized})")
+    print(f"  clones spent: {basic.campaign.clones_created}")
+
+    print(f"\n--- SuperOnion (n={hosts}, m={virtual_per_host}, i={peers_per_virtual}) under SOAP ---")
+    network = SuperOnionNetwork(
+        hosts=hosts,
+        virtual_per_host=virtual_per_host,
+        peers_per_virtual=peers_per_virtual,
+        seed=5,
+    )
+    attack = SoapAttack(rng=random.Random(5))
+    result = network.withstand_soap(attack, rounds=10, targets_per_round=3)
+    print(f"  physical hosts: {result.hosts_total}, virtual bots: {result.virtual_nodes_total}")
+    print(f"  virtual bots soaped over the campaign: {result.virtual_nodes_soaped}")
+    print(f"  virtual bots re-bootstrapped by their hosts: {result.virtual_nodes_replaced}")
+    print(f"  clones spent by the defender: {result.clones_spent}")
+    print(f"  hosts still in the botnet at the end: {result.hosts_surviving}/{result.hosts_total} "
+          f"({result.host_survival_fraction:.0%})")
+    print("  host survival per round:")
+    for round_index, fraction in result.survival_timeline:
+        bar = "#" * int(round(fraction * 40))
+        print(f"    round {round_index:2d}: {fraction:5.0%} {bar}")
+
+    print("\nTakeaway: containment that neutralizes the basic design only trims "
+          "virtual bots of a SuperOnion deployment — the physical hosts keep "
+          "re-bootstrapping, which is why the paper calls for detection work "
+          "beyond SOAP for this construction.")
+
+
+if __name__ == "__main__":
+    main()

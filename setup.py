@@ -1,0 +1,11 @@
+"""Setuptools shim so ``pip install -e .`` works in offline environments.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists because editable installs on older setuptools/pip combinations (without
+the ``wheel`` package available) fall back to the legacy ``setup.py develop``
+code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""``repro`` -- a defensive research simulator reproducing *OnionBots* (DSN 2015).
+
+The package implements, entirely as an in-process simulation, the systems
+described in "OnionBots: Subverting Privacy Infrastructure for Cyber Attacks"
+by Sanatinia & Noubir:
+
+* a model of the Tor hidden-service machinery (:mod:`repro.tor`),
+* the Dynamic Distributed Self-Repairing overlay and the full OnionBot
+  reference design (:mod:`repro.core`),
+* the defender actions and the SOAP mitigation (:mod:`repro.adversary`),
+* Tor-level mitigations and the attacker's counter-countermeasures, including
+  SuperOnionBots (:mod:`repro.defenses`),
+* baselines, workloads, and the experiment harness regenerating every table
+  and figure of the paper (:mod:`repro.baselines`, :mod:`repro.workloads`,
+  :mod:`repro.analysis`).
+
+Nothing here touches a network: there is no real Tor usage, no exploitation
+capability and no deployable malware -- the goal, like the paper's, is to let
+defenders study the design and evaluate mitigations preemptively.
+
+Quickstart::
+
+    from repro import OnionBotnet, SoapAttack
+
+    net = OnionBotnet(seed=7)
+    net.build(40)
+    report = net.broadcast_command("report-status")
+    print(f"command reached {report.coverage:.0%} of the botnet")
+
+See ``examples/`` for complete walkthroughs and ``benchmarks/`` for the
+scripts regenerating the paper's evaluation.
+"""
+
+from repro.core import (
+    Botmaster,
+    BotnetStats,
+    DDSROverlay,
+    OnionBotConfig,
+    OnionBotNode,
+    OnionBotnet,
+    PruningPolicy,
+    RepairPolicy,
+)
+from repro.adversary import SoapAttack, SoapCampaignResult
+from repro.defenses import PowAdmission, RateLimitedAdmission, SuperOnionNetwork
+from repro.baselines import NormalOverlay
+from repro.sim import Simulator
+from repro.tor import TorNetwork, TorNetworkConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OnionBotnet",
+    "OnionBotNode",
+    "OnionBotConfig",
+    "Botmaster",
+    "BotnetStats",
+    "DDSROverlay",
+    "RepairPolicy",
+    "PruningPolicy",
+    "SoapAttack",
+    "SoapCampaignResult",
+    "PowAdmission",
+    "RateLimitedAdmission",
+    "SuperOnionNetwork",
+    "NormalOverlay",
+    "Simulator",
+    "TorNetwork",
+    "TorNetworkConfig",
+    "__version__",
+]

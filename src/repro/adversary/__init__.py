@@ -1,0 +1,59 @@
+"""Adversary and defender-action models.
+
+In the paper's framing the "adversary" of the botnet is the defender (ISPs,
+law enforcement, researchers); this package models every action they can take
+against an OnionBot deployment:
+
+* :mod:`~repro.adversary.takedown` -- node-deletion strategies: incremental
+  random cleanup, degree-targeted takedowns, and the simultaneous mass
+  takedown of Figure 6.
+* :mod:`~repro.adversary.mapping` -- crawling/mapping from captured bots, used
+  to quantify how little of the botnet a defender can enumerate (section V-A).
+* :mod:`~repro.adversary.honeypot` -- capturing bots to learn their peer lists.
+* :mod:`~repro.adversary.hijack` -- attempts to inject unauthenticated or
+  replayed commands (they fail; the counts quantify why).
+* :mod:`~repro.adversary.soap` -- **SOAP**, the Sybil Onion Attack Protocol of
+  section VI-B: surrounding each bot with low-degree clones until it is fully
+  contained, then spreading outward until the botnet is neutralized.
+"""
+
+from repro.adversary.takedown import (
+    GradualTakedown,
+    RandomTakedown,
+    SimultaneousTakedown,
+    TakedownResult,
+    TargetedDegreeTakedown,
+)
+from repro.adversary.mapping import CrawlResult, OverlayCrawler
+from repro.adversary.honeypot import CaptureResult, HoneypotOperator
+from repro.adversary.hijack import HijackAttempt, HijackOutcome
+from repro.adversary.soap import SoapAttack, SoapCampaignResult, SoapNodeResult
+from repro.adversary.traffic_analysis import (
+    FlowFeatures,
+    PassiveObserver,
+    distinguishable,
+    extract_features,
+    message_classes_leak,
+)
+
+__all__ = [
+    "RandomTakedown",
+    "TargetedDegreeTakedown",
+    "SimultaneousTakedown",
+    "GradualTakedown",
+    "TakedownResult",
+    "OverlayCrawler",
+    "CrawlResult",
+    "HoneypotOperator",
+    "CaptureResult",
+    "HijackAttempt",
+    "HijackOutcome",
+    "SoapAttack",
+    "SoapNodeResult",
+    "SoapCampaignResult",
+    "PassiveObserver",
+    "FlowFeatures",
+    "extract_features",
+    "distinguishable",
+    "message_classes_leak",
+]

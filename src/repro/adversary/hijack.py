@@ -1,0 +1,96 @@
+"""Command-injection (hijack) attempts.
+
+Legacy botnets with weak or absent message authentication (Table I) have been
+hijacked by defenders injecting their own commands.  OnionBot commands are
+signed by the hard-coded botmaster key (or by a renter covered by a valid
+token), so injection attempts fail.  :class:`HijackAttempt` runs those
+attempts against a live simulation and records the outcome -- the counts feed
+the Table I comparison benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.botnet import OnionBotnet
+from repro.core.messaging import CommandMessage, MessageKind
+from repro.crypto.keys import KeyPair
+
+
+@dataclass
+class HijackOutcome:
+    """Result of one batch of injection attempts."""
+
+    attempted: int
+    accepted: int
+    rejected: int
+    technique: str
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of injected commands any bot accepted."""
+        if self.attempted == 0:
+            return 0.0
+        return self.accepted / self.attempted
+
+
+@dataclass
+class HijackAttempt:
+    """A defender (or rival operator) trying to seize control of the botnet."""
+
+    attacker_keypair: KeyPair = field(
+        default_factory=lambda: KeyPair.from_seed(b"hijacker-keypair")
+    )
+    outcomes: List[HijackOutcome] = field(default_factory=list)
+
+    def inject_unsigned(self, botnet: OnionBotnet, command: str = "hijack-unsigned") -> HijackOutcome:
+        """Inject a completely unsigned broadcast command."""
+        message = CommandMessage(
+            kind=MessageKind.COMMAND_BROADCAST,
+            command=command,
+            issued_at=botnet.simulator.now,
+            nonce="hijack-unsigned-nonce",
+        )
+        return self._deliver(botnet, message, technique="unsigned")
+
+    def inject_self_signed(self, botnet: OnionBotnet, command: str = "hijack-signed") -> HijackOutcome:
+        """Inject a command signed by the attacker's own key (not the botmaster's)."""
+        message = CommandMessage(
+            kind=MessageKind.COMMAND_BROADCAST,
+            command=command,
+            issued_at=botnet.simulator.now,
+            nonce="hijack-selfsigned-nonce",
+        ).signed_by(self.attacker_keypair)
+        return self._deliver(botnet, message, technique="self-signed")
+
+    def replay(self, botnet: OnionBotnet, original: CommandMessage) -> HijackOutcome:
+        """Replay a previously observed, legitimately signed command."""
+        return self._deliver(botnet, original, technique="replay")
+
+    def _deliver(
+        self,
+        botnet: OnionBotnet,
+        message: CommandMessage,
+        *,
+        technique: str,
+        limit: Optional[int] = None,
+    ) -> HijackOutcome:
+        """Hand the forged command directly to every active bot and count accepts."""
+        now = botnet.simulator.now
+        labels = botnet.active_labels()
+        if limit is not None:
+            labels = labels[:limit]
+        accepted = 0
+        for label in labels:
+            bot = botnet.bots[label]
+            if bot.process_command(message, now):
+                accepted += 1
+        outcome = HijackOutcome(
+            attempted=len(labels),
+            accepted=accepted,
+            rejected=len(labels) - accepted,
+            technique=technique,
+        )
+        self.outcomes.append(outcome)
+        return outcome

@@ -1,0 +1,86 @@
+"""Honeypot-based bot capture.
+
+SOAP's prerequisite (section VI-B) is learning at least one bot's ``.onion``
+address, "either by detecting and reverse engineering an already infected
+host, or by using a set of honeypots".  The :class:`HoneypotOperator` models
+that acquisition step against a running :class:`~repro.core.botnet.OnionBotnet`
+or a bare overlay: capturing a bot reveals its label/onion and its current
+peer list -- and nothing else.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Set
+
+from repro.core.botnet import OnionBotnet
+from repro.core.ddsr import DDSROverlay
+
+NodeId = Hashable
+
+
+@dataclass
+class CaptureResult:
+    """What one captured bot reveals to the defender."""
+
+    captured: NodeId
+    peer_addresses: Set[str]
+    peer_labels: Set[NodeId]
+    captured_at: float
+
+    @property
+    def exposure(self) -> int:
+        """Number of other bots whose addresses were exposed."""
+        return len(self.peer_addresses or self.peer_labels)
+
+
+@dataclass
+class HoneypotOperator:
+    """A defender running honeypots to get footholds into the botnet."""
+
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    captures: List[CaptureResult] = field(default_factory=list)
+
+    def capture_from_botnet(self, botnet: OnionBotnet, label: Optional[str] = None) -> CaptureResult:
+        """Capture one bot of a full botnet simulation (random if unspecified)."""
+        active = botnet.active_labels()
+        if not active:
+            raise ValueError("no active bots left to capture")
+        chosen = label if label is not None else self.rng.choice(active)
+        peers = botnet.capture_view(chosen)
+        peer_labels = set(botnet.overlay.peers(chosen)) if chosen in botnet.overlay.graph else set()
+        result = CaptureResult(
+            captured=chosen,
+            peer_addresses=peers,
+            peer_labels=peer_labels,
+            captured_at=botnet.simulator.now,
+        )
+        self.captures.append(result)
+        return result
+
+    def capture_from_overlay(
+        self, overlay: DDSROverlay, node: Optional[NodeId] = None, now: float = 0.0
+    ) -> CaptureResult:
+        """Capture one node of a bare overlay (graph-level experiments)."""
+        nodes = overlay.nodes()
+        if not nodes:
+            raise ValueError("overlay is empty")
+        chosen = node if node is not None else self.rng.choice(nodes)
+        peers = overlay.peers(chosen)
+        result = CaptureResult(
+            captured=chosen,
+            peer_addresses=set(),
+            peer_labels=set(peers),
+            captured_at=now,
+        )
+        self.captures.append(result)
+        return result
+
+    def total_exposed(self) -> Set[NodeId]:
+        """Union of everything every capture has revealed so far."""
+        exposed: Set[NodeId] = set()
+        for capture in self.captures:
+            exposed.update(capture.peer_labels)
+            exposed.add(capture.captured)
+        return exposed

@@ -1,0 +1,148 @@
+"""Crawling / mapping adversary.
+
+Section V-A argues that mapping an OnionBotnet is impractical: a captured bot
+only reveals the *current* onion addresses of its handful of peers, addresses
+rotate every period, and nothing links an address to an IP.  The
+:class:`OverlayCrawler` quantifies that claim: starting from one (or more)
+captured bots, it repeatedly expands its knowledge through peer lists and NoN
+knowledge, and reports how much of the botnet it could enumerate before the
+next rotation invalidates its map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Set
+
+from repro.core.ddsr import DDSROverlay
+
+NodeId = Hashable
+
+
+@dataclass
+class CrawlResult:
+    """Outcome of one crawling campaign."""
+
+    start_nodes: List[NodeId]
+    discovered: Set[NodeId]
+    crawl_rounds: int
+    total_population: int
+    #: Nodes whose addresses the crawler held that became stale after rotation.
+    stale_after_rotation: int = 0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the botnet the crawler enumerated."""
+        if self.total_population == 0:
+            return 0.0
+        return len(self.discovered) / self.total_population
+
+    @property
+    def usable_after_rotation(self) -> int:
+        """Addresses still valid once the botnet rotates (always the crawler's
+        own peers at best -- everyone else's new address is unknown)."""
+        return max(0, len(self.discovered) - self.stale_after_rotation)
+
+
+@dataclass
+class OverlayCrawler:
+    """Expands knowledge of the overlay from a set of captured bots.
+
+    ``use_non_knowledge`` controls whether the crawler also exploits the
+    neighbours-of-neighbours information a captured bot holds (it does, per
+    the DDSR design); ``max_rounds`` caps the breadth-first expansion, which in
+    practice is limited by how many bots the defender can actually compromise
+    per rotation period.
+    """
+
+    use_non_knowledge: bool = True
+    max_rounds: int = 3
+
+    def crawl(self, overlay: DDSROverlay, start_nodes: List[NodeId]) -> CrawlResult:
+        """Run the crawl and report coverage.
+
+        Each round, the crawler "visits" every newly discovered node it can
+        compromise and learns that node's peers (and NoN if enabled).  A real
+        defender cannot compromise arbitrary bots at will, so coverage here is
+        an *upper bound* on what mapping can achieve.
+        """
+        known: Set[NodeId] = set()
+        frontier: Set[NodeId] = {node for node in start_nodes if node in overlay.graph}
+        known.update(frontier)
+        rounds = 0
+        for _ in range(self.max_rounds):
+            if not frontier:
+                break
+            rounds += 1
+            next_frontier: Set[NodeId] = set()
+            for node in frontier:
+                if node not in overlay.graph:
+                    continue
+                peers = overlay.peers(node)
+                next_frontier.update(peer for peer in peers if peer not in known)
+                known.update(peers)
+                if self.use_non_knowledge:
+                    non = overlay.neighbors_of_neighbors(node)
+                    next_frontier.update(peer for peer in non if peer not in known)
+                    known.update(non)
+            frontier = next_frontier
+        return CrawlResult(
+            start_nodes=list(start_nodes),
+            discovered=known,
+            crawl_rounds=rounds,
+            total_population=len(overlay),
+        )
+
+    def crawl_then_rotate(self, overlay: DDSROverlay, start_nodes: List[NodeId]) -> CrawlResult:
+        """Crawl, then account for a rotation invalidating harvested addresses.
+
+        After a rotation the only addresses the defender still controls are the
+        captured bots themselves (they will learn their peers' *new* addresses
+        as peers announce them); everything harvested second-hand goes stale.
+        """
+        result = self.crawl(overlay, start_nodes)
+        captured = {node for node in start_nodes if node in overlay.graph}
+        stale = len(result.discovered - captured)
+        return CrawlResult(
+            start_nodes=result.start_nodes,
+            discovered=result.discovered,
+            crawl_rounds=result.crawl_rounds,
+            total_population=result.total_population,
+            stale_after_rotation=stale,
+        )
+
+
+@dataclass
+class SizeEstimator:
+    """Estimate of the botnet size available to a defender.
+
+    Because bots relay indistinguishable fixed-size messages and no central
+    rendezvous exists, a defender can only extrapolate from the peers of the
+    bots it captured.  The estimator implements a capture-recapture style
+    guess and records its error against the true population.
+    """
+
+    captures: List[Set[NodeId]] = field(default_factory=list)
+
+    def record_capture(self, peers: Set[NodeId]) -> None:
+        """Record the peer set revealed by one captured bot."""
+        self.captures.append(set(peers))
+
+    def estimate(self) -> float:
+        """Lincoln--Petersen estimate from the first two captures (or a sum)."""
+        if not self.captures:
+            return 0.0
+        if len(self.captures) == 1:
+            return float(len(self.captures[0]))
+        first, second = self.captures[0], self.captures[1]
+        overlap = len(first & second)
+        if overlap == 0:
+            # No overlap: the defender can only lower-bound the size.
+            return float(len(first | second))
+        return len(first) * len(second) / overlap
+
+    def error_against(self, true_size: int) -> float:
+        """Relative error of the estimate versus the true population size."""
+        if true_size <= 0:
+            return 0.0
+        return abs(self.estimate() - true_size) / true_size

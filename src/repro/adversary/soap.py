@@ -1,0 +1,331 @@
+"""SOAP -- the Sybil Onion Attack Protocol (paper section VI-B, Figure 7).
+
+SOAP is the paper's mitigation against the basic OnionBot: it turns the
+botnet's own stealth features (peers only know each other's rotating onion
+addresses, anyone can host many onion services on one machine) against it.
+
+Per-node containment follows Figure 7's steps: a compromised peer (or any
+defender node that learned the target's address) spins up clones; each clone
+requests peering with the target while announcing a small random degree; the
+target accepts, finds itself over its degree bound, and -- following the DDSR
+pruning rule -- drops its *highest-degree* peer, which is always a real bot
+rather than a low-degree clone.  Repeating this, the target's peer list fills
+up with clones until it has no benign neighbours left: it is **contained**
+(still running, but every message it sends or receives passes through the
+defender).  The campaign then spreads to the neighbours learned along the way
+until the whole botnet is neutralized.
+
+The implementation works directly on a :class:`~repro.core.ddsr.DDSROverlay`
+so it can be evaluated at the same scales as the resilience experiments, and
+it accepts an optional *admission policy* (see :mod:`repro.defenses.pow` and
+:mod:`repro.defenses.rate_limit`) so the counter-countermeasures of section
+VII-A can be quantified: the policy can reject clone peering requests or
+charge them work/delay, which the result objects account for.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.core.ddsr import DDSROverlay
+
+NodeId = Hashable
+
+#: Prefix of every clone identifier created by the attack.
+CLONE_PREFIX = "soap-clone-"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of asking a target bot to accept a new peer."""
+
+    accepted: bool
+    work_required: float = 0.0
+    delay_seconds: float = 0.0
+
+
+#: An admission policy decides whether a peering request is accepted and what
+#: it costs.  ``policy(target, requester, overlay)`` -> :class:`AdmissionDecision`.
+AdmissionPolicy = Callable[[NodeId, NodeId, DDSROverlay], AdmissionDecision]
+
+
+def open_admission(_target: NodeId, _requester: NodeId, _overlay: DDSROverlay) -> AdmissionDecision:
+    """The basic OnionBot's policy: accept every peering request for free."""
+    return AdmissionDecision(accepted=True)
+
+
+def is_clone(node: NodeId) -> bool:
+    """Whether a node identifier was minted by the SOAP attack."""
+    return isinstance(node, str) and node.startswith(CLONE_PREFIX)
+
+
+@dataclass
+class SoapNodeResult:
+    """Outcome of containing a single target bot."""
+
+    target: NodeId
+    contained: bool
+    clones_used: int
+    peering_requests: int
+    requests_rejected: int
+    benign_peers_displaced: int
+    work_spent: float
+    time_spent: float
+    learned_addresses: Set[NodeId] = field(default_factory=set)
+
+
+@dataclass
+class SoapCampaignResult:
+    """Outcome of a full SOAP campaign against a botnet overlay."""
+
+    total_benign: int
+    contained: Set[NodeId]
+    clones_created: int
+    peering_requests: int
+    requests_rejected: int
+    work_spent: float
+    time_spent: float
+    #: ``(targets processed, fraction of benign bots contained)`` checkpoints.
+    timeline: List[Tuple[int, float]]
+    per_node: List[SoapNodeResult] = field(default_factory=list)
+
+    @property
+    def containment_fraction(self) -> float:
+        """Fraction of the original benign population that ended up contained."""
+        if self.total_benign == 0:
+            return 0.0
+        return len(self.contained) / self.total_benign
+
+    @property
+    def neutralized(self) -> bool:
+        """Whether every benign bot was contained (the botnet is neutralized)."""
+        return self.total_benign > 0 and len(self.contained) >= self.total_benign
+
+    @property
+    def clones_per_bot(self) -> float:
+        """Average number of clones spent per contained bot."""
+        if not self.contained:
+            return 0.0
+        return self.clones_created / len(self.contained)
+
+
+class SoapAttack:
+    """Runs SOAP against a DDSR overlay.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source (declared clone degrees, tie-breaks).
+    admission:
+        The target bots' peering-admission policy; defaults to the basic
+        OnionBot's open admission.  Defense policies (PoW, rate limiting) come
+        from :mod:`repro.defenses`.
+    work_budget / time_budget:
+        Optional caps on the total proof-of-work and waiting time the defender
+        is willing to spend; the campaign stops when either is exhausted.
+    max_clones_per_node:
+        Safety valve so a single stubborn target cannot absorb the whole run.
+    """
+
+    def __init__(
+        self,
+        *,
+        rng: Optional[random.Random] = None,
+        admission: AdmissionPolicy = open_admission,
+        work_budget: Optional[float] = None,
+        time_budget: Optional[float] = None,
+        max_clones_per_node: int = 200,
+    ) -> None:
+        self.rng = rng if rng is not None else random.Random(0)
+        self.admission = admission
+        self.work_budget = work_budget
+        self.time_budget = time_budget
+        self.max_clones_per_node = max_clones_per_node
+        self._clone_counter = itertools.count(1)
+        self.work_spent = 0.0
+        self.time_spent = 0.0
+
+    # ------------------------------------------------------------------
+    # Per-node containment (Figure 7 steps 2-9)
+    # ------------------------------------------------------------------
+    def _new_clone(self) -> str:
+        return f"{CLONE_PREFIX}{next(self._clone_counter):06d}"
+
+    def _benign_peers(self, overlay: DDSROverlay, node: NodeId) -> Set[NodeId]:
+        return {peer for peer in overlay.peers(node) if not is_clone(peer)}
+
+    def _budget_exhausted(self) -> bool:
+        if self.work_budget is not None and self.work_spent >= self.work_budget:
+            return True
+        if self.time_budget is not None and self.time_spent >= self.time_budget:
+            return True
+        return False
+
+    def contain_node(self, overlay: DDSROverlay, target: NodeId) -> SoapNodeResult:
+        """Surround one bot with clones until it has no benign peers left."""
+        if target not in overlay.graph:
+            return SoapNodeResult(
+                target=target,
+                contained=False,
+                clones_used=0,
+                peering_requests=0,
+                requests_rejected=0,
+                benign_peers_displaced=0,
+                work_spent=0.0,
+                time_spent=0.0,
+            )
+        learned = self._benign_peers(overlay, target)
+        clones_used = 0
+        requests = 0
+        rejected = 0
+        displaced = 0
+        node_work = 0.0
+        node_time = 0.0
+        # Give up on a target once twice the clone budget in peering requests
+        # has been burned -- admission policies that keep rejecting (PoW above
+        # the work budget, rate limits above the patience threshold) stall the
+        # attack on this node rather than letting it retry forever.
+        max_requests = self.max_clones_per_node * 2
+
+        while self._benign_peers(overlay, target) and clones_used < self.max_clones_per_node:
+            if self._budget_exhausted() or requests >= max_requests:
+                break
+            clone = self._new_clone()
+            requests += 1
+            decision = self.admission(target, clone, overlay)
+            node_work += decision.work_required
+            node_time += decision.delay_seconds
+            self.work_spent += decision.work_required
+            self.time_spent += decision.delay_seconds
+            if not decision.accepted:
+                rejected += 1
+                continue
+            benign_before = len(self._benign_peers(overlay, target))
+            overlay.graph.add_node(clone)
+            overlay.graph.add_edge(clone, target)
+            clones_used += 1
+            # The target applies its normal DDSR pruning once over its bound;
+            # the clone's (graph) degree of 1 matches its small announced
+            # degree, so pruning evicts a real, higher-degree peer instead.
+            overlay.enforce_degree_bound(target)
+            benign_after = len(self._benign_peers(overlay, target))
+            displaced += max(0, benign_before - benign_after)
+
+        contained = not self._benign_peers(overlay, target) and target in overlay.graph
+        return SoapNodeResult(
+            target=target,
+            contained=contained,
+            clones_used=clones_used,
+            peering_requests=requests,
+            requests_rejected=rejected,
+            benign_peers_displaced=displaced,
+            work_spent=node_work,
+            time_spent=node_time,
+            learned_addresses=learned,
+        )
+
+    # ------------------------------------------------------------------
+    # Campaign (spreading containment through the whole botnet)
+    # ------------------------------------------------------------------
+    def run_campaign(
+        self,
+        overlay: DDSROverlay,
+        initial_compromised: Iterable[NodeId],
+        *,
+        max_targets: Optional[int] = None,
+    ) -> SoapCampaignResult:
+        """Contain the whole botnet starting from a set of compromised bots.
+
+        ``initial_compromised`` are bots the defender already controls (via
+        honeypots or host cleanup); their peer lists seed the list of known
+        addresses.  The campaign processes known-but-uncontained bots in FIFO
+        order, learning new addresses from each target's peer list as it is
+        attacked, until no reachable benign bot remains (or the optional
+        ``max_targets`` / work / time budgets run out).
+        """
+        benign_population = {node for node in overlay.nodes() if not is_clone(node)}
+        total_benign = len(benign_population)
+
+        contained: Set[NodeId] = set()
+        known: Set[NodeId] = set()
+        queue: List[NodeId] = []
+        results: List[SoapNodeResult] = []
+        timeline: List[Tuple[int, float]] = []
+        clones_created = 0
+        requests = 0
+        rejected = 0
+
+        for compromised in initial_compromised:
+            if compromised not in overlay.graph or is_clone(compromised):
+                continue
+            # A compromised bot is already under defender control: count it as
+            # contained and learn its peers.
+            contained.add(compromised)
+            known.add(compromised)
+            for peer in self._benign_peers(overlay, compromised):
+                if peer not in known:
+                    known.add(peer)
+                    queue.append(peer)
+
+        processed = 0
+        while queue:
+            if max_targets is not None and processed >= max_targets:
+                break
+            if self._budget_exhausted():
+                break
+            target = queue.pop(0)
+            if target in contained or target not in overlay.graph:
+                continue
+            result = self.contain_node(overlay, target)
+            processed += 1
+            results.append(result)
+            clones_created += result.clones_used
+            requests += result.peering_requests
+            rejected += result.requests_rejected
+            if result.contained:
+                contained.add(target)
+            for peer in result.learned_addresses:
+                if peer not in known and not is_clone(peer):
+                    known.add(peer)
+                    queue.append(peer)
+            fraction = len(contained) / total_benign if total_benign else 0.0
+            timeline.append((processed, fraction))
+
+        return SoapCampaignResult(
+            total_benign=total_benign,
+            contained=contained,
+            clones_created=clones_created,
+            peering_requests=requests,
+            requests_rejected=rejected,
+            work_spent=self.work_spent,
+            time_spent=self.time_spent,
+            timeline=timeline,
+            per_node=results,
+        )
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def benign_subgraph_components(overlay: DDSROverlay) -> Dict[str, int]:
+        """Component structure of the benign-to-benign communication graph.
+
+        Contained bots can only talk to clones, so once the campaign is done
+        the benign subgraph induced on *uncontained* communication paths tells
+        the defender whether the botnet is still able to coordinate.
+        """
+        from repro.graphs.metrics import connected_components
+
+        benign_nodes = [node for node in overlay.nodes() if not is_clone(node)]
+        subgraph = overlay.graph.subgraph(benign_nodes)
+        components = connected_components(subgraph)
+        nontrivial = [component for component in components if len(component) > 1]
+        return {
+            "benign_nodes": len(benign_nodes),
+            "components": len(components),
+            "nontrivial_components": len(nontrivial),
+            "largest_component": len(components[0]) if components else 0,
+        }

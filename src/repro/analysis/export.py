@@ -1,0 +1,149 @@
+"""Export experiment results to CSV / JSON for external plotting.
+
+The benchmarks print their regenerated series as text; research users usually
+also want machine-readable artifacts to feed into their own plotting pipeline.
+These helpers write dataclass-based experiment results (Fig4Result,
+Fig5Result, ...) and plain series to disk without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of experiment objects into JSON-compatible data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {key: _jsonable(item) for key, item in dataclasses.asdict(value).items()}
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, float) and (value != value or value in (float("inf"), float("-inf"))):
+        return str(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_json(path: str | Path, result: Any) -> Path:
+    """Serialize any experiment result (dataclass, dict, list) to JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(_jsonable(result), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def write_series_csv(
+    path: str | Path,
+    columns: Mapping[str, Sequence[Any]],
+) -> Path:
+    """Write aligned series as CSV columns.
+
+    ``columns`` maps header -> sequence of values; every sequence must have
+    the same length.  Example::
+
+        write_series_csv("fig5.csv", {
+            "deleted": result.deletions,
+            "ddsr_components": result.ddsr_components,
+            "normal_components": result.normal_components,
+        })
+    """
+    if not columns:
+        raise ValueError("at least one column is required")
+    lengths = {len(values) for values in columns.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"all columns must have the same length, got {sorted(lengths)}")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    headers = list(columns)
+    with target.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in zip(*(columns[header] for header in headers)):
+            writer.writerow(row)
+    return target
+
+
+def write_rows_csv(path: str | Path, rows: Iterable[Mapping[str, Any]]) -> Path:
+    """Write a list of homogeneous dict rows (e.g. Table I) as CSV."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("at least one row is required")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    headers = list(rows[0])
+    with target.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=headers)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: row.get(key, "") for key in headers})
+    return target
+
+
+def export_fig4(results: Sequence[Any], directory: str | Path) -> list[Path]:
+    """Write one CSV per Figure 4 curve plus a combined JSON."""
+    directory = Path(directory)
+    written: list[Path] = []
+    for curve in results:
+        suffix = "pruning" if curve.pruning else "no-pruning"
+        written.append(
+            write_series_csv(
+                directory / f"fig4_deg{curve.degree}_{suffix}.csv",
+                {
+                    "deleted": curve.deletions,
+                    "closeness": curve.closeness,
+                    "degree_centrality": curve.degree_centrality,
+                    "max_degree": curve.max_degree,
+                },
+            )
+        )
+    written.append(write_json(directory / "fig4.json", list(results)))
+    return written
+
+
+def export_fig5(result: Any, directory: str | Path) -> list[Path]:
+    """Write the six Figure 5 series as one CSV plus a JSON."""
+    directory = Path(directory)
+    written = [
+        write_series_csv(
+            directory / f"fig5_n{result.n}.csv",
+            {
+                "deleted": result.deletions,
+                "ddsr_components": result.ddsr_components,
+                "normal_components": result.normal_components,
+                "ddsr_degree_centrality": result.ddsr_degree_centrality,
+                "normal_degree_centrality": result.normal_degree_centrality,
+                "ddsr_diameter": result.ddsr_diameter,
+                "normal_diameter": result.normal_diameter,
+            },
+        ),
+        write_json(directory / f"fig5_n{result.n}.json", result),
+    ]
+    return written
+
+
+def export_fig6(result: Any, directory: str | Path) -> list[Path]:
+    """Write the Figure 6 threshold sweep as CSV plus JSON."""
+    directory = Path(directory)
+    return [
+        write_series_csv(
+            directory / "fig6.csv",
+            {
+                "size": result.sizes,
+                "nodes_to_partition": result.nodes_to_partition,
+                "fraction": result.fractions,
+            },
+        ),
+        write_json(directory / "fig6.json", result),
+    ]

@@ -1,0 +1,47 @@
+"""A minimal parameter-sweep helper used by ablation benchmarks."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+
+@dataclass
+class SweepResult:
+    """All outcomes of a parameter sweep."""
+
+    parameter_names: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def filter(self, **conditions: Any) -> List[Dict[str, Any]]:
+        """Rows whose parameters match every given condition."""
+        matched = []
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in conditions.items()):
+                matched.append(row)
+        return matched
+
+    def column(self, name: str) -> List[Any]:
+        """Every value of one result/parameter column, in sweep order."""
+        return [row.get(name) for row in self.rows]
+
+
+def parameter_sweep(
+    runner: Callable[..., Mapping[str, Any]],
+    grid: Mapping[str, Sequence[Any]],
+) -> SweepResult:
+    """Run ``runner(**point)`` over the Cartesian product of ``grid``.
+
+    The runner must return a mapping of result columns; the sweep merges those
+    with the parameter values into one row per grid point.
+    """
+    names = list(grid)
+    result = SweepResult(parameter_names=names)
+    for values in itertools.product(*(grid[name] for name in names)):
+        point = dict(zip(names, values))
+        outcome = runner(**point)
+        row = dict(point)
+        row.update(outcome)
+        result.rows.append(row)
+    return result

@@ -1,0 +1,38 @@
+"""Baseline constructions the paper compares OnionBots against.
+
+* :mod:`~repro.baselines.normal_graph` -- the "normal graph" of Figures 5/6:
+  the same starting topology with no self-repair mechanism.
+* :mod:`~repro.baselines.legacy_botnets` -- the botnet families of Table I
+  (Miner, Storm, ZeroAccess v1, Zeus) with their crypto/signing/replay
+  properties and representative message framings, used for the
+  indistinguishability comparison.
+* :mod:`~repro.baselines.centralized` -- a classic centralized C&C botnet,
+  the single-point-of-failure architecture OnionBots abandon.
+* :mod:`~repro.baselines.kademlia` -- a Kademlia-style structured overlay
+  (the Overbot-like baseline from related work) to contrast structured
+  routing state with the DDSR unstructured design.
+"""
+
+from repro.baselines.normal_graph import NormalOverlay
+from repro.baselines.legacy_botnets import (
+    LEGACY_BOTNETS,
+    ONIONBOT_PROFILE,
+    BotnetProfile,
+    all_profiles,
+    sample_message,
+)
+from repro.baselines.centralized import CentralizedBotnet, CentralizedTakedownResult
+from repro.baselines.kademlia import KademliaNode, KademliaOverlay
+
+__all__ = [
+    "NormalOverlay",
+    "BotnetProfile",
+    "LEGACY_BOTNETS",
+    "ONIONBOT_PROFILE",
+    "all_profiles",
+    "sample_message",
+    "CentralizedBotnet",
+    "CentralizedTakedownResult",
+    "KademliaNode",
+    "KademliaOverlay",
+]

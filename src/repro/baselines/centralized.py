@@ -1,0 +1,104 @@
+"""Centralized C&C baseline.
+
+"In the centralized architecture the bots contact the C&C servers to receive
+instructions ... However, it is limited by a single point of failure.  Such
+botnets can be disrupted by taking down or blocking access to the C&C server"
+(paper section II).  This baseline exists so the resilience benchmarks can
+show the contrast quantitatively: one takedown of the right node collapses a
+centralized botnet, whereas a DDSR overlay shrugs off large fractions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+
+@dataclass
+class CentralizedTakedownResult:
+    """Outcome of a takedown campaign against a centralized botnet."""
+
+    bots_total: int
+    bots_remaining: int
+    cc_servers_total: int
+    cc_servers_remaining: int
+    operational: bool
+
+    @property
+    def surviving_fraction(self) -> float:
+        """Fraction of bots still able to receive commands."""
+        if self.bots_total == 0:
+            return 0.0
+        return (self.bots_remaining if self.operational else 0) / self.bots_total
+
+
+@dataclass
+class CentralizedBotnet:
+    """Bots that all depend on a small set of C&C servers."""
+
+    bots: Set[str] = field(default_factory=set)
+    cc_servers: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def build(cls, n_bots: int, n_servers: int = 1) -> "CentralizedBotnet":
+        """Create ``n_bots`` bots pointed at ``n_servers`` C&C servers."""
+        if n_bots < 1 or n_servers < 1:
+            raise ValueError("need at least one bot and one C&C server")
+        return cls(
+            bots={f"bot-{index:05d}" for index in range(n_bots)},
+            cc_servers={f"cc-{index:02d}" for index in range(n_servers)},
+        )
+
+    @property
+    def operational(self) -> bool:
+        """The botnet works only while at least one C&C server is reachable."""
+        return bool(self.cc_servers) and bool(self.bots)
+
+    def reachable_bots(self) -> int:
+        """Bots able to receive commands right now."""
+        return len(self.bots) if self.operational else 0
+
+    # ------------------------------------------------------------------
+    def take_down_bots(self, count: int, rng: Optional[random.Random] = None) -> int:
+        """Clean up ``count`` individual bots (barely dents a centralized botnet)."""
+        rng = rng if rng is not None else random.Random(0)
+        victims = rng.sample(sorted(self.bots), min(count, len(self.bots)))
+        self.bots.difference_update(victims)
+        return len(victims)
+
+    def take_down_cc(self, count: int = 1, rng: Optional[random.Random] = None) -> int:
+        """Seize ``count`` C&C servers (the defender's winning move here)."""
+        rng = rng if rng is not None else random.Random(0)
+        victims = rng.sample(sorted(self.cc_servers), min(count, len(self.cc_servers)))
+        self.cc_servers.difference_update(victims)
+        return len(victims)
+
+    def summarize(self, original_bots: int, original_servers: int) -> CentralizedTakedownResult:
+        """Snapshot after whatever takedowns have been applied."""
+        return CentralizedTakedownResult(
+            bots_total=original_bots,
+            bots_remaining=len(self.bots),
+            cc_servers_total=original_servers,
+            cc_servers_remaining=len(self.cc_servers),
+            operational=self.operational,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def takedown_comparison(n_bots: int, seed: int = 0) -> List[CentralizedTakedownResult]:
+        """Effect of (a) removing 40 % of bots vs (b) removing the single C&C.
+
+        Returned in that order; used by the Figure 6 benchmark's commentary to
+        contrast the ~40 % simultaneous-takedown threshold of the DDSR overlay
+        with the single-node fragility of the centralized design.
+        """
+        rng = random.Random(seed)
+        scenario_a = CentralizedBotnet.build(n_bots, 1)
+        scenario_a.take_down_bots(int(0.4 * n_bots), rng)
+        result_a = scenario_a.summarize(n_bots, 1)
+
+        scenario_b = CentralizedBotnet.build(n_bots, 1)
+        scenario_b.take_down_cc(1, rng)
+        result_b = scenario_b.summarize(n_bots, 1)
+        return [result_a, result_b]

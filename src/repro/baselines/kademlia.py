@@ -1,0 +1,181 @@
+"""A Kademlia-style structured overlay baseline (Overbot-like).
+
+Related work (paper section VIII) describes Overbot, a botnet protocol riding
+on the Kademlia DHT.  Structured overlays maintain much more routing state per
+node (log-scaled bucket tables keyed by XOR distance) and their repair story
+is different from DDSR: a node learns replacements lazily from lookups rather
+than eagerly from NoN knowledge.  This baseline implements just enough of
+Kademlia -- node IDs, XOR distance, k-buckets, iterative lookup and node
+removal -- to compare degree/state, lookup success under churn and takedown
+behaviour against the DDSR overlay in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+#: Bit length of Kademlia node identifiers.
+ID_BITS = 32
+#: Bucket capacity (the classic Kademlia ``k``).
+BUCKET_SIZE = 8
+
+
+def node_id_from_label(label: str) -> int:
+    """Derive a deterministic ``ID_BITS``-bit identifier from a label."""
+    digest = hashlib.sha1(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[: ID_BITS // 8], "big")
+
+
+def xor_distance(a: int, b: int) -> int:
+    """Kademlia's XOR distance metric."""
+    return a ^ b
+
+
+@dataclass
+class KademliaNode:
+    """One node: an identifier plus its k-bucket routing table."""
+
+    label: str
+    node_id: int
+    buckets: Dict[int, List[int]] = field(default_factory=dict)
+
+    def bucket_index(self, other_id: int) -> int:
+        """Index of the bucket that ``other_id`` belongs to."""
+        distance = xor_distance(self.node_id, other_id)
+        if distance == 0:
+            return 0
+        return distance.bit_length() - 1
+
+    def observe(self, other_id: int) -> None:
+        """Insert ``other_id`` into the appropriate bucket (LRU-less, capped)."""
+        if other_id == self.node_id:
+            return
+        index = self.bucket_index(other_id)
+        bucket = self.buckets.setdefault(index, [])
+        if other_id in bucket:
+            return
+        if len(bucket) < BUCKET_SIZE:
+            bucket.append(other_id)
+
+    def forget(self, other_id: int) -> None:
+        """Drop a dead contact from whichever bucket holds it."""
+        index = self.bucket_index(other_id)
+        bucket = self.buckets.get(index, [])
+        if other_id in bucket:
+            bucket.remove(other_id)
+
+    def contacts(self) -> Set[int]:
+        """Every identifier in the routing table."""
+        return {other for bucket in self.buckets.values() for other in bucket}
+
+    def routing_state_size(self) -> int:
+        """Number of contacts stored (the per-node state DDSR avoids)."""
+        return sum(len(bucket) for bucket in self.buckets.values())
+
+    def closest(self, target_id: int, count: int) -> List[int]:
+        """The ``count`` known contacts closest to ``target_id``."""
+        return sorted(self.contacts(), key=lambda other: xor_distance(other, target_id))[:count]
+
+
+class KademliaOverlay:
+    """A population of Kademlia nodes with iterative lookups."""
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        self.nodes: Dict[int, KademliaNode] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, n: int, *, seed: int = 0, bootstrap_contacts: int = 8) -> "KademliaOverlay":
+        """Create ``n`` nodes and populate routing tables from random contacts."""
+        overlay = cls(seed=seed)
+        for index in range(n):
+            overlay.join(f"knode-{index:05d}")
+        ids = list(overlay.nodes)
+        for node in overlay.nodes.values():
+            for contact in overlay.rng.sample(ids, min(bootstrap_contacts, len(ids))):
+                node.observe(contact)
+        return overlay
+
+    def join(self, label: str) -> KademliaNode:
+        """Add a node (its table starts empty until it observes contacts)."""
+        node_id = node_id_from_label(label)
+        while node_id in self.nodes:  # resolve unlikely collisions
+            node_id = (node_id + 1) % (1 << ID_BITS)
+        node = KademliaNode(label=label, node_id=node_id)
+        self.nodes[node_id] = node
+        return node
+
+    def remove(self, node_id: int) -> None:
+        """Take a node down.  Peers only notice lazily, during lookups."""
+        self.nodes.pop(node_id, None)
+
+    def remove_fraction(self, fraction: float) -> List[int]:
+        """Take down a random fraction of nodes simultaneously."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        victims = self.rng.sample(
+            list(self.nodes), int(round(fraction * len(self.nodes)))
+        )
+        for victim in victims:
+            self.remove(victim)
+        return victims
+
+    # ------------------------------------------------------------------
+    def lookup(self, origin_id: int, target_id: int, *, max_hops: int = 16) -> Optional[int]:
+        """Iterative lookup for the live node closest to ``target_id``.
+
+        Returns the identifier of the closest *live* node found, or ``None``
+        when routing dead-ends (every candidate contact is dead) -- the
+        failure mode that grows under mass takedowns because dead contacts
+        linger in buckets.
+        """
+        if origin_id not in self.nodes:
+            return None
+        current = self.nodes[origin_id]
+        best: Optional[int] = None
+        best_distance = None
+        visited: Set[int] = set()
+        for _ in range(max_hops):
+            candidates = [
+                contact
+                for contact in current.closest(target_id, BUCKET_SIZE)
+                if contact not in visited
+            ]
+            progressed = False
+            for contact in candidates:
+                visited.add(contact)
+                if contact not in self.nodes:
+                    current.forget(contact)
+                    continue
+                distance = xor_distance(contact, target_id)
+                if best_distance is None or distance < best_distance:
+                    best, best_distance = contact, distance
+                    current = self.nodes[contact]
+                    progressed = True
+                    break
+            if not progressed:
+                break
+        return best
+
+    def lookup_success_rate(self, trials: int = 100) -> float:
+        """Fraction of random lookups that terminate at a live node."""
+        live = list(self.nodes)
+        if len(live) < 2:
+            return 0.0
+        successes = 0
+        for _ in range(trials):
+            origin = self.rng.choice(live)
+            target = self.rng.randrange(1 << ID_BITS)
+            if self.lookup(origin, target) is not None:
+                successes += 1
+        return successes / trials
+
+    def average_routing_state(self) -> float:
+        """Mean routing-table size across live nodes (contrast with DDSR degree)."""
+        if not self.nodes:
+            return 0.0
+        return sum(node.routing_state_size() for node in self.nodes.values()) / len(self.nodes)

@@ -1,0 +1,165 @@
+"""Legacy botnet families and their (lack of) cryptographic protection.
+
+Table I of the paper summarises, from Rossow et al.'s "P2PWNED" study, how
+little cryptography deployed P2P botnets used: Miner sent plaintext, Storm
+XOR-ed its traffic, ZeroAccess v1 used RC4 with 512-bit RSA signing, Zeus used
+a chained XOR with 2048-bit RSA signing -- and all of them were vulnerable to
+replay.  OnionBot, by contrast, carries every message inside Tor/SSL with
+per-link keys, signs commands with the botmaster key and rejects replays via
+nonces.
+
+Besides the static comparison rows, this module produces *representative wire
+messages* for each family (plaintext, XOR-obfuscated, RC4-like) so the
+Table I benchmark can empirically contrast their distinguishability with the
+uniform-looking OnionBot envelopes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class BotnetProfile:
+    """One row of Table I plus the properties the benchmark checks."""
+
+    name: str
+    crypto: str
+    signing: str
+    replay_protected: bool
+    transport: str
+    architecture: str
+
+    def as_row(self) -> Dict[str, str]:
+        """Rendering used by the Table I report."""
+        return {
+            "Botnet": self.name,
+            "Crypto": self.crypto,
+            "Signing": self.signing,
+            "Replay": "no" if self.replay_protected else "yes",
+        }
+
+
+#: The four legacy families of Table I (replay column: "yes" = replay possible).
+LEGACY_BOTNETS: List[BotnetProfile] = [
+    BotnetProfile(
+        name="Miner",
+        crypto="none",
+        signing="none",
+        replay_protected=False,
+        transport="plaintext HTTP",
+        architecture="peer-to-peer",
+    ),
+    BotnetProfile(
+        name="Storm",
+        crypto="XOR",
+        signing="none",
+        replay_protected=False,
+        transport="Overnet/Stormnet UDP",
+        architecture="peer-to-peer",
+    ),
+    BotnetProfile(
+        name="ZeroAccess v1",
+        crypto="RC4",
+        signing="RSA 512",
+        replay_protected=False,
+        transport="custom TCP",
+        architecture="peer-to-peer",
+    ),
+    BotnetProfile(
+        name="Zeus",
+        crypto="chained XOR",
+        signing="RSA 2048",
+        replay_protected=False,
+        transport="custom TCP/UDP",
+        architecture="peer-to-peer",
+    ),
+]
+
+#: The OnionBot row the paper's design implies (section IV-E).
+ONIONBOT_PROFILE = BotnetProfile(
+    name="OnionBot",
+    crypto="Tor + SSL, per-link keys",
+    signing="botmaster key (+ rental tokens)",
+    replay_protected=True,
+    transport="Tor hidden services, fixed-size cells",
+    architecture="self-healing peer-to-peer (DDSR)",
+)
+
+
+def all_profiles() -> List[BotnetProfile]:
+    """Every Table I row, legacy families first, OnionBot last."""
+    return [*LEGACY_BOTNETS, ONIONBOT_PROFILE]
+
+
+# ----------------------------------------------------------------------
+# Representative wire messages for the distinguishability experiment
+# ----------------------------------------------------------------------
+_SAMPLE_COMMAND = (
+    b'{"cmd": "ddos", "target": "host%d.example.com", "port": 80, "duration": 3600,'
+    b' "id": "%d", "group": "all"}'
+)
+
+
+def _plaintext_message(serial: int) -> bytes:
+    return _SAMPLE_COMMAND % (serial, serial)
+
+
+def _xor_message(serial: int, key: int = 0x42) -> bytes:
+    return bytes(byte ^ key for byte in _plaintext_message(serial))
+
+
+def _chained_xor_message(serial: int, key: int = 0x37) -> bytes:
+    output = bytearray()
+    previous = key
+    for byte in _plaintext_message(serial):
+        value = byte ^ previous
+        output.append(value)
+        previous = value
+    return bytes(output)
+
+
+def _rc4_like_message(serial: int, key: bytes = b"zeroaccess-key") -> bytes:
+    """A keystream cipher stand-in for RC4 (hash-counter keystream).
+
+    Statistically this looks random, like real RC4 output, which is exactly
+    what the distinguishability experiment should reflect: ZeroAccess traffic
+    is *not* separable by byte entropy, it was identified by its fixed message
+    sizes and plaintext-length preservation instead (which the experiment also
+    reports via the length column).
+    """
+    plaintext = _plaintext_message(serial)
+    stream = bytearray()
+    counter = 0
+    while len(stream) < len(plaintext):
+        stream.extend(hashlib.sha256(key + counter.to_bytes(4, "big")).digest())
+        counter += 1
+    return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+
+def sample_message(profile_name: str, serial: int = 0) -> bytes:
+    """A representative C&C wire message for the named botnet family."""
+    generators = {
+        "Miner": _plaintext_message,
+        "Storm": _xor_message,
+        "ZeroAccess v1": _rc4_like_message,
+        "Zeus": _chained_xor_message,
+    }
+    if profile_name not in generators:
+        raise KeyError(f"no sample-message generator for {profile_name!r}")
+    return generators[profile_name](serial)
+
+
+def message_lengths_vary(profile_name: str, count: int = 16) -> bool:
+    """Whether the family's message length tracks the plaintext length.
+
+    Every legacy family preserves plaintext length (a usable traffic
+    signature); OnionBot envelopes are constant-size.
+    """
+    lengths = {
+        len(sample_message(profile_name, serial))
+        for serial in range(1, count * 1000, 997)
+    }
+    return len(lengths) > 1  # legacy framings all leak the plaintext length

@@ -1,0 +1,60 @@
+"""The "normal graph" baseline (no self-repair).
+
+Figures 5 and 6 compare the DDSR overlay against "a normal graph (a graph with
+no self-repairing mechanism)": identical starting topology, but when nodes are
+deleted the survivors do nothing.  :class:`NormalOverlay` is a thin
+configuration of :class:`~repro.core.ddsr.DDSROverlay` with repair and pruning
+disabled, so experiment code can drive both overlays through exactly the same
+deletion schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.ddsr import DDSRConfig, DDSROverlay, PruningPolicy, RepairPolicy
+from repro.graphs.adjacency import UndirectedGraph
+from repro.graphs.generators import k_regular_graph
+
+
+class NormalOverlay(DDSROverlay):
+    """A static overlay: deletions are never repaired, degrees never pruned."""
+
+    def __init__(
+        self,
+        graph: Optional[UndirectedGraph] = None,
+        *,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        config = DDSRConfig(
+            d_min=0,
+            d_max=10**9,
+            repair_policy=RepairPolicy.NONE,
+            pruning_policy=PruningPolicy.NONE,
+            forgetting_enabled=False,
+        )
+        super().__init__(graph, config=config, rng=rng)
+
+    @classmethod
+    def k_regular(
+        cls,
+        n: int,
+        k: int,
+        *,
+        config=None,  # accepted for signature compatibility; ignored
+        seed: int = 0,
+    ) -> "NormalOverlay":
+        """A k-regular normal graph matching the DDSR starting topology."""
+        rng = random.Random(seed)
+        graph = k_regular_graph(n, k, rng=rng)
+        return cls(graph, rng=rng)
+
+    @classmethod
+    def matching(cls, overlay: DDSROverlay) -> "NormalOverlay":
+        """A normal-graph copy of an existing overlay's current topology.
+
+        Used by the Figure 5 experiment so that the DDSR and normal curves
+        start from the *same* wiring, not merely the same parameters.
+        """
+        return cls(overlay.graph.copy(), rng=random.Random(0))

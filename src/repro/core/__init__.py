@@ -1,0 +1,102 @@
+"""Core OnionBot constructions (the paper's primary contribution).
+
+The package implements, as simulation objects:
+
+* :mod:`~repro.core.ddsr` -- the Dynamic Distributed Self-Repairing (DDSR)
+  overlay: neighbour-of-neighbour knowledge, the repair step run when a peer
+  disappears, degree pruning into ``[d_min, d_max]`` and address forgetting
+  (paper section IV-C).  This pure-graph object is what the Figure 4/5/6
+  experiments exercise.
+* :mod:`~repro.core.addressing` -- periodic ``.onion`` rotation derived from
+  the shared per-bot key and the period index (section IV-D).
+* :mod:`~repro.core.messaging` -- C&C message formats: directed, broadcast and
+  group-keyed commands, the rally-stage key report, fixed-size uniform-looking
+  envelopes (sections IV-D, IV-E).
+* :mod:`~repro.core.bootstrap` -- the bootstrap strategies of section IV-B and
+  the address-space argument for why random probing is infeasible.
+* :mod:`~repro.core.lifecycle` -- the bot life-cycle state machine
+  (infection, rally, waiting, execution).
+* :mod:`~repro.core.node` / :mod:`~repro.core.commander` -- individual bots and
+  the botmaster / C&C logic.
+* :mod:`~repro.core.rental` -- the botnet-for-rent token scheme (section IV-E).
+* :mod:`~repro.core.botnet` -- the full orchestrator wiring bots, the DDSR
+  overlay and the simulated Tor network together.
+
+Everything here is a research simulation of the published design: bots are
+in-process objects, "infection" is an event in a discrete-event simulator and
+all traffic flows through the in-memory Tor model.
+"""
+
+from repro.core.config import OnionBotConfig
+from repro.core.errors import (
+    BotnetError,
+    BootstrapError,
+    LifecycleError,
+    MessageError,
+    RentalError,
+)
+from repro.core.ddsr import DDSROverlay, PruningPolicy, RepairPolicy
+from repro.core.addressing import AddressPlan, current_onion_address, onion_schedule
+from repro.core.lifecycle import BotStage, LifecycleMachine
+from repro.core.messaging import (
+    CommandMessage,
+    Envelope,
+    KeyReport,
+    MessageKind,
+    build_envelope,
+    open_envelope,
+)
+from repro.core.bootstrap import (
+    BootstrapStrategy,
+    HardcodedPeerList,
+    Hotlist,
+    OutOfBandChannel,
+    RandomProbingEstimate,
+    estimate_random_probe_expected_attempts,
+)
+from repro.core.node import OnionBotNode
+from repro.core.commander import Botmaster
+from repro.core.rental import RentalToken, issue_token, verify_rented_command
+from repro.core.botnet import BotnetStats, OnionBotnet
+from repro.core.failure_detection import FailureDetector, SweepReport
+from repro.core.recruitment import RecruitmentCampaign, RecruitmentResult
+
+__all__ = [
+    "OnionBotConfig",
+    "BotnetError",
+    "BootstrapError",
+    "LifecycleError",
+    "MessageError",
+    "RentalError",
+    "DDSROverlay",
+    "RepairPolicy",
+    "PruningPolicy",
+    "AddressPlan",
+    "current_onion_address",
+    "onion_schedule",
+    "BotStage",
+    "LifecycleMachine",
+    "MessageKind",
+    "CommandMessage",
+    "KeyReport",
+    "Envelope",
+    "build_envelope",
+    "open_envelope",
+    "BootstrapStrategy",
+    "HardcodedPeerList",
+    "Hotlist",
+    "OutOfBandChannel",
+    "RandomProbingEstimate",
+    "estimate_random_probe_expected_attempts",
+    "OnionBotNode",
+    "Botmaster",
+    "RentalToken",
+    "issue_token",
+    "verify_rented_command",
+    "OnionBotnet",
+    "BotnetStats",
+    "FailureDetector",
+    "SweepReport",
+    "RecruitmentCampaign",
+    "RecruitmentResult",
+]

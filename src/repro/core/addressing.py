@@ -1,0 +1,113 @@
+"""Periodic ``.onion`` address rotation (paper section IV-D).
+
+At rally time a bot generates a symmetric key ``K_B`` and reports it to the
+C&C encrypted under the botmaster's hard-coded public key.  From then on both
+sides can independently compute the bot's identity keypair for any period
+``i_p`` as ``generateKey(PK_CC, H(K_B, i_p))`` -- so the bot keeps moving to
+fresh onion addresses while the botmaster can always find it, and a defender
+who captured yesterday's address learns nothing about tomorrow's.
+
+This module provides the rotation schedule both the bots and the botmaster use,
+plus an :class:`AddressPlan` that precomputes a window of future addresses
+(what the C&C consults when it wants to contact a specific bot "anytime").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.crypto.kdf import derive_period_key
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.sim.clock import SECONDS_PER_DAY
+from repro.tor.onion_address import OnionAddress, onion_address_from_public_key
+
+
+def period_index_for(time_seconds: float, period_seconds: float = float(SECONDS_PER_DAY)) -> int:
+    """Index of the rotation period containing ``time_seconds``."""
+    if period_seconds <= 0:
+        raise ValueError(f"period must be positive, got {period_seconds}")
+    if time_seconds < 0:
+        raise ValueError(f"time must be non-negative, got {time_seconds}")
+    return int(time_seconds // period_seconds)
+
+
+def keypair_for_period(
+    botmaster_public: PublicKey,
+    bot_key: bytes,
+    period_index: int,
+) -> KeyPair:
+    """The bot's hidden-service keypair during period ``period_index``."""
+    return derive_period_key(botmaster_public, bot_key, period_index)
+
+
+def current_onion_address(
+    botmaster_public: PublicKey,
+    bot_key: bytes,
+    time_seconds: float,
+    period_seconds: float = float(SECONDS_PER_DAY),
+) -> OnionAddress:
+    """The bot's onion address at simulated time ``time_seconds``."""
+    index = period_index_for(time_seconds, period_seconds)
+    keypair = keypair_for_period(botmaster_public, bot_key, index)
+    return onion_address_from_public_key(keypair)
+
+
+def onion_schedule(
+    botmaster_public: PublicKey,
+    bot_key: bytes,
+    start_period: int,
+    periods: int,
+) -> List[OnionAddress]:
+    """The bot's onion addresses for ``periods`` consecutive periods."""
+    if periods < 0:
+        raise ValueError(f"periods must be non-negative, got {periods}")
+    return [
+        onion_address_from_public_key(
+            keypair_for_period(botmaster_public, bot_key, start_period + offset)
+        )
+        for offset in range(periods)
+    ]
+
+
+@dataclass
+class AddressPlan:
+    """Precomputed rotation plan for one bot, as maintained by the C&C.
+
+    The botmaster learns ``K_B`` once (from the rally-stage key report) and
+    can then reach the bot in any period without further interaction.
+    """
+
+    botmaster_public: PublicKey
+    bot_key: bytes
+    period_seconds: float = float(SECONDS_PER_DAY)
+
+    def keypair_at(self, time_seconds: float) -> KeyPair:
+        """The bot's keypair at ``time_seconds``."""
+        return keypair_for_period(
+            self.botmaster_public,
+            self.bot_key,
+            period_index_for(time_seconds, self.period_seconds),
+        )
+
+    def address_at(self, time_seconds: float) -> OnionAddress:
+        """The bot's onion address at ``time_seconds``."""
+        return onion_address_from_public_key(self.keypair_at(time_seconds))
+
+    def addresses_between(self, start_seconds: float, end_seconds: float) -> List[OnionAddress]:
+        """Every address the bot will use in ``[start_seconds, end_seconds]``."""
+        if end_seconds < start_seconds:
+            raise ValueError("end time must not precede start time")
+        first = period_index_for(start_seconds, self.period_seconds)
+        last = period_index_for(end_seconds, self.period_seconds)
+        return onion_schedule(self.botmaster_public, self.bot_key, first, last - first + 1)
+
+    def window(self, time_seconds: float, periods_ahead: int = 7) -> Dict[int, OnionAddress]:
+        """Mapping of period index -> address for the next ``periods_ahead`` periods."""
+        start = period_index_for(time_seconds, self.period_seconds)
+        return {
+            start + offset: onion_address_from_public_key(
+                keypair_for_period(self.botmaster_public, self.bot_key, start + offset)
+            )
+            for offset in range(periods_ahead + 1)
+        }

@@ -1,0 +1,223 @@
+"""Bootstrap (rally-stage) strategies, paper section IV-B.
+
+A newly infected bot must find existing members of the overlay.  The paper
+weighs four approaches and concludes that OnionBots would combine hardcoded
+peer lists and hotlists (because onion addresses rotate, blacklisting the
+entries is ineffective) while random probing of the ``.onion`` namespace is
+computationally hopeless (the address space has :math:`32^{16}` names).  This
+module implements all four so that the trade-offs can be exercised and so the
+full botnet simulation can be configured with any of them.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.errors import BootstrapError
+
+#: Size of the v2 onion namespace: 16 base32 characters.
+ONION_ADDRESS_SPACE = 32 ** 16
+
+
+class BootstrapStrategy(ABC):
+    """Interface every bootstrap mechanism implements."""
+
+    @abstractmethod
+    def candidate_peers(self, requester: str, count: int, rng: random.Random) -> List[str]:
+        """Return up to ``count`` peer addresses for ``requester`` to contact."""
+
+    def describe(self) -> str:
+        """Human-readable name used in reports."""
+        return type(self).__name__
+
+
+@dataclass
+class HardcodedPeerList(BootstrapStrategy):
+    """A peer list baked into the bot at infection time.
+
+    When an infected bot recruits another host, it forwards a subset of its
+    own list: each entry is included independently with probability
+    ``share_probability`` (the ``p`` of section IV-B).
+    """
+
+    peers: List[str]
+    share_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.share_probability <= 1.0:
+            raise BootstrapError(
+                f"share_probability must be in [0, 1], got {self.share_probability}"
+            )
+
+    def candidate_peers(self, requester: str, count: int, rng: random.Random) -> List[str]:
+        """Peers from the hardcoded list (excluding the requester itself)."""
+        available = [peer for peer in self.peers if peer != requester]
+        if not available:
+            return []
+        if count >= len(available):
+            return list(available)
+        return rng.sample(available, count)
+
+    def child_list(self, rng: random.Random) -> "HardcodedPeerList":
+        """The peer list passed on to a newly recruited bot."""
+        subset = [peer for peer in self.peers if rng.random() < self.share_probability]
+        if not subset and self.peers:
+            subset = [rng.choice(self.peers)]
+        return HardcodedPeerList(peers=subset, share_probability=self.share_probability)
+
+    def update(self, new_peers: Iterable[str]) -> None:
+        """Merge freshly learned addresses into the list (deduplicated)."""
+        known = set(self.peers)
+        for peer in new_peers:
+            if peer not in known:
+                self.peers.append(peer)
+                known.add(peer)
+
+    def forget(self, stale_peers: Iterable[str]) -> None:
+        """Drop rotated-away addresses from the list."""
+        stale = set(stale_peers)
+        self.peers = [peer for peer in self.peers if peer not in stale]
+
+
+@dataclass
+class Hotlist(BootstrapStrategy):
+    """A set of query servers ("webcaches"), each knowing a subset of peers.
+
+    A defender that captures one bot only learns the hotlist servers in that
+    bot's subset, and each server only exposes part of the peer population.
+    """
+
+    servers: Dict[str, List[str]] = field(default_factory=dict)
+    servers_per_bot: int = 2
+
+    def add_server(self, name: str, peers: Sequence[str]) -> None:
+        """Register (or replace) a hotlist server with its peer subset."""
+        self.servers[name] = list(peers)
+
+    def publish(self, server: str, peer: str) -> None:
+        """Add a peer address to one server's subset."""
+        if server not in self.servers:
+            self.servers[server] = []
+        if peer not in self.servers[server]:
+            self.servers[server].append(peer)
+
+    def candidate_peers(self, requester: str, count: int, rng: random.Random) -> List[str]:
+        """Query a random subset of servers and merge their answers."""
+        if not self.servers:
+            return []
+        names = list(self.servers)
+        chosen = rng.sample(names, min(self.servers_per_bot, len(names)))
+        merged: List[str] = []
+        seen = set()
+        for name in chosen:
+            for peer in self.servers[name]:
+                if peer != requester and peer not in seen:
+                    merged.append(peer)
+                    seen.add(peer)
+        if count >= len(merged):
+            return merged
+        return rng.sample(merged, count)
+
+    def exposure_if_server_seized(self, server: str) -> float:
+        """Fraction of all known peers revealed if ``server`` is seized."""
+        all_peers = {peer for peers in self.servers.values() for peer in peers}
+        if not all_peers:
+            return 0.0
+        revealed = set(self.servers.get(server, []))
+        return len(revealed) / len(all_peers)
+
+
+@dataclass
+class OutOfBandChannel(BootstrapStrategy):
+    """Peer lists published through an external side channel.
+
+    Models "use a peer-to-peer network such as BitTorrent ... or social
+    networks" as an abstract bulletin board: the botmaster posts address lists
+    under opaque labels, bots fetch the latest post.  A defender able to read
+    the channel sees exactly what the bots see -- which is why the posted
+    addresses are rotated like all others.
+    """
+
+    posts: List[List[str]] = field(default_factory=list)
+    channel_name: str = "out-of-band"
+
+    def publish(self, peers: Sequence[str]) -> None:
+        """Post a fresh peer list to the channel."""
+        self.posts.append(list(peers))
+
+    def latest(self) -> List[str]:
+        """The most recently posted peer list (empty if none)."""
+        return list(self.posts[-1]) if self.posts else []
+
+    def candidate_peers(self, requester: str, count: int, rng: random.Random) -> List[str]:
+        """Fetch peers from the latest post."""
+        peers = [peer for peer in self.latest() if peer != requester]
+        if count >= len(peers):
+            return peers
+        return rng.sample(peers, count)
+
+
+@dataclass(frozen=True)
+class RandomProbingEstimate:
+    """Feasibility analysis of random ``.onion`` probing (it is not feasible).
+
+    The expected number of probes to hit *any* of ``population`` listening
+    bots in a namespace of ``address_space`` equals
+    ``address_space / population`` -- around :math:`10^{21}` probes for even a
+    million-bot population, which at any realistic probe rate exceeds the age
+    of the universe.  The class exists so the experiment suite can print the
+    paper's argument quantitatively rather than assert it.
+    """
+
+    population: int
+    probes_per_second: float = 1000.0
+    address_space: int = ONION_ADDRESS_SPACE
+
+    @property
+    def expected_probes(self) -> float:
+        """Expected number of probes before the first hit."""
+        if self.population <= 0:
+            return float("inf")
+        return self.address_space / self.population
+
+    @property
+    def expected_seconds(self) -> float:
+        """Expected time to the first hit at ``probes_per_second``."""
+        if self.probes_per_second <= 0:
+            return float("inf")
+        return self.expected_probes / self.probes_per_second
+
+    @property
+    def expected_years(self) -> float:
+        """Expected time to the first hit, in years."""
+        return self.expected_seconds / (365.25 * 24 * 3600)
+
+
+def estimate_random_probe_expected_attempts(population: int) -> float:
+    """Expected probes for random bootstrap against ``population`` bots."""
+    return RandomProbingEstimate(population=population).expected_probes
+
+
+class CompositeBootstrap(BootstrapStrategy):
+    """The paper's envisioned combination: hardcoded list first, hotlist backup."""
+
+    def __init__(self, primary: BootstrapStrategy, fallback: Optional[BootstrapStrategy] = None) -> None:
+        self.primary = primary
+        self.fallback = fallback
+
+    def candidate_peers(self, requester: str, count: int, rng: random.Random) -> List[str]:
+        """Ask the primary strategy, topping up from the fallback if short."""
+        peers = self.primary.candidate_peers(requester, count, rng)
+        if len(peers) < count and self.fallback is not None:
+            extra = self.fallback.candidate_peers(requester, count - len(peers), rng)
+            seen = set(peers)
+            peers.extend(peer for peer in extra if peer not in seen)
+        return peers
+
+    def describe(self) -> str:
+        """Human-readable name used in reports."""
+        fallback = self.fallback.describe() if self.fallback else "none"
+        return f"CompositeBootstrap(primary={self.primary.describe()}, fallback={fallback})"

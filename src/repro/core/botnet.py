@@ -1,0 +1,442 @@
+"""Full OnionBotnet orchestration.
+
+:class:`OnionBotnet` wires every piece of the reproduction together into one
+runnable simulation: a :class:`~repro.tor.network.TorNetwork`, a
+:class:`~repro.core.commander.Botmaster`, a population of
+:class:`~repro.core.node.OnionBotNode` objects each hosting a hidden service,
+and a :class:`~repro.core.ddsr.DDSROverlay` describing who peers with whom.
+
+It exposes the operations the paper reasons about -- building the botnet,
+broadcasting or directing commands through the overlay, rotating every bot's
+``.onion`` address at a period boundary, and taking bots down (which triggers
+the self-healing repair) -- plus the bookkeeping the integration tests and
+examples assert on.
+
+Scale note: this orchestrator simulates *functional* botnets of tens to a few
+hundred bots (every message really flows through the in-memory Tor model).
+The 5000--15000-node resilience sweeps of Figures 4--6 use the pure-graph
+:class:`~repro.core.ddsr.DDSROverlay` directly, as the paper's own simulations
+do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.commander import Botmaster
+from repro.core.config import OnionBotConfig
+from repro.core.ddsr import DDSRConfig, DDSROverlay
+from repro.core.errors import BotnetError
+from repro.core.messaging import CommandMessage, Envelope, MessageKind
+from repro.core.node import OnionBotNode
+from repro.crypto.kdf import kdf
+from repro.crypto.keys import KeyPair
+from repro.graphs.generators import k_regular_graph
+from repro.graphs.metrics import diameter, number_connected_components
+from repro.sim.engine import Simulator
+from repro.tor.hidden_service import HiddenServiceHost, ServiceUnreachable
+from repro.tor.network import TorNetwork, TorNetworkConfig
+
+
+@dataclass
+class BotnetStats:
+    """Aggregate health snapshot of the simulated botnet."""
+
+    active_bots: int
+    neutralized_bots: int
+    overlay_edges: int
+    max_degree: int
+    connected_components: int
+    overlay_diameter: float
+    commands_executed: int
+    envelopes_relayed: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict snapshot for reports."""
+        return {
+            "active_bots": self.active_bots,
+            "neutralized_bots": self.neutralized_bots,
+            "overlay_edges": self.overlay_edges,
+            "max_degree": self.max_degree,
+            "connected_components": self.connected_components,
+            "overlay_diameter": self.overlay_diameter,
+            "commands_executed": self.commands_executed,
+            "envelopes_relayed": self.envelopes_relayed,
+        }
+
+
+@dataclass
+class PropagationReport:
+    """Outcome of pushing one command through the overlay."""
+
+    nonce: str
+    reached: int
+    executed: int
+    total_active: int
+    rounds: int
+    envelopes_sent: int
+    unreachable: List[str] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of active bots that received the command."""
+        if self.total_active == 0:
+            return 0.0
+        return self.reached / self.total_active
+
+
+class OnionBotnet:
+    """A complete, runnable OnionBot simulation."""
+
+    def __init__(
+        self,
+        *,
+        simulator: Optional[Simulator] = None,
+        config: Optional[OnionBotConfig] = None,
+        tor_config: Optional[TorNetworkConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.simulator = simulator or Simulator(seed=seed)
+        self.config = config or OnionBotConfig()
+        self.tor = TorNetwork(self.simulator, tor_config or TorNetworkConfig())
+        self.botmaster = Botmaster(
+            keypair=KeyPair.from_seed(
+                self.simulator.random.random_bytes("botmaster.key", 32)
+            ),
+            config=self.config,
+        )
+        self.overlay = DDSROverlay(
+            config=DDSRConfig(
+                d_min=self.config.d_min,
+                d_max=self.config.d_max,
+                forgetting_enabled=self.config.forgetting_enabled,
+            ),
+            rng=self.simulator.random.stream("overlay"),
+        )
+        self.bots: Dict[str, OnionBotNode] = {}
+        self._hosts: Dict[str, HiddenServiceHost] = {}
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(self, n_bots: int, *, relays: Optional[int] = None) -> None:
+        """Bootstrap Tor, infect ``n_bots`` bots, wire the overlay, rally everyone."""
+        if self._built:
+            raise BotnetError("botnet has already been built")
+        if n_bots < 2:
+            raise BotnetError(f"a botnet needs at least 2 bots, got {n_bots}")
+        self.tor.bootstrap(relays)
+        degree = min(self.config.degree, n_bots - 1)
+        if (n_bots * degree) % 2 != 0:
+            degree = max(1, degree - 1)
+        labels = [f"bot-{index:05d}" for index in range(n_bots)]
+        wiring = k_regular_graph(n_bots, degree, rng=self.simulator.random.stream("overlay.wiring"))
+
+        for label in labels:
+            self._create_bot(label)
+        for label in labels:
+            self.overlay.graph.add_node(label)
+        for u, v in wiring.edges():
+            self.overlay.graph.add_edge(labels[u], labels[v])
+
+        for label in labels:
+            self._host_bot_service(label)
+        for label in labels:
+            self._rally_bot(label)
+        self._built = True
+        self.simulator.log("botnet", "built", bots=n_bots, degree=degree)
+
+    def _create_bot(self, label: str) -> OnionBotNode:
+        bot_key = kdf(
+            "onionbot.bot-key",
+            label.encode("utf-8"),
+            self.simulator.random.random_bytes(f"bot.{label}.key", 32),
+        )
+        bot = OnionBotNode(
+            label=label,
+            botmaster_public=self.botmaster.public_key,
+            network_key=self.botmaster.network_key,
+            bot_key=bot_key,
+            config=self.config,
+        )
+        bot.infect(self.simulator.now)
+        self.bots[label] = bot
+        return bot
+
+    def _host_bot_service(self, label: str) -> None:
+        bot = self.bots[label]
+        keypair = bot.keypair_at(self.simulator.now)
+        host = self.tor.host_service(keypair, self._make_handler(label))
+        self._hosts[label] = host
+
+    def _rally_bot(self, label: str) -> None:
+        bot = self.bots[label]
+        peers = {
+            str(self.bots[peer].onion_at(self.simulator.now))
+            for peer in self.overlay.peers(label)
+        }
+        report = bot.rally(peers, self.simulator.now)
+        self.botmaster.enroll(label, report)
+
+    def _make_handler(self, label: str):
+        def handler(payload: bytes, _connection) -> bytes:
+            bot = self.bots.get(label)
+            if bot is None or not bot.is_active:
+                return b"gone"
+            try:
+                envelope = Envelope(blob=payload)
+            except Exception:
+                return b"malformed"
+            bot.record_relay()
+            command = bot.try_open(envelope, self.simulator.now)
+            if command is not None:
+                bot.process_command(command, self.simulator.now)
+            return b"ack"
+
+        return handler
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def active_labels(self) -> List[str]:
+        """Labels of every bot still participating in the overlay."""
+        return [label for label, bot in self.bots.items() if bot.is_active]
+
+    def onion_of(self, label: str) -> str:
+        """Current onion address of a bot."""
+        if label not in self.bots:
+            raise BotnetError(f"unknown bot {label!r}")
+        return str(self.bots[label].onion_at(self.simulator.now))
+
+    def stats(self) -> BotnetStats:
+        """Aggregate statistics over the live botnet."""
+        active = self.active_labels()
+        graph = self.overlay.graph
+        executed = sum(len(bot.executed) for bot in self.bots.values())
+        relayed = sum(bot.relayed_envelopes for bot in self.bots.values())
+        overlay_diameter = diameter(graph) if len(graph) else 0.0
+        return BotnetStats(
+            active_bots=len(active),
+            neutralized_bots=len(self.bots) - len(active),
+            overlay_edges=graph.number_of_edges(),
+            max_degree=graph.max_degree(),
+            connected_components=number_connected_components(graph) if len(graph) else 0,
+            overlay_diameter=overlay_diameter,
+            commands_executed=executed,
+            envelopes_relayed=relayed,
+        )
+
+    # ------------------------------------------------------------------
+    # Command propagation
+    # ------------------------------------------------------------------
+    def broadcast_command(
+        self,
+        command: str,
+        *,
+        ttl: Optional[float] = None,
+        seeds: int = 2,
+        arguments: Optional[Dict[str, str]] = None,
+    ) -> PropagationReport:
+        """Issue a broadcast command and flood it across the overlay.
+
+        The botmaster injects the fixed-size envelope at a few seed bots (it
+        can reach any bot directly thanks to the address plan); every bot then
+        forwards the identical envelope to its overlay peers.  Bots that
+        cannot be reached over Tor (offline, censored descriptors) are reported
+        in ``unreachable``.
+        """
+        message = self.botmaster.issue_broadcast(
+            command, now=self.simulator.now, ttl=ttl, arguments=arguments
+        )
+        return self._flood(message)
+
+    def directed_command(
+        self,
+        command: str,
+        target_labels: List[str],
+        *,
+        ttl: Optional[float] = None,
+    ) -> PropagationReport:
+        """Issue a command addressed only to specific bots (still flooded)."""
+        targets = [self.onion_of(label) for label in target_labels]
+        message = self.botmaster.issue_directed(
+            command, targets, now=self.simulator.now, ttl=ttl
+        )
+        return self._flood(message)
+
+    def _flood(self, message: CommandMessage) -> PropagationReport:
+        active = self.active_labels()
+        if not active:
+            return PropagationReport(
+                nonce=message.nonce,
+                reached=0,
+                executed=0,
+                total_active=0,
+                rounds=0,
+                envelopes_sent=0,
+            )
+        randomness = self.simulator.random.random_bytes("cc.envelope", 32)
+        # Directed envelopes are sealed per-target with the bot key; broadcast
+        # and group envelopes are identical blobs for every recipient.
+        per_target_key = message.kind is MessageKind.COMMAND_DIRECTED
+
+        seed_count = min(2, len(active))
+        seeds = self.simulator.random.sample("cc.seeds", active, seed_count)
+        reached: Set[str] = set()
+        unreachable: List[str] = []
+        envelopes_sent = 0
+        frontier = list(seeds)
+        rounds = 0
+        executed_before = sum(len(self.bots[label].executed) for label in active)
+
+        visited: Set[str] = set()
+        while frontier:
+            rounds += 1
+            next_frontier: List[str] = []
+            for label in frontier:
+                if label in visited:
+                    continue
+                visited.add(label)
+                bot = self.bots.get(label)
+                if bot is None or not bot.is_active:
+                    continue
+                envelope = self._envelope_for(message, label, randomness, per_target_key)
+                try:
+                    self.tor.send_to("relay-peer", self.onion_of(label), envelope.blob)
+                    envelopes_sent += 1
+                    reached.add(label)
+                except ServiceUnreachable:
+                    unreachable.append(label)
+                    continue
+                for peer in self.overlay.peers(label):
+                    if peer not in visited and self.bots.get(peer) is not None:
+                        next_frontier.append(peer)
+            frontier = next_frontier
+
+        executed_after = sum(
+            len(self.bots[label].executed) for label in active if label in self.bots
+        )
+        return PropagationReport(
+            nonce=message.nonce,
+            reached=len(reached),
+            executed=executed_after - executed_before,
+            total_active=len(active),
+            rounds=rounds,
+            envelopes_sent=envelopes_sent,
+            unreachable=unreachable,
+        )
+
+    def _envelope_for(
+        self,
+        message: CommandMessage,
+        target_label: str,
+        randomness: bytes,
+        per_target_key: bool,
+    ) -> Envelope:
+        if per_target_key:
+            return self.botmaster.envelope_for(
+                message, randomness, target_label=target_label
+            )
+        return self.botmaster.envelope_for(message, randomness)
+
+    # ------------------------------------------------------------------
+    # Takedown and self-healing
+    # ------------------------------------------------------------------
+    def take_down(self, labels: Iterable[str], *, repair: bool = True) -> int:
+        """Neutralize bots (defender takedown); the overlay self-heals.
+
+        Returns the number of bots actually removed.  With ``repair=False``
+        the removals are treated as simultaneous (no healing in between),
+        matching the Figure 6 scenario.
+        """
+        removed = 0
+        neighbor_sets = []
+        for label in labels:
+            bot = self.bots.get(label)
+            if bot is None or not bot.is_active:
+                continue
+            self.tor.retire_service(bot.onion_at(self.simulator.now))
+            bot.neutralize(self.simulator.now)
+            if label in self.overlay.graph:
+                neighbors = self.overlay.remove_node(label, repair=repair)
+                if not repair:
+                    neighbor_sets.append(neighbors)
+            removed += 1
+        if not repair and neighbor_sets:
+            # Survivors heal once the mass takedown is over.
+            self.overlay.repair_after_mass_removal(neighbor_sets)
+        self._sync_peer_lists()
+        self.simulator.log("botnet", "takedown", removed=removed, repair=repair)
+        return removed
+
+    def silent_failure(self, label: str) -> None:
+        """A bot's host dies without anyone noticing (power-off, cleanup).
+
+        The hidden service disappears and the bot stops participating, but --
+        unlike :meth:`take_down` -- the overlay bookkeeping is *not* updated:
+        the dead bot's peers still list its address and will only find out via
+        their heartbeat probes (see
+        :class:`repro.core.failure_detection.FailureDetector`).
+        """
+        bot = self.bots.get(label)
+        if bot is None or not bot.is_active:
+            raise BotnetError(f"no active bot {label!r} to fail")
+        self.tor.retire_service(bot.onion_at(self.simulator.now))
+        bot.neutralize(self.simulator.now)
+        self.simulator.log("botnet", "silent failure", label=label)
+
+    def _sync_peer_lists(self) -> None:
+        """Refresh every active bot's peer list from the overlay graph."""
+        now = self.simulator.now
+        for label in self.active_labels():
+            if label not in self.overlay.graph:
+                continue
+            self.bots[label].peer_addresses = {
+                str(self.bots[peer].onion_at(now))
+                for peer in self.overlay.peers(label)
+                if peer in self.bots and self.bots[peer].is_active
+            }
+
+    # ------------------------------------------------------------------
+    # Address rotation
+    # ------------------------------------------------------------------
+    def advance_to_next_period(self) -> Dict[str, str]:
+        """Advance simulated time past the next rotation boundary and rotate.
+
+        Every active bot derives its next-period keypair, re-homes its hidden
+        service under the new ``.onion`` address and announces the new address
+        to its current peers (modelled by refreshing their peer lists).
+        Returns a mapping of bot label -> new onion address.
+        """
+        remaining = self.simulator.clock.seconds_until_period(self.config.rotation_period)
+        self.simulator.run_for(remaining + 1.0)
+        now = self.simulator.now
+        rotated: Dict[str, str] = {}
+        for label in self.active_labels():
+            bot = self.bots[label]
+            host = self._hosts.get(label)
+            if host is None:
+                continue
+            new_keypair = bot.keypair_at(now)
+            new_address = self.tor.rotate_service_key(host, new_keypair)
+            rotated[label] = str(new_address)
+        self._sync_peer_lists()
+        self.simulator.log("botnet", "rotation", rotated=len(rotated))
+        return rotated
+
+    # ------------------------------------------------------------------
+    # Defender-visible surface (used by adversary models)
+    # ------------------------------------------------------------------
+    def capture_view(self, label: str) -> Set[str]:
+        """What a defender learns by capturing bot ``label``: its peers' onions.
+
+        Only the *current* addresses of direct peers are exposed -- nothing
+        about the rest of the botnet, its size, or any IP addresses, which is
+        the stealth property section V-A claims.
+        """
+        bot = self.bots.get(label)
+        if bot is None:
+            raise BotnetError(f"unknown bot {label!r}")
+        return set(bot.peer_addresses)

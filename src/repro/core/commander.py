@@ -1,0 +1,249 @@
+"""The botmaster / Command & Control logic.
+
+The botmaster owns the hard-coded keypair every bot trusts, collects the
+rally-stage key reports, and can therefore (a) compute every bot's current and
+future ``.onion`` address without any interaction, and (b) issue signed
+commands: broadcast to the whole botnet, directed at specific onion addresses,
+or sealed under a group key handed to a subset of bots.  It can also issue
+rental tokens that delegate a whitelist of commands to a renter key
+(section IV-E).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.addressing import AddressPlan
+from repro.core.config import OnionBotConfig
+from repro.core.errors import MessageError
+from repro.core.messaging import CommandMessage, Envelope, KeyReport, MessageKind, build_envelope
+from repro.core.rental import RentalToken, issue_token
+from repro.crypto.kdf import derive_group_key, kdf
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.tor.onion_address import OnionAddress
+
+_nonce_counter = itertools.count(1)
+
+
+@dataclass
+class BotRecord:
+    """What the C&C knows about one enrolled bot."""
+
+    bot_key: bytes
+    plan: AddressPlan
+    first_seen_onion: str
+    enrolled_at: float
+
+
+@dataclass
+class Botmaster:
+    """The (simulated) operator of the botnet."""
+
+    keypair: KeyPair
+    config: OnionBotConfig = field(default_factory=OnionBotConfig)
+    #: Shared network key distributed to every bot at infection time.
+    network_key: bytes = b""
+    _bots: Dict[str, BotRecord] = field(default_factory=dict)
+    _group_keys: Dict[str, bytes] = field(default_factory=dict)
+    issued_commands: List[CommandMessage] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.network_key:
+            self.network_key = kdf("onionbot.network-key", self.keypair.private)
+
+    @property
+    def public_key(self) -> PublicKey:
+        """The hard-coded public key baked into every bot."""
+        return self.keypair.public
+
+    # ------------------------------------------------------------------
+    # Enrollment
+    # ------------------------------------------------------------------
+    def enroll(self, label: str, report: KeyReport) -> BotRecord:
+        """Process a rally-stage key report and remember how to reach the bot."""
+        bot_key = report.open_with(self.keypair)
+        record = BotRecord(
+            bot_key=bot_key,
+            plan=AddressPlan(
+                botmaster_public=self.public_key,
+                bot_key=bot_key,
+                period_seconds=self.config.rotation_period,
+            ),
+            first_seen_onion=report.onion_address,
+            enrolled_at=report.reported_at,
+        )
+        self._bots[label] = record
+        return record
+
+    def forget_bot(self, label: str) -> None:
+        """Drop a bot from the registry (it was taken down or lost)."""
+        self._bots.pop(label, None)
+
+    def knows(self, label: str) -> bool:
+        """Whether the C&C holds a key report for ``label``."""
+        return label in self._bots
+
+    def enrolled_labels(self) -> List[str]:
+        """Labels of every enrolled bot."""
+        return list(self._bots)
+
+    def address_of(self, label: str, now: float) -> OnionAddress:
+        """The current onion address of an enrolled bot.
+
+        This is the paper's key capability: "the bot master is able to access
+        and control any bot, anytime" despite constant address rotation.
+        """
+        if label not in self._bots:
+            raise MessageError(f"no key report on file for bot {label!r}")
+        return self._bots[label].plan.address_at(now)
+
+    def addresses_at(self, now: float) -> Dict[str, OnionAddress]:
+        """Current address of every enrolled bot."""
+        return {label: record.plan.address_at(now) for label, record in self._bots.items()}
+
+    # ------------------------------------------------------------------
+    # Group keys
+    # ------------------------------------------------------------------
+    def group_key(self, group: str) -> bytes:
+        """Return (creating if needed) the symmetric key for ``group``."""
+        if group not in self._group_keys:
+            self._group_keys[group] = derive_group_key(self.keypair.private, group)
+        return self._group_keys[group]
+
+    # ------------------------------------------------------------------
+    # Command issuance
+    # ------------------------------------------------------------------
+    def _next_nonce(self) -> str:
+        return f"cmd-{next(_nonce_counter):08d}"
+
+    def issue_broadcast(
+        self,
+        command: str,
+        *,
+        now: float,
+        ttl: Optional[float] = None,
+        arguments: Optional[Dict[str, str]] = None,
+    ) -> CommandMessage:
+        """A signed command addressed to every bot."""
+        message = CommandMessage(
+            kind=MessageKind.COMMAND_BROADCAST,
+            command=command,
+            arguments=arguments or {},
+            issued_at=now,
+            expires_at=None if ttl is None else now + ttl,
+            nonce=self._next_nonce(),
+        ).signed_by(self.keypair)
+        self.issued_commands.append(message)
+        return message
+
+    def issue_directed(
+        self,
+        command: str,
+        targets: List[str],
+        *,
+        now: float,
+        ttl: Optional[float] = None,
+        arguments: Optional[Dict[str, str]] = None,
+    ) -> CommandMessage:
+        """A signed command addressed to specific onion addresses."""
+        if not targets:
+            raise MessageError("a directed command needs at least one target")
+        message = CommandMessage(
+            kind=MessageKind.COMMAND_DIRECTED,
+            command=command,
+            arguments=arguments or {},
+            targets=list(targets),
+            issued_at=now,
+            expires_at=None if ttl is None else now + ttl,
+            nonce=self._next_nonce(),
+        ).signed_by(self.keypair)
+        self.issued_commands.append(message)
+        return message
+
+    def issue_group(
+        self,
+        command: str,
+        group: str,
+        *,
+        now: float,
+        ttl: Optional[float] = None,
+        arguments: Optional[Dict[str, str]] = None,
+    ) -> CommandMessage:
+        """A signed command sealed under a group key."""
+        message = CommandMessage(
+            kind=MessageKind.COMMAND_GROUP,
+            command=command,
+            arguments=arguments or {},
+            group=group,
+            issued_at=now,
+            expires_at=None if ttl is None else now + ttl,
+            nonce=self._next_nonce(),
+        ).signed_by(self.keypair)
+        self.issued_commands.append(message)
+        return message
+
+    def issue_maintenance(
+        self,
+        command: str,
+        *,
+        now: float,
+        arguments: Optional[Dict[str, str]] = None,
+    ) -> CommandMessage:
+        """A signed maintenance message (peer-list adjustments and the like)."""
+        message = CommandMessage(
+            kind=MessageKind.MAINTENANCE,
+            command=command,
+            arguments=arguments or {},
+            issued_at=now,
+            nonce=self._next_nonce(),
+        ).signed_by(self.keypair)
+        self.issued_commands.append(message)
+        return message
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+    def key_for(self, message: CommandMessage, target_label: Optional[str] = None) -> bytes:
+        """The symmetric key under which ``message`` should be enveloped."""
+        if message.kind is MessageKind.COMMAND_DIRECTED:
+            if target_label is None or target_label not in self._bots:
+                raise MessageError("directed commands need an enrolled target label")
+            return self._bots[target_label].bot_key
+        if message.kind is MessageKind.COMMAND_GROUP:
+            if message.group is None:
+                raise MessageError("group commands must name their group")
+            return self.group_key(message.group)
+        return self.network_key
+
+    def envelope_for(
+        self,
+        message: CommandMessage,
+        randomness: bytes,
+        *,
+        target_label: Optional[str] = None,
+    ) -> Envelope:
+        """Wrap a command into its fixed-size, uniform-looking envelope."""
+        key = self.key_for(message, target_label)
+        return build_envelope(message.to_bytes(), key, randomness)
+
+    # ------------------------------------------------------------------
+    # Rental
+    # ------------------------------------------------------------------
+    def rent_out(
+        self,
+        renter_public: PublicKey,
+        *,
+        now: float,
+        duration: float,
+        whitelisted_commands: List[str],
+    ) -> RentalToken:
+        """Issue a rental token valid for ``duration`` seconds."""
+        return issue_token(
+            self.keypair,
+            renter_public,
+            issued_at=now,
+            expires_at=now + duration,
+            whitelisted_commands=whitelisted_commands,
+        )

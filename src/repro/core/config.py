@@ -1,0 +1,85 @@
+"""Configuration for OnionBot simulations.
+
+A single dataclass collects every knob the paper mentions (degree bounds,
+rotation period, peer-list subset probability) plus the simulation-scale
+parameters the experiment harness varies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.clock import SECONDS_PER_DAY
+
+
+@dataclass
+class OnionBotConfig:
+    """Parameters of an OnionBot deployment.
+
+    Attributes
+    ----------
+    degree:
+        Target peer-list size when the overlay is first wired (the ``k`` of
+        the paper's k-regular starting graphs).
+    d_min / d_max:
+        Degree bounds maintained by the pruning step (section IV-C).  The
+        paper keeps node degree "in the range [d_min, d_max]"; by default we
+        centre that range on ``degree``.
+    rotation_period:
+        Seconds between ``.onion`` address rotations (default: one day, the
+        paper's example period).
+    peer_share_probability:
+        Probability ``p`` with which each entry of an infecting bot's peer
+        list is copied into the new bot's hardcoded list (section IV-B).
+    pruning_enabled:
+        Whether the degree-pruning step runs after repairs.
+    forgetting_enabled:
+        Whether pruned peers' addresses are forgotten (section IV-C).
+    heartbeat_interval:
+        Seconds between keep-alive probes among peers (used to detect
+        disappeared neighbours and trigger the repair step).
+    """
+
+    degree: int = 10
+    d_min: int = 5
+    d_max: int = 15
+    rotation_period: float = float(SECONDS_PER_DAY)
+    peer_share_probability: float = 0.5
+    pruning_enabled: bool = True
+    forgetting_enabled: bool = True
+    heartbeat_interval: float = 600.0
+    group_names: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ValueError(f"degree must be >= 1, got {self.degree}")
+        if self.d_min < 0:
+            raise ValueError(f"d_min must be >= 0, got {self.d_min}")
+        if self.d_max < self.d_min:
+            raise ValueError(
+                f"d_max ({self.d_max}) must be >= d_min ({self.d_min})"
+            )
+        if not self.d_min <= self.degree <= self.d_max:
+            raise ValueError(
+                f"degree ({self.degree}) must lie within [d_min, d_max] "
+                f"([{self.d_min}, {self.d_max}])"
+            )
+        if not 0.0 <= self.peer_share_probability <= 1.0:
+            raise ValueError(
+                f"peer_share_probability must be in [0, 1], got {self.peer_share_probability}"
+            )
+        if self.rotation_period <= 0:
+            raise ValueError(f"rotation_period must be positive, got {self.rotation_period}")
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, got {self.heartbeat_interval}"
+            )
+
+    @classmethod
+    def paper_defaults(cls, degree: int = 10) -> "OnionBotConfig":
+        """The configuration used throughout the paper's evaluation.
+
+        Figures 4 and 5 use k-regular graphs with k in {5, 10, 15}; pruning
+        keeps degrees within [5, 15] around the chosen k.
+        """
+        return cls(degree=degree, d_min=min(5, degree), d_max=max(15, degree))

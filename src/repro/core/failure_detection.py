@@ -1,0 +1,154 @@
+"""Failure detection: how live bots notice dead peers and trigger repair.
+
+The DDSR repair step (section IV-C) fires "when a node u_i is deleted" -- but
+in a running botnet nobody announces their own death.  Bots therefore probe
+their peers over Tor on a heartbeat schedule; a peer whose hidden service is
+unreachable for several consecutive probes is presumed dead, its address is
+forgotten, and the survivors run the usual repair-and-prune step using their
+NoN knowledge.
+
+:class:`FailureDetector` implements that loop on top of a running
+:class:`~repro.core.botnet.OnionBotnet`.  It deliberately errs on the side of
+caution (multiple missed probes before declaring death) because Tor-side
+transients -- a censored HSDir, a relay that just went away -- would otherwise
+trigger spurious repairs, and every repair leaks a little structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.botnet import OnionBotnet
+from repro.tor.hidden_service import ServiceUnreachable
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one heartbeat sweep over the whole botnet."""
+
+    probes_sent: int
+    peers_unreachable: int
+    peers_declared_dead: int
+    repairs_triggered: int
+    dead_labels: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FailureDetector:
+    """Heartbeat-driven peer failure detection and overlay repair.
+
+    Parameters
+    ----------
+    botnet:
+        The running botnet simulation to monitor.
+    suspicion_threshold:
+        Number of consecutive failed probes before a peer is declared dead.
+    """
+
+    botnet: OnionBotnet
+    suspicion_threshold: int = 2
+    #: Per-bot suspicion counters keyed by (observer label, suspected label).
+    _suspicions: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    sweeps_performed: int = 0
+    total_declared_dead: int = 0
+
+    # ------------------------------------------------------------------
+    def _label_for_onion(self, onion: str) -> Optional[str]:
+        """Resolve a peer's onion address back to its simulation label.
+
+        Bots themselves never learn labels; the detector only uses this to
+        keep the shared overlay bookkeeping consistent with what every
+        surviving bot would do locally.
+        """
+        now = self.botnet.simulator.now
+        for label, bot in self.botnet.bots.items():
+            if bot.is_active and str(bot.onion_at(now)) == onion:
+                return label
+        # Dead bots no longer rotate; check their last address too.
+        for label, bot in self.botnet.bots.items():
+            if str(bot.onion_at(now)) == onion:
+                return label
+        return None
+
+    def _probe(self, observer_label: str, peer_onion: str) -> bool:
+        """One heartbeat probe: can the observer reach the peer over Tor?"""
+        try:
+            self.botnet.tor.send_to(f"heartbeat:{observer_label}", peer_onion, b"heartbeat")
+            return True
+        except ServiceUnreachable:
+            return False
+
+    # ------------------------------------------------------------------
+    def sweep(self) -> SweepReport:
+        """Run one heartbeat round for every active bot.
+
+        Unreachable peers accumulate suspicion; once a peer crosses the
+        threshold from the point of view of *any* of its neighbours, it is
+        declared dead: every neighbour forgets its address and the overlay
+        runs the DDSR repair step for it.
+        """
+        self.sweeps_performed += 1
+        probes = 0
+        unreachable = 0
+        declared: Set[str] = set()
+
+        for label in self.botnet.active_labels():
+            bot = self.botnet.bots[label]
+            for peer_onion in sorted(bot.peer_addresses):
+                probes += 1
+                if self._probe(label, peer_onion):
+                    self._suspicions.pop((label, peer_onion), None)
+                    continue
+                unreachable += 1
+                count = self._suspicions.get((label, peer_onion), 0) + 1
+                self._suspicions[(label, peer_onion)] = count
+                if count >= self.suspicion_threshold:
+                    peer_label = self._label_for_onion(peer_onion)
+                    if peer_label is not None:
+                        declared.add(peer_label)
+
+        repairs = 0
+        for dead_label in sorted(declared):
+            repairs += self._declare_dead(dead_label)
+        self.total_declared_dead += len(declared)
+        return SweepReport(
+            probes_sent=probes,
+            peers_unreachable=unreachable,
+            peers_declared_dead=len(declared),
+            repairs_triggered=repairs,
+            dead_labels=sorted(declared),
+        )
+
+    def _declare_dead(self, label: str) -> int:
+        """Remove a dead peer from the overlay and let the survivors heal."""
+        bot = self.botnet.bots.get(label)
+        if bot is None:
+            return 0
+        if bot.is_active:
+            # The host is actually alive but unreachable (e.g. every one of its
+            # HSDirs is censored); from the overlay's point of view it is gone
+            # either way -- it will have to re-bootstrap, as the paper's rally
+            # stage allows.
+            bot.neutralize(self.botnet.simulator.now)
+        if label in self.botnet.overlay.graph:
+            self.botnet.overlay.remove_node(label)
+            repaired = 1
+        else:
+            repaired = 0
+        # Drop stale suspicion counters about this peer.
+        self._suspicions = {
+            key: value for key, value in self._suspicions.items() if self._label_for_onion_key(key) != label
+        }
+        self.botnet._sync_peer_lists()
+        self.botnet.simulator.log("botnet", "peer declared dead", label=label)
+        return repaired
+
+    def _label_for_onion_key(self, key: Tuple[str, str]) -> Optional[str]:
+        return self._label_for_onion(key[1])
+
+    # ------------------------------------------------------------------
+    def run_periodic(self, interval: Optional[float] = None):
+        """Register the sweep as a periodic simulator process and return it."""
+        period = interval if interval is not None else self.botnet.config.heartbeat_interval
+        return self.botnet.simulator.every(period, lambda: self.sweep(), name="failure-detector")

@@ -1,0 +1,108 @@
+"""Bot life-cycle state machine.
+
+"OnionBot retains the life cycle of a typical peer-to-peer bot" (section
+IV-A): **infection** (the host is recruited and learns the botmaster public
+key), **rally** (it finds peers / bootstraps into the overlay and reports its
+key to the C&C), **waiting** (it relays traffic, maintains the overlay and
+rotates addresses while awaiting commands) and **execution** (it carries out an
+authenticated command, then returns to waiting).  A bot can also be
+**neutralized** -- taken down by a defender or fully contained by SOAP.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import LifecycleError
+
+
+class BotStage(enum.Enum):
+    """Stages of the OnionBot life cycle."""
+
+    CREATED = "created"
+    INFECTION = "infection"
+    RALLY = "rally"
+    WAITING = "waiting"
+    EXECUTION = "execution"
+    NEUTRALIZED = "neutralized"
+
+
+#: Allowed transitions of the life-cycle machine.
+_TRANSITIONS: Dict[BotStage, Tuple[BotStage, ...]] = {
+    BotStage.CREATED: (BotStage.INFECTION,),
+    BotStage.INFECTION: (BotStage.RALLY, BotStage.NEUTRALIZED),
+    BotStage.RALLY: (BotStage.WAITING, BotStage.NEUTRALIZED),
+    BotStage.WAITING: (BotStage.EXECUTION, BotStage.RALLY, BotStage.NEUTRALIZED),
+    BotStage.EXECUTION: (BotStage.WAITING, BotStage.NEUTRALIZED),
+    BotStage.NEUTRALIZED: (),
+}
+
+
+@dataclass
+class LifecycleMachine:
+    """Tracks and validates one bot's progress through the life cycle."""
+
+    stage: BotStage = BotStage.CREATED
+    history: List[Tuple[float, BotStage]] = field(default_factory=list)
+
+    def can_transition(self, target: BotStage) -> bool:
+        """Whether moving to ``target`` is a legal transition from here."""
+        return target in _TRANSITIONS[self.stage]
+
+    def transition(self, target: BotStage, timestamp: float = 0.0) -> BotStage:
+        """Move to ``target``, recording the transition.
+
+        Raises
+        ------
+        LifecycleError
+            If the transition is not allowed (e.g. executing before rallying,
+            or doing anything after being neutralized).
+        """
+        if not self.can_transition(target):
+            raise LifecycleError(
+                f"illegal life-cycle transition {self.stage.value} -> {target.value}"
+            )
+        self.stage = target
+        self.history.append((timestamp, target))
+        return self.stage
+
+    # Convenience transitions -------------------------------------------------
+    def infect(self, timestamp: float = 0.0) -> BotStage:
+        """CREATED -> INFECTION."""
+        return self.transition(BotStage.INFECTION, timestamp)
+
+    def rally(self, timestamp: float = 0.0) -> BotStage:
+        """INFECTION/WAITING -> RALLY."""
+        return self.transition(BotStage.RALLY, timestamp)
+
+    def wait(self, timestamp: float = 0.0) -> BotStage:
+        """RALLY/EXECUTION -> WAITING."""
+        return self.transition(BotStage.WAITING, timestamp)
+
+    def execute(self, timestamp: float = 0.0) -> BotStage:
+        """WAITING -> EXECUTION."""
+        return self.transition(BotStage.EXECUTION, timestamp)
+
+    def neutralize(self, timestamp: float = 0.0) -> BotStage:
+        """Any active stage -> NEUTRALIZED (terminal)."""
+        return self.transition(BotStage.NEUTRALIZED, timestamp)
+
+    # Introspection ------------------------------------------------------------
+    @property
+    def is_active(self) -> bool:
+        """Whether the bot is participating in the overlay."""
+        return self.stage in (BotStage.RALLY, BotStage.WAITING, BotStage.EXECUTION)
+
+    @property
+    def is_neutralized(self) -> bool:
+        """Whether the bot has been permanently removed."""
+        return self.stage is BotStage.NEUTRALIZED
+
+    def time_entered(self, stage: BotStage) -> Optional[float]:
+        """Timestamp at which the bot first entered ``stage`` (None if never)."""
+        for timestamp, entered in self.history:
+            if entered is stage:
+                return timestamp
+        return None

@@ -1,0 +1,301 @@
+"""C&C message formats and the indistinguishable wire envelope.
+
+Paper section IV-D distinguishes two classes of messages -- from the C&C to
+bots (directed at individuals, at a group under a group key, or broadcast) and
+from bots to the C&C (the rally-stage key report) -- and imposes two
+requirements on how they travel:
+
+* all messages have the same fixed size, as Tor cells do;
+* relaying bots (and any observer) cannot tell source, destination or nature
+  of a message apart -- the bytes look uniformly random (Elligator).
+
+``CommandMessage`` / ``KeyReport`` model the application-layer content,
+including botmaster signatures and expiry; :func:`build_envelope` /
+:func:`open_envelope` produce and consume the constant-size, uniform-looking
+wire blobs the overlay actually forwards.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import MessageError
+from repro.crypto.elligator import decode_uniform, encode_uniform
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.signing import Signature, sign, verify
+from repro.crypto.symmetric import SealedBox, open_sealed, seal, seal_to_public, open_from_private
+
+#: Fixed wire size of every envelope, in bytes.  Large enough for any command
+#: the simulator issues; chosen as a multiple of the Tor cell payload size.
+ENVELOPE_SIZE = 2048
+_LENGTH_PREFIX = 4
+
+
+class MessageKind(enum.Enum):
+    """Application-level message types carried inside envelopes."""
+
+    COMMAND_BROADCAST = "command-broadcast"
+    COMMAND_DIRECTED = "command-directed"
+    COMMAND_GROUP = "command-group"
+    MAINTENANCE = "maintenance"
+    KEY_REPORT = "key-report"
+    HEARTBEAT = "heartbeat"
+
+
+@dataclass
+class CommandMessage:
+    """A botmaster (or renter) command.
+
+    ``targets`` is empty for broadcast commands; ``group`` names the group key
+    under which a group command is sealed.  ``command`` is a free-form verb the
+    execution stage interprets (the simulator ships benign stand-ins such as
+    ``"noop"``, ``"report-status"`` or ``"simulated-task"``).
+    """
+
+    kind: MessageKind
+    command: str
+    arguments: Dict[str, str] = field(default_factory=dict)
+    targets: List[str] = field(default_factory=list)
+    group: Optional[str] = None
+    issued_at: float = 0.0
+    expires_at: Optional[float] = None
+    nonce: str = ""
+    signature: Optional[Signature] = None
+
+    # ------------------------------------------------------------------
+    # Canonical serialization
+    # ------------------------------------------------------------------
+    def signing_payload(self) -> bytes:
+        """Canonical bytes covered by the signature."""
+        body = {
+            "kind": self.kind.value,
+            "command": self.command,
+            "arguments": dict(sorted(self.arguments.items())),
+            "targets": sorted(self.targets),
+            "group": self.group,
+            "issued_at": self.issued_at,
+            "expires_at": self.expires_at,
+            "nonce": self.nonce,
+        }
+        return json.dumps(body, sort_keys=True).encode("utf-8")
+
+    def signed_by(self, keypair: KeyPair) -> "CommandMessage":
+        """Return a copy of this command signed with ``keypair``."""
+        signature = sign(keypair, self.signing_payload())
+        return CommandMessage(
+            kind=self.kind,
+            command=self.command,
+            arguments=dict(self.arguments),
+            targets=list(self.targets),
+            group=self.group,
+            issued_at=self.issued_at,
+            expires_at=self.expires_at,
+            nonce=self.nonce,
+            signature=signature,
+        )
+
+    def verify_signature(self, expected_signer: PublicKey) -> bool:
+        """Whether the command carries a valid signature from ``expected_signer``."""
+        if self.signature is None:
+            return False
+        return verify(expected_signer, self.signing_payload(), self.signature)
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the command's validity window has passed."""
+        return self.expires_at is not None and now > self.expires_at
+
+    def is_broadcast(self) -> bool:
+        """Whether the command addresses the whole botnet."""
+        return self.kind is MessageKind.COMMAND_BROADCAST
+
+    def addressed_to(self, onion: str) -> bool:
+        """Whether a bot at ``onion`` should execute this command."""
+        if self.is_broadcast():
+            return True
+        if self.kind is MessageKind.COMMAND_GROUP:
+            return True  # group membership is decided by key possession
+        return onion in self.targets
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize the full command (including signature) for the wire."""
+        body = {
+            "kind": self.kind.value,
+            "command": self.command,
+            "arguments": self.arguments,
+            "targets": self.targets,
+            "group": self.group,
+            "issued_at": self.issued_at,
+            "expires_at": self.expires_at,
+            "nonce": self.nonce,
+        }
+        if self.signature is not None:
+            body["signature"] = {
+                "tag": self.signature.tag.hex(),
+                "signer": self.signature.signer.material.hex(),
+            }
+        return json.dumps(body, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CommandMessage":
+        """Parse a command from its wire serialization."""
+        try:
+            body = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise MessageError(f"malformed command message: {exc}") from exc
+        signature = None
+        if "signature" in body and body["signature"] is not None:
+            signature = Signature(
+                tag=bytes.fromhex(body["signature"]["tag"]),
+                signer=PublicKey(bytes.fromhex(body["signature"]["signer"])),
+            )
+        try:
+            return cls(
+                kind=MessageKind(body["kind"]),
+                command=body["command"],
+                arguments=dict(body.get("arguments", {})),
+                targets=list(body.get("targets", [])),
+                group=body.get("group"),
+                issued_at=float(body.get("issued_at", 0.0)),
+                expires_at=body.get("expires_at"),
+                nonce=body.get("nonce", ""),
+                signature=signature,
+            )
+        except (KeyError, ValueError) as exc:
+            raise MessageError(f"invalid command fields: {exc}") from exc
+
+
+@dataclass
+class KeyReport:
+    """Rally-stage report: ``{K_B}_PK_CC`` plus the bot's current address."""
+
+    sealed_bot_key: SealedBox
+    onion_address: str
+    reported_at: float
+
+    @classmethod
+    def create(
+        cls,
+        bot_key: bytes,
+        onion_address: str,
+        botmaster_public: PublicKey,
+        nonce: bytes,
+        reported_at: float,
+    ) -> "KeyReport":
+        """Seal ``bot_key`` to the botmaster and wrap it in a report."""
+        sealed = seal_to_public(botmaster_public.material, bot_key, nonce)
+        return cls(sealed_bot_key=sealed, onion_address=onion_address, reported_at=reported_at)
+
+    def open_with(self, botmaster: KeyPair) -> bytes:
+        """Recover ``K_B`` as the botmaster."""
+        return open_from_private(
+            botmaster.private, botmaster.public.material, self.sealed_bot_key
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize the report for the wire."""
+        body = {
+            "nonce": self.sealed_bot_key.nonce.hex(),
+            "ciphertext": self.sealed_bot_key.ciphertext.hex(),
+            "tag": self.sealed_bot_key.tag.hex(),
+            "onion": self.onion_address,
+            "reported_at": self.reported_at,
+        }
+        return json.dumps(body, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "KeyReport":
+        """Parse a key report from its wire serialization."""
+        try:
+            body = json.loads(data.decode("utf-8"))
+            return cls(
+                sealed_bot_key=SealedBox(
+                    nonce=bytes.fromhex(body["nonce"]),
+                    ciphertext=bytes.fromhex(body["ciphertext"]),
+                    tag=bytes.fromhex(body["tag"]),
+                ),
+                onion_address=body["onion"],
+                reported_at=float(body["reported_at"]),
+            )
+        except (KeyError, ValueError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise MessageError(f"malformed key report: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A constant-size, uniform-looking wire blob carrying one message."""
+
+    blob: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.blob) != ENVELOPE_SIZE:
+            raise MessageError(
+                f"envelope must be exactly {ENVELOPE_SIZE} bytes, got {len(self.blob)}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Wire size (always :data:`ENVELOPE_SIZE`)."""
+        return len(self.blob)
+
+
+def build_envelope(plaintext: bytes, key: bytes, randomness: bytes) -> Envelope:
+    """Seal, pad and whiten ``plaintext`` into a fixed-size envelope.
+
+    ``key`` is the link/group/bot key the recipient shares; ``randomness``
+    seeds both the seal nonce and the uniform-encoding prefix (callers draw it
+    from a named simulator stream for reproducibility).
+    """
+    if len(randomness) < 16:
+        raise MessageError("randomness must be at least 16 bytes")
+    box = seal(key, plaintext, randomness[:16])
+    framed = (
+        len(box.ciphertext).to_bytes(_LENGTH_PREFIX, "big")
+        + box.nonce
+        + box.tag
+        + box.ciphertext
+    )
+    # 16-byte whitening prefix is added by encode_uniform.
+    max_payload = ENVELOPE_SIZE - 16
+    if len(framed) > max_payload:
+        raise MessageError(
+            f"message too large for a single envelope "
+            f"({len(framed)} > {max_payload} bytes)"
+        )
+    padded = framed + b"\x00" * (max_payload - len(framed))
+    blob = encode_uniform(padded, randomness)
+    return Envelope(blob=blob)
+
+
+def open_envelope(envelope: Envelope, key: bytes) -> bytes:
+    """Invert :func:`build_envelope`, raising :class:`MessageError` on failure."""
+    padded = decode_uniform(envelope.blob)
+    length = int.from_bytes(padded[:_LENGTH_PREFIX], "big")
+    offset = _LENGTH_PREFIX
+    nonce = padded[offset: offset + 16]
+    offset += 16
+    tag = padded[offset: offset + 32]
+    offset += 32
+    ciphertext = padded[offset: offset + length]
+    if len(ciphertext) != length:
+        raise MessageError("envelope framing is corrupt")
+    box = SealedBox(nonce=nonce, ciphertext=ciphertext, tag=tag)
+    try:
+        return open_sealed(key, box)
+    except Exception as exc:
+        raise MessageError(f"failed to open envelope: {exc}") from exc
+
+
+def envelope_pair(
+    message: CommandMessage | KeyReport,
+    key: bytes,
+    randomness: bytes,
+) -> Tuple[Envelope, bytes]:
+    """Convenience: serialize a message and wrap it, returning (envelope, plaintext)."""
+    plaintext = message.to_bytes()
+    return build_envelope(plaintext, key, randomness), plaintext

@@ -1,0 +1,228 @@
+"""Individual OnionBot nodes.
+
+An :class:`OnionBotNode` is one simulated bot: it owns the per-bot key
+``K_B``, knows the hard-coded botmaster public key and the shared network key,
+tracks its life-cycle stage, maintains its peer list (onion addresses of its
+current overlay neighbours) and processes inbound envelopes -- verifying
+signatures, de-duplicating by nonce, honouring expiry, and recording the
+benign stand-in "execution" of authorised commands.
+
+Crucially, a bot object never holds any other bot's "real" identity: peers are
+known exclusively by their current ``.onion`` address, mirroring the paper's
+claim that "no bot (not even the C&C) knows the IP address of any of the other
+bots".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.addressing import AddressPlan
+from repro.core.config import OnionBotConfig
+from repro.core.errors import LifecycleError, MessageError
+from repro.core.lifecycle import BotStage, LifecycleMachine
+from repro.core.messaging import (
+    CommandMessage,
+    Envelope,
+    KeyReport,
+    MessageKind,
+    build_envelope,
+    open_envelope,
+)
+from repro.core.rental import RentalToken, verify_rented_command
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.tor.onion_address import OnionAddress
+
+
+@dataclass
+class ExecutionRecord:
+    """One command the bot accepted and (notionally) executed."""
+
+    command: str
+    kind: MessageKind
+    executed_at: float
+    nonce: str
+
+
+@dataclass
+class OnionBotNode:
+    """State and behaviour of a single simulated bot."""
+
+    label: str
+    botmaster_public: PublicKey
+    network_key: bytes
+    bot_key: bytes
+    config: OnionBotConfig = field(default_factory=OnionBotConfig)
+    lifecycle: LifecycleMachine = field(default_factory=LifecycleMachine)
+    #: Current peer list: onion address strings of overlay neighbours.
+    peer_addresses: Set[str] = field(default_factory=set)
+    #: Group keys this bot holds (group name -> key bytes).
+    group_keys: Dict[str, bytes] = field(default_factory=dict)
+    executed: List[ExecutionRecord] = field(default_factory=list)
+    seen_nonces: Set[str] = field(default_factory=set)
+    relayed_envelopes: int = 0
+    rejected_messages: int = 0
+    rental_tokens: List[RentalToken] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Identity / address rotation
+    # ------------------------------------------------------------------
+    @property
+    def address_plan(self) -> AddressPlan:
+        """The rotation plan shared (implicitly) with the botmaster."""
+        return AddressPlan(
+            botmaster_public=self.botmaster_public,
+            bot_key=self.bot_key,
+            period_seconds=self.config.rotation_period,
+        )
+
+    def keypair_at(self, now: float) -> KeyPair:
+        """The bot's hidden-service keypair at simulated time ``now``."""
+        return self.address_plan.keypair_at(now)
+
+    def onion_at(self, now: float) -> OnionAddress:
+        """The bot's onion address at simulated time ``now``."""
+        return self.address_plan.address_at(now)
+
+    # ------------------------------------------------------------------
+    # Life cycle
+    # ------------------------------------------------------------------
+    def infect(self, now: float) -> None:
+        """Enter the infection stage (the bot now exists)."""
+        self.lifecycle.infect(now)
+
+    def rally(self, peer_addresses: Set[str], now: float) -> KeyReport:
+        """Join the overlay with the given peers and produce the key report."""
+        self.lifecycle.rally(now)
+        self.peer_addresses = set(peer_addresses)
+        report = KeyReport.create(
+            bot_key=self.bot_key,
+            onion_address=str(self.onion_at(now)),
+            botmaster_public=self.botmaster_public,
+            nonce=self.bot_key[:16],
+            reported_at=now,
+        )
+        self.lifecycle.wait(now)
+        return report
+
+    def neutralize(self, now: float) -> None:
+        """Remove the bot permanently (takedown, cleanup, SOAP containment)."""
+        if not self.lifecycle.is_neutralized:
+            self.lifecycle.neutralize(now)
+        self.peer_addresses.clear()
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the bot still participates in the overlay."""
+        return self.lifecycle.is_active
+
+    # ------------------------------------------------------------------
+    # Peer-list maintenance
+    # ------------------------------------------------------------------
+    def learn_peer(self, onion: str) -> None:
+        """Add a peer's current address to the peer list."""
+        self.peer_addresses.add(onion)
+
+    def forget_peer(self, onion: str) -> None:
+        """Drop (and forget) a peer address, as pruning/forgetting requires."""
+        self.peer_addresses.discard(onion)
+
+    def replace_peer_address(self, old: str, new: str) -> None:
+        """Update the stored address when a peer announces a rotation."""
+        if old in self.peer_addresses:
+            self.peer_addresses.discard(old)
+            self.peer_addresses.add(new)
+
+    def peer_count(self) -> int:
+        """Current degree of the bot in the overlay (as the bot sees it)."""
+        return len(self.peer_addresses)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def key_for(self, kind: MessageKind, group: Optional[str] = None) -> bytes:
+        """Which symmetric key this bot expects a message of ``kind`` under."""
+        if kind in (MessageKind.COMMAND_BROADCAST, MessageKind.MAINTENANCE, MessageKind.HEARTBEAT):
+            return self.network_key
+        if kind is MessageKind.COMMAND_DIRECTED:
+            return self.bot_key
+        if kind is MessageKind.COMMAND_GROUP:
+            if group is None or group not in self.group_keys:
+                raise MessageError(f"bot {self.label} holds no key for group {group!r}")
+            return self.group_keys[group]
+        raise MessageError(f"bots do not receive messages of kind {kind}")
+
+    def wrap_command(self, command: CommandMessage, randomness: bytes) -> Envelope:
+        """Wrap a command for forwarding to a peer (same fixed-size envelope)."""
+        key = self.key_for(command.kind, command.group)
+        return build_envelope(command.to_bytes(), key, randomness)
+
+    def try_open(self, envelope: Envelope, now: float) -> Optional[CommandMessage]:
+        """Attempt to open an envelope with every key this bot holds.
+
+        Relaying bots cannot tell whom a message is for, so each bot simply
+        tries its keys; failure means "not for me, forward it".  Returns the
+        parsed command when the envelope opened, else ``None``.
+        """
+        candidate_keys = [self.network_key, self.bot_key, *self.group_keys.values()]
+        for key in candidate_keys:
+            try:
+                plaintext = open_envelope(envelope, key)
+                return CommandMessage.from_bytes(plaintext)
+            except MessageError:
+                continue
+        return None
+
+    def process_command(
+        self,
+        command: CommandMessage,
+        now: float,
+        *,
+        rental_token: Optional[RentalToken] = None,
+    ) -> bool:
+        """Validate and (notionally) execute a command.
+
+        Returns ``True`` when the command was accepted and executed.  The
+        validation order mirrors section IV-D/IV-E: replay check, expiry,
+        addressing, then signature -- by the botmaster directly, or by a
+        renter covered by a valid rental token.
+        """
+        if not self.is_active:
+            return False
+        if command.nonce and command.nonce in self.seen_nonces:
+            return False
+        if command.is_expired(now):
+            self.rejected_messages += 1
+            return False
+        my_onion = str(self.onion_at(now))
+        if not command.addressed_to(my_onion):
+            return False
+        authorised = command.verify_signature(self.botmaster_public)
+        if not authorised and rental_token is not None:
+            authorised = verify_rented_command(self.botmaster_public, command, rental_token, now)
+        if not authorised:
+            self.rejected_messages += 1
+            return False
+        if command.nonce:
+            self.seen_nonces.add(command.nonce)
+        try:
+            self.lifecycle.execute(now)
+            self.lifecycle.wait(now)
+        except LifecycleError:
+            # Maintenance messages can arrive while rallying; treat as accepted
+            # without a full execution cycle.
+            pass
+        self.executed.append(
+            ExecutionRecord(
+                command=command.command,
+                kind=command.kind,
+                executed_at=now,
+                nonce=command.nonce,
+            )
+        )
+        return True
+
+    def record_relay(self) -> None:
+        """Account for one envelope relayed on behalf of other bots."""
+        self.relayed_envelopes += 1

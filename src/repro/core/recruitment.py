@@ -1,0 +1,184 @@
+"""Botnet growth: recruiting new bots into a running overlay.
+
+Section IV-B of the paper describes how newly infected hosts find the botnet:
+the infecting bot hands over a probabilistic subset of its own peer list (each
+entry included with probability ``p``), optionally topped up from hotlist
+servers or an out-of-band channel, and the newcomer then peers with some of
+those addresses, reports its key to the C&C and starts relaying.
+
+:class:`RecruitmentCampaign` drives that process against a running
+:class:`~repro.core.botnet.OnionBotnet`: each recruitment picks an infecting
+bot, derives the newcomer's bootstrap peer list, wires the newcomer into the
+DDSR overlay (respecting the degree bounds -- accepting peers prune as usual),
+hosts its hidden service on the Tor model and enrolls it with the botmaster.
+The growth experiments measure how the overlay's degree distribution, diameter
+and command coverage evolve as the botnet scales up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.bootstrap import BootstrapStrategy, HardcodedPeerList
+from repro.core.botnet import OnionBotnet
+from repro.core.errors import BootstrapError, BotnetError
+
+
+@dataclass
+class RecruitmentResult:
+    """Outcome of one growth campaign."""
+
+    requested: int
+    recruited: int
+    failed: int
+    new_labels: List[str] = field(default_factory=list)
+    #: Number of peers each recruit started with.
+    initial_degrees: List[int] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of recruitment attempts that produced a working bot."""
+        if self.requested == 0:
+            return 0.0
+        return self.recruited / self.requested
+
+
+@dataclass
+class RecruitmentCampaign:
+    """Grows a running botnet by recruiting new bots through bootstrap.
+
+    Parameters
+    ----------
+    botnet:
+        The running simulation to grow.
+    strategy:
+        Optional explicit bootstrap strategy for every recruit; when omitted,
+        each recruit receives a probabilistic subset of its infector's peer
+        list (the paper's hardcoded-list propagation with probability ``p``
+        from :class:`~repro.core.config.OnionBotConfig`).
+    target_peers:
+        How many peers a newcomer tries to establish (defaults to the
+        configured overlay degree, clamped to availability).
+    """
+
+    botnet: OnionBotnet
+    strategy: Optional[BootstrapStrategy] = None
+    target_peers: Optional[int] = None
+    _recruit_counter: int = 0
+
+    # ------------------------------------------------------------------
+    def _next_label(self) -> str:
+        existing = len(self.botnet.bots)
+        label = f"bot-{existing + self._recruit_counter:05d}"
+        while label in self.botnet.bots:
+            self._recruit_counter += 1
+            label = f"bot-{existing + self._recruit_counter:05d}"
+        return label
+
+    def _bootstrap_addresses(self, infector_label: str, count: int) -> List[str]:
+        """The candidate peer addresses handed to a new recruit."""
+        now = self.botnet.simulator.now
+        rng = self.botnet.simulator.random.stream("recruitment")
+        if self.strategy is not None:
+            return self.strategy.candidate_peers(self._next_label(), count, rng)
+        infector = self.botnet.bots[infector_label]
+        parent_list = HardcodedPeerList(
+            peers=sorted(infector.peer_addresses | {str(infector.onion_at(now))}),
+            share_probability=self.botnet.config.peer_share_probability,
+        )
+        child = parent_list.child_list(rng)
+        return child.candidate_peers("newcomer", count, rng)
+
+    def _label_for_address(self, onion: str) -> Optional[str]:
+        now = self.botnet.simulator.now
+        for label, bot in self.botnet.bots.items():
+            if bot.is_active and str(bot.onion_at(now)) == onion:
+                return label
+        return None
+
+    # ------------------------------------------------------------------
+    def recruit_one(self, infector_label: Optional[str] = None) -> str:
+        """Recruit a single new bot and return its label.
+
+        Raises :class:`BootstrapError` when no usable peer address could be
+        obtained (e.g. every address in the inherited list already rotated or
+        died) -- the newcomer never becomes part of the botnet in that case.
+        """
+        active = self.botnet.active_labels()
+        if not active:
+            raise BotnetError("cannot recruit into an empty botnet")
+        rng = self.botnet.simulator.random.stream("recruitment")
+        infector = infector_label if infector_label is not None else rng.choice(active)
+        if infector not in self.botnet.bots or not self.botnet.bots[infector].is_active:
+            raise BotnetError(f"infector {infector!r} is not an active bot")
+
+        wanted = self.target_peers if self.target_peers is not None else self.botnet.config.degree
+        wanted = max(1, min(wanted, len(active)))
+        addresses = self._bootstrap_addresses(infector, wanted)
+        peer_labels = []
+        for onion in addresses:
+            label = self._label_for_address(onion)
+            if label is not None and label in self.botnet.overlay.graph:
+                peer_labels.append(label)
+        if not peer_labels:
+            raise BootstrapError("no reachable peers obtained during rally")
+
+        new_label = self._next_label()
+        self._recruit_counter += 1
+        bot = self.botnet._create_bot(new_label)
+        self.botnet.overlay.add_node(new_label, peer_labels)
+        self.botnet._host_bot_service(new_label)
+        peers = {
+            str(self.botnet.bots[peer].onion_at(self.botnet.simulator.now))
+            for peer in self.botnet.overlay.peers(new_label)
+        }
+        report = bot.rally(peers, self.botnet.simulator.now)
+        self.botnet.botmaster.enroll(new_label, report)
+        self.botnet._sync_peer_lists()
+        self.botnet.simulator.log(
+            "botnet", "recruited", label=new_label, infector=infector, peers=len(peer_labels)
+        )
+        return new_label
+
+    def recruit(self, count: int) -> RecruitmentResult:
+        """Recruit up to ``count`` new bots, tolerating individual failures."""
+        if count < 0:
+            raise BotnetError(f"count must be non-negative, got {count}")
+        result = RecruitmentResult(requested=count, recruited=0, failed=0)
+        for _ in range(count):
+            try:
+                label = self.recruit_one()
+            except (BootstrapError, BotnetError):
+                result.failed += 1
+                continue
+            result.recruited += 1
+            result.new_labels.append(label)
+            result.initial_degrees.append(self.botnet.overlay.degree(label))
+        return result
+
+    # ------------------------------------------------------------------
+    def growth_profile(self, waves: int, per_wave: int) -> List[Dict[str, float]]:
+        """Grow the botnet in waves and record overlay health after each wave.
+
+        Used by the growth benchmark: returns one row per wave with the active
+        population, maximum degree, diameter and broadcast coverage.
+        """
+        from repro.graphs.metrics import diameter as graph_diameter
+
+        rows: List[Dict[str, float]] = []
+        for wave in range(1, waves + 1):
+            outcome = self.recruit(per_wave)
+            stats = self.botnet.stats()
+            coverage = self.botnet.broadcast_command(f"growth-probe-{wave}").coverage
+            rows.append(
+                {
+                    "wave": float(wave),
+                    "recruited": float(outcome.recruited),
+                    "active_bots": float(stats.active_bots),
+                    "max_degree": float(stats.max_degree),
+                    "diameter": float(graph_diameter(self.botnet.overlay.graph)),
+                    "broadcast_coverage": coverage,
+                }
+            )
+        return rows

@@ -1,0 +1,123 @@
+"""Botnet-for-rent token scheme (paper section IV-E).
+
+The botmaster (Mallory) signs a token over the renter's (Trudy's) public key,
+an expiration time and a whitelist of permitted commands.  Trudy then signs
+her own commands and attaches the token; bots verify (1) the token is signed
+by the hard-coded botmaster key, (2) it has not expired, (3) the command verb
+is whitelisted, and (4) the command itself is signed by the renter key named
+in the token.  The scheme gives renters temporary, scoped control without the
+botmaster revealing anything or staying online.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.errors import RentalError
+from repro.core.messaging import CommandMessage
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.signing import Signature, sign, verify
+
+
+@dataclass
+class RentalToken:
+    """A signed authorisation for a renter key."""
+
+    renter_public: PublicKey
+    expires_at: float
+    whitelisted_commands: List[str] = field(default_factory=list)
+    issued_at: float = 0.0
+    signature: Optional[Signature] = None
+
+    def signing_payload(self) -> bytes:
+        """Canonical bytes the botmaster signs."""
+        body = {
+            "renter": self.renter_public.material.hex(),
+            "expires_at": self.expires_at,
+            "issued_at": self.issued_at,
+            "whitelist": sorted(self.whitelisted_commands),
+        }
+        return json.dumps(body, sort_keys=True).encode("utf-8")
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the rental contract term has ended."""
+        return now > self.expires_at
+
+    def permits(self, command: str) -> bool:
+        """Whether ``command`` is on the token's whitelist."""
+        return command in self.whitelisted_commands
+
+    def verify(self, botmaster_public: PublicKey) -> bool:
+        """Whether the token carries a valid botmaster signature."""
+        if self.signature is None:
+            return False
+        return verify(botmaster_public, self.signing_payload(), self.signature)
+
+
+def issue_token(
+    botmaster: KeyPair,
+    renter_public: PublicKey,
+    *,
+    expires_at: float,
+    whitelisted_commands: List[str],
+    issued_at: float = 0.0,
+) -> RentalToken:
+    """Create and sign a rental token as the botmaster."""
+    if expires_at <= issued_at:
+        raise RentalError(
+            f"token must expire after issuance (issued {issued_at}, expires {expires_at})"
+        )
+    if not whitelisted_commands:
+        raise RentalError("a rental token must whitelist at least one command")
+    token = RentalToken(
+        renter_public=renter_public,
+        expires_at=expires_at,
+        whitelisted_commands=list(whitelisted_commands),
+        issued_at=issued_at,
+    )
+    token.signature = sign(botmaster, token.signing_payload())
+    return token
+
+
+def sign_rented_command(renter: KeyPair, command: CommandMessage) -> CommandMessage:
+    """Have the renter sign a command she wants the rented bots to run."""
+    return command.signed_by(renter)
+
+
+def verify_rented_command(
+    botmaster_public: PublicKey,
+    command: CommandMessage,
+    token: RentalToken,
+    now: float,
+) -> bool:
+    """Full bot-side verification of a renter-issued command.
+
+    Returns ``True`` only when every check of section IV-E passes; callers
+    that want the failure reason should use :func:`require_rented_command`.
+    """
+    try:
+        require_rented_command(botmaster_public, command, token, now)
+    except RentalError:
+        return False
+    return True
+
+
+def require_rented_command(
+    botmaster_public: PublicKey,
+    command: CommandMessage,
+    token: RentalToken,
+    now: float,
+) -> None:
+    """Raise :class:`RentalError` describing the first failed check, if any."""
+    if not token.verify(botmaster_public):
+        raise RentalError("rental token is not signed by the botmaster")
+    if token.is_expired(now):
+        raise RentalError("rental token has expired")
+    if not token.permits(command.command):
+        raise RentalError(f"command {command.command!r} is not whitelisted by the token")
+    if command.is_expired(now):
+        raise RentalError("command itself has expired")
+    if not command.verify_signature(token.renter_public):
+        raise RentalError("command is not signed by the renter named in the token")

@@ -1,0 +1,48 @@
+"""Simulation-grade cryptographic models.
+
+The OnionBots design depends on a handful of cryptographic *properties*:
+
+* every hidden service has a keypair whose public-key hash is its identity
+  (the ``.onion`` address);
+* the botmaster's public key is embedded in every bot, bots report a per-bot
+  symmetric key encrypted under it, and future addresses are derived from
+  ``generateKey(PK_CC, H(K_B, i_p))``;
+* commands are signed (and rental tokens are certificates over a renter key);
+* relayed messages are padded to a fixed size and made indistinguishable from
+  random bytes (Elligator-style encodings).
+
+This package models those properties deterministically so that experiments are
+reproducible and fast.  **None of it is real cryptography** -- keypairs are
+hash-derived token objects, "encryption" is a keyed keystream built from
+SHA-256, and the Elligator encoding is a behavioural stand-in.  The models are
+sufficient to evaluate the protocol and the mitigations (which is all the paper
+does) and deliberately unsuitable for protecting or attacking real traffic.
+"""
+
+from repro.crypto.keys import KeyPair, PublicKey, fingerprint
+from repro.crypto.kdf import derive_period_key, hash_chain, kdf
+from repro.crypto.signing import SignatureError, sign, verify
+from repro.crypto.symmetric import SealedBox, open_sealed, seal
+from repro.crypto.elligator import (
+    decode_uniform,
+    encode_uniform,
+    looks_uniform,
+)
+
+__all__ = [
+    "KeyPair",
+    "PublicKey",
+    "fingerprint",
+    "kdf",
+    "derive_period_key",
+    "hash_chain",
+    "sign",
+    "verify",
+    "SignatureError",
+    "seal",
+    "open_sealed",
+    "SealedBox",
+    "encode_uniform",
+    "decode_uniform",
+    "looks_uniform",
+]

@@ -1,0 +1,89 @@
+"""Key-derivation functions used by the address-rotation scheme.
+
+Section IV-D of the paper: after infection each bot generates a symmetric key
+``K_B`` and reports it to the C&C encrypted under the hard-coded botmaster
+public key.  Afterwards the bot "periodically changes its .onion address based
+on a new private key generated using the recipe ``generateKey(PK_CC,
+H(K_B, i_p))``", where ``i_p`` is the index of the period (e.g. the day).
+Because both sides know ``K_B`` and the period index, the C&C can always
+recompute where every bot will be listening -- without any on-the-wire
+coordination.  :func:`derive_period_key` implements that recipe on top of the
+simulated keypairs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Iterable
+
+from repro.crypto.keys import KeyPair, PublicKey
+
+
+def kdf(context: str, *parts: bytes) -> bytes:
+    """Domain-separated hash of ``parts`` (32 bytes).
+
+    ``context`` provides domain separation so that, e.g., address-rotation
+    keys can never collide with group keys derived from the same material.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(context.encode("utf-8"))
+    for part in parts:
+        hasher.update(len(part).to_bytes(4, "big"))
+        hasher.update(part)
+    return hasher.digest()
+
+
+def period_token(bot_key: bytes, period_index: int) -> bytes:
+    """``H(K_B, i_p)`` from the paper's recipe."""
+    if period_index < 0:
+        raise ValueError(f"period index must be non-negative, got {period_index}")
+    return kdf("onionbot.period", bot_key, period_index.to_bytes(8, "big"))
+
+
+def derive_period_key(
+    botmaster_public: PublicKey,
+    bot_key: bytes,
+    period_index: int,
+) -> KeyPair:
+    """``generateKey(PK_CC, H(K_B, i_p))``: the bot's keypair for a period.
+
+    Both the bot (holder of ``K_B``) and the botmaster (who received ``K_B``
+    at rally time) can run this and thus agree on the bot's next ``.onion``
+    address without communicating.
+    """
+    token = period_token(bot_key, period_index)
+    seed = kdf("onionbot.period-key", botmaster_public.material, token)
+    return KeyPair.from_seed(seed)
+
+
+def derive_group_key(botmaster_private: bytes, group_name: str) -> bytes:
+    """A symmetric group key the botmaster can hand to a subset of bots."""
+    return kdf("onionbot.group-key", botmaster_private, group_name.encode("utf-8"))
+
+
+def hash_chain(seed: bytes, length: int) -> list[bytes]:
+    """A forward hash chain (used by rate-limiting / PoW ticket models)."""
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    chain: list[bytes] = []
+    current = seed
+    for _ in range(length):
+        current = hashlib.sha256(current).digest()
+        chain.append(current)
+    return chain
+
+
+def hmac_tag(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 tag (used by the simulated link-authentication checks)."""
+    return hmac.new(key, message, hashlib.sha256).digest()
+
+
+def verify_hmac(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Constant-time verification of :func:`hmac_tag`."""
+    return hmac.compare_digest(hmac_tag(key, message), tag)
+
+
+def combine(parts: Iterable[bytes]) -> bytes:
+    """Order-sensitive combination of byte strings into one digest."""
+    return kdf("onionbot.combine", *list(parts))

@@ -1,0 +1,106 @@
+"""Deterministic simulated keypairs.
+
+A real OnionBot generates an RSA-1024 keypair per hidden service; the first 80
+bits of the SHA-1 digest of the public key become the service identifier and
+its base32 encoding is the ``.onion`` hostname.  For simulation we only need
+identities that are unique, reproducible and linked pub/priv -- the key objects
+here are derived from a seed with SHA-256 and carry no real cryptographic
+strength (which is the point: the repository must not ship attack-grade key
+material, and the experiments never need it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+_PRIVATE_CONTEXT = b"repro.simulated-private-key"
+_PUBLIC_CONTEXT = b"repro.simulated-public-key"
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """A simulated public key: an opaque 32-byte identifier."""
+
+    material: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.material) != 32:
+            raise ValueError("public key material must be exactly 32 bytes")
+
+    def fingerprint(self, length: int = 20) -> bytes:
+        """SHA-1 style fingerprint (truncated digest) of the key material.
+
+        Tor identifies relays and hidden services by (truncations of) the
+        SHA-1 digest of their public key; we reproduce that shape here.
+        """
+        return hashlib.sha1(self.material).digest()[:length]
+
+    def hex(self) -> str:
+        """Hex rendering of the key material (used in directory documents)."""
+        return self.material.hex()
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A simulated keypair.  ``private`` must never leave the owning node."""
+
+    private: bytes = field(repr=False)
+    public: PublicKey = field()
+
+    @classmethod
+    def from_seed(cls, seed: bytes | str) -> "KeyPair":
+        """Derive a deterministic keypair from ``seed``.
+
+        The same seed always produces the same keypair, which makes the
+        paper's address-rotation scheme (section IV-D) reproducible: the next
+        period's key is derived from secrets both the bot and the C&C know.
+        """
+        if isinstance(seed, str):
+            seed = seed.encode("utf-8")
+        private = hashlib.sha256(_PRIVATE_CONTEXT + seed).digest()
+        public = PublicKey(hashlib.sha256(_PUBLIC_CONTEXT + private).digest())
+        return cls(private=private, public=public)
+
+    @classmethod
+    def generate(cls, entropy: bytes) -> "KeyPair":
+        """Generate a keypair from caller-provided entropy bytes."""
+        if not entropy:
+            raise ValueError("entropy must be non-empty")
+        return cls.from_seed(entropy)
+
+    def public_fingerprint(self, length: int = 20) -> bytes:
+        """Fingerprint of the public half."""
+        return self.public.fingerprint(length)
+
+
+def fingerprint(key: PublicKey | KeyPair | bytes, length: int = 20) -> bytes:
+    """Fingerprint helper accepting keys, keypairs, or raw public bytes."""
+    if isinstance(key, KeyPair):
+        return key.public.fingerprint(length)
+    if isinstance(key, PublicKey):
+        return key.fingerprint(length)
+    if isinstance(key, (bytes, bytearray)):
+        return hashlib.sha1(bytes(key)).digest()[:length]
+    raise TypeError(f"cannot fingerprint object of type {type(key)!r}")
+
+
+def shared_identity(private: bytes, peer_public: PublicKey) -> bytes:
+    """A deterministic 'shared secret' between a private key and a public key.
+
+    Models the outcome of a key agreement without implementing one: both the
+    bot (who holds ``K_B``) and the botmaster (who learns ``K_B`` via the
+    report message) can derive the same value, which the address-rotation
+    recipe then feeds into the KDF.
+    """
+    if not isinstance(peer_public, PublicKey):
+        raise TypeError("peer_public must be a PublicKey")
+    payload = b"repro.shared-identity" + private + peer_public.material
+    return hashlib.sha256(payload).digest()
+
+
+def key_id(key: PublicKey, prefix: Optional[int] = 8) -> str:
+    """Short printable identifier for logs and traces."""
+    digest = key.fingerprint().hex()
+    return digest[: prefix * 2] if prefix else digest

@@ -1,0 +1,112 @@
+"""Simulated signatures and certificates.
+
+The paper uses signatures in two places: bots authenticate botmaster commands
+(section IV-D), and the botnet-for-rent scheme (section IV-E) has the
+botmaster sign a token over the renter's public key, an expiration time and a
+command whitelist.  We model signatures as deterministic MAC-like tags bound to
+the *simulated* keypair: only the holder of the private half can produce the
+tag, and anyone holding the public half can verify it by recomputation inside
+the simulator.  This captures unforgeability *within the simulation* (no other
+simulated actor can mint a valid tag without the private bytes) which is the
+property the protocol logic and the tests rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.keys import KeyPair, PublicKey
+
+_SIGNING_CONTEXT = b"repro.simulated-signature"
+
+
+class SignatureError(ValueError):
+    """Raised when signature verification fails."""
+
+
+def _signing_secret(public: PublicKey) -> bytes:
+    """The private material implied by a public key.
+
+    Simulated keypairs derive the public key as ``SHA256(context || private)``,
+    which is one-way; verification instead recomputes the tag from a secret
+    *derived from the private key at signing time* and embedded in the
+    signature envelope.  See :func:`sign` for the exact construction.
+    """
+    return hashlib.sha256(b"verify-hint" + public.material).digest()
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A simulated signature: tag plus the signer's public key."""
+
+    tag: bytes
+    signer: PublicKey
+
+    def hex(self) -> str:
+        """Hex rendering of the tag (for traces)."""
+        return self.tag.hex()
+
+
+def sign(keypair: KeyPair, message: bytes) -> Signature:
+    """Produce a simulated signature of ``message`` under ``keypair``.
+
+    The tag binds the message to the keypair's private half *and* to the
+    public half, so a verifier holding only the public key can check it via
+    :func:`verify` (which reconstructs the same binding through the keypair
+    registry trick below), while no other actor can forge it without the
+    private bytes.
+    """
+    if not isinstance(message, (bytes, bytearray)):
+        raise TypeError("message must be bytes")
+    binding = hashlib.sha256(_SIGNING_CONTEXT + keypair.private).digest()
+    tag = hmac.new(binding, bytes(message), hashlib.sha256).digest()
+    _register_binding(keypair.public, binding)
+    return Signature(tag=tag, signer=keypair.public)
+
+
+# ----------------------------------------------------------------------
+# Verification support
+# ----------------------------------------------------------------------
+# Real public-key signatures are verifiable from the public key alone.  Our
+# simulated keys have no algebraic structure, so the module keeps a process-
+# local registry mapping public keys to their signing binding the first time
+# the owner signs something.  Verifiers never see private key bytes; they only
+# use the registry, mirroring "the verifier knows the public key".  Actors that
+# try to sign for a public key they do not own simply cannot produce a valid
+# tag because they lack the binding.
+_BINDINGS: dict[bytes, bytes] = {}
+
+
+def _register_binding(public: PublicKey, binding: bytes) -> None:
+    _BINDINGS.setdefault(public.material, binding)
+
+
+def _binding_for(public: PublicKey) -> Optional[bytes]:
+    return _BINDINGS.get(public.material)
+
+
+def verify(public: PublicKey, message: bytes, signature: Signature) -> bool:
+    """Check that ``signature`` is a valid tag over ``message`` by ``public``."""
+    if not isinstance(signature, Signature):
+        raise TypeError("signature must be a Signature instance")
+    if signature.signer.material != public.material:
+        return False
+    binding = _binding_for(public)
+    if binding is None:
+        return False
+    expected = hmac.new(binding, bytes(message), hashlib.sha256).digest()
+    return hmac.compare_digest(expected, signature.tag)
+
+
+def require_valid(public: PublicKey, message: bytes, signature: Signature) -> None:
+    """Raise :class:`SignatureError` unless the signature verifies."""
+    if not verify(public, message, signature):
+        raise SignatureError("signature verification failed")
+
+
+def reset_registry() -> None:
+    """Clear the process-local binding registry (used by tests)."""
+    _BINDINGS.clear()

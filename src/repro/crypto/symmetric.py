@@ -1,0 +1,92 @@
+"""Simulated symmetric sealing.
+
+OnionBot messages are carried over Tor circuits (already link-encrypted) and
+additionally sealed so that relaying bots learn nothing about their content.
+The simulator models sealing as a keyed keystream (SHA-256 in counter mode)
+plus an HMAC tag.  As with every primitive in :mod:`repro.crypto` this is a
+behavioural model for protocol research, not a secure cipher.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+_KEYSTREAM_CONTEXT = b"repro.simulated-keystream"
+_TAG_CONTEXT = b"repro.simulated-seal-tag"
+
+
+class SealError(ValueError):
+    """Raised when a sealed box fails authentication on open."""
+
+
+@dataclass(frozen=True)
+class SealedBox:
+    """Ciphertext plus authentication tag plus nonce."""
+
+    nonce: bytes
+    ciphertext: bytes
+    tag: bytes
+
+    def size(self) -> int:
+        """Total serialized size in bytes."""
+        return len(self.nonce) + len(self.ciphertext) + len(self.tag)
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Deterministic keystream of ``length`` bytes from ``key`` and ``nonce``."""
+    blocks: list[bytes] = []
+    counter = 0
+    while sum(len(block) for block in blocks) < length:
+        counter_bytes = counter.to_bytes(8, "big")
+        blocks.append(hashlib.sha256(_KEYSTREAM_CONTEXT + key + nonce + counter_bytes).digest())
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def seal(key: bytes, plaintext: bytes, nonce: bytes) -> SealedBox:
+    """Seal ``plaintext`` under ``key`` with caller-provided ``nonce``.
+
+    The caller provides the nonce explicitly (drawn from a named random
+    stream) so that simulations remain reproducible.
+    """
+    if not key:
+        raise ValueError("key must be non-empty")
+    if len(nonce) < 8:
+        raise ValueError("nonce must be at least 8 bytes")
+    stream = _keystream(key, nonce, len(plaintext))
+    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = hmac.new(key, _TAG_CONTEXT + nonce + ciphertext, hashlib.sha256).digest()
+    return SealedBox(nonce=nonce, ciphertext=ciphertext, tag=tag)
+
+
+def open_sealed(key: bytes, box: SealedBox) -> bytes:
+    """Open a :class:`SealedBox`, raising :class:`SealError` on tampering."""
+    expected = hmac.new(key, _TAG_CONTEXT + box.nonce + box.ciphertext, hashlib.sha256).digest()
+    if not hmac.compare_digest(expected, box.tag):
+        raise SealError("sealed box failed authentication")
+    stream = _keystream(key, box.nonce, len(box.ciphertext))
+    return bytes(c ^ s for c, s in zip(box.ciphertext, stream))
+
+
+def seal_to_public(public_material: bytes, plaintext: bytes, nonce: bytes) -> SealedBox:
+    """Model of public-key encryption to a recipient ("{K_B}_PK_CC").
+
+    The rally-stage report message encrypts the bot key under the botmaster's
+    hard-coded public key.  In the simulation the recipient's key material is
+    hashed into a symmetric key shared only with the holder of the matching
+    keypair (who can recompute it through :func:`open_from_private`).
+    """
+    derived = hashlib.sha256(b"repro.pk-seal" + public_material).digest()
+    return seal(derived, plaintext, nonce)
+
+
+def open_from_private(private: bytes, public_material: bytes, box: SealedBox) -> bytes:
+    """Open a :func:`seal_to_public` box as the keypair owner."""
+    # The private key is not needed to derive the symmetric key in this model;
+    # requiring it here enforces "only the owner calls this" at the API level.
+    if not private:
+        raise ValueError("private key material required")
+    derived = hashlib.sha256(b"repro.pk-seal" + public_material).digest()
+    return open_sealed(derived, box)

@@ -1,0 +1,47 @@
+"""Mitigations, Tor-level defenses, and the attacker's counter-countermeasures.
+
+Two directions live here, mirroring sections VI and VII of the paper:
+
+*Defender-side* (complementing SOAP in :mod:`repro.adversary.soap`):
+
+* :mod:`~repro.defenses.hsdir_takeover` -- HSDir interception: positioning
+  crafted relays on the fingerprint ring so they become responsible for a
+  bot's descriptors and can deny access to it (section VI-A).
+* :mod:`~repro.defenses.tor_level` -- generic Tor-side throttles (CAPTCHA-like
+  admission on hidden-service circuits, entry-guard throttling), including the
+  collateral damage to legitimate hidden-service users.
+
+*Attacker-side counter-countermeasures* (section VII):
+
+* :mod:`~repro.defenses.pow` -- proof-of-work peering admission that makes
+  SOAP clone floods expensive.
+* :mod:`~repro.defenses.rate_limit` -- rate-limited peering admission that
+  slows clone floods (and, as the paper notes, also slows legitimate repairs).
+* :mod:`~repro.defenses.superonion` -- the SuperOnionBot construction
+  (Figure 8): each physical host runs ``m`` virtual bots and re-bootstraps any
+  virtual bot it detects as soaped via periodic self-probes.
+"""
+
+from repro.defenses.hsdir_takeover import HsdirInterception, InterceptionResult
+from repro.defenses.tor_level import GuardThrottling, ThrottlingImpact
+from repro.defenses.pow import PowAdmission, PowParameters
+from repro.defenses.rate_limit import RateLimitedAdmission, RateLimitParameters
+from repro.defenses.superonion import (
+    SuperOnionHost,
+    SuperOnionNetwork,
+    SuperOnionSurvivalResult,
+)
+
+__all__ = [
+    "HsdirInterception",
+    "InterceptionResult",
+    "GuardThrottling",
+    "ThrottlingImpact",
+    "PowAdmission",
+    "PowParameters",
+    "RateLimitedAdmission",
+    "RateLimitParameters",
+    "SuperOnionHost",
+    "SuperOnionNetwork",
+    "SuperOnionSurvivalResult",
+]

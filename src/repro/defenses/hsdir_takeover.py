@@ -1,0 +1,205 @@
+"""HSDir interception (paper section VI-A).
+
+Anyone who knows a hidden service's onion address can compute which relays
+will be responsible for its descriptors at a given time.  A defender can
+therefore craft relay identity keys whose fingerprints land immediately after
+the descriptor IDs on the ring, wait the 25 hours needed to earn the HSDir
+flag, and then refuse to serve the descriptors -- denying access to the bot.
+
+The paper also lists the limits of this mitigation, which the model exposes:
+
+* the defender needs the onion address *in advance* and 25+ hours of lead
+  time, but bots rotate addresses every period, so interception must be
+  re-planned for every bot and every period;
+* each bot needs up to ``REPLICAS * SPREAD`` (six) crafted relays;
+* injected relays disrupt the rest of the Tor network (tracked as a simple
+  count of adversarial relays serving real descriptors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.tor.hsdir import REPLICAS, SPREAD, descriptor_id, responsible_hsdirs
+from repro.tor.network import TorNetwork
+from repro.tor.onion_address import OnionAddress
+from repro.tor.relay import HSDIR_UPTIME_HOURS
+
+
+@dataclass
+class InterceptionResult:
+    """Outcome of attempting to intercept one onion address."""
+
+    target: str
+    relays_injected: int
+    lead_time_hours: float
+    responsible_controlled: int
+    responsible_total: int
+    denial_achieved: bool
+
+    @property
+    def control_fraction(self) -> float:
+        """Fraction of the target's responsible HSDirs under defender control."""
+        if self.responsible_total == 0:
+            return 0.0
+        return self.responsible_controlled / self.responsible_total
+
+
+@dataclass
+class HsdirInterception:
+    """Plans and executes HSDir interception against known onion addresses."""
+
+    network: TorNetwork
+    injected_fingerprints: List[bytes] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def plan_fingerprints(self, target: OnionAddress | str, at_time: Optional[float] = None) -> List[bytes]:
+        """Fingerprints a defender should occupy to own every replica of ``target``.
+
+        For each replica the defender needs ``SPREAD`` consecutive positions
+        right after the descriptor ID; we derive them deterministically by
+        incrementing the descriptor ID, which guarantees they sort directly
+        behind it and ahead of any existing HSDir.
+        """
+        address = OnionAddress(str(target)) if not isinstance(target, OnionAddress) else target
+        when = self.network.simulator.now if at_time is None else at_time
+        identifier = address.identifier()
+        fingerprints: List[bytes] = []
+        for replica in range(REPLICAS):
+            point = descriptor_id(identifier, when, replica)
+            for offset in range(1, SPREAD + 1):
+                value = (int.from_bytes(point, "big") + offset) % (1 << (8 * len(point)))
+                fingerprints.append(value.to_bytes(len(point), "big"))
+        return fingerprints
+
+    def inject_relays(self, target: OnionAddress | str, at_time: Optional[float] = None) -> int:
+        """Add adversarial relays positioned for ``target`` (not yet HSDirs).
+
+        The relays join *now*; they only become useful once they have been up
+        for 25 hours and a consensus has been published -- the caller advances
+        simulated time (see :meth:`wait_for_flags`) to model the lead time.
+        """
+        fingerprints = self.plan_fingerprints(target, at_time)
+        injected = 0
+        for fingerprint in fingerprints:
+            relay = self.network.add_relay(
+                nickname=f"interceptor{len(self.injected_fingerprints) + injected:04d}",
+                adversarial=True,
+                fingerprint_seed=b"interceptor:" + fingerprint,
+            )
+            # Pin the crafted fingerprint: relays are keyed objects, so we
+            # override the derived fingerprint by registering a shadow entry in
+            # the authority keyed by the crafted bytes.  Simpler and exact: we
+            # remove and re-add with a keypair whose fingerprint *is* crafted.
+            self.network.authority.deregister(relay.fingerprint)
+            relay.keypair = _FingerprintPinnedKeypair(fingerprint, relay.keypair)
+            self.network.authority.register(relay)
+            self.injected_fingerprints.append(fingerprint)
+            injected += 1
+        return injected
+
+    def wait_for_flags(self) -> float:
+        """Advance simulated time until the injected relays hold the HSDir flag.
+
+        Returns the lead time (in hours) that elapsed -- at least the 25-hour
+        uptime requirement plus the wait for the next consensus.
+        """
+        start = self.network.simulator.now
+        lead_seconds = HSDIR_UPTIME_HOURS * 3600.0 + 3600.0
+        self.network.simulator.run_for(lead_seconds)
+        self.network.publish_consensus()
+        return (self.network.simulator.now - start) / 3600.0
+
+    def activate_censorship(self) -> None:
+        """Make every injected relay refuse to serve stored descriptors."""
+        for fingerprint in self.injected_fingerprints:
+            self.network.set_censoring(fingerprint, True)
+
+    # ------------------------------------------------------------------
+    def intercept(self, target: OnionAddress | str) -> InterceptionResult:
+        """Full interception flow: plan, inject, wait, censor, measure.
+
+        Descriptor IDs move every 24 hours, so the fingerprints are planned for
+        the time at which the injected relays will actually hold the HSDir
+        flag (now + lead time), not for the current period.
+        """
+        address = OnionAddress(str(target)) if not isinstance(target, OnionAddress) else target
+        lead_seconds = HSDIR_UPTIME_HOURS * 3600.0 + 3600.0
+        injected = self.inject_relays(address, at_time=self.network.simulator.now + lead_seconds)
+        lead_hours = self.wait_for_flags()
+        self.activate_censorship()
+        return self.measure(address, injected=injected, lead_hours=lead_hours)
+
+    def measure(
+        self,
+        target: OnionAddress | str,
+        *,
+        injected: int = 0,
+        lead_hours: float = 0.0,
+    ) -> InterceptionResult:
+        """Evaluate how much of the target's HSDir set the defender controls now."""
+        address = OnionAddress(str(target)) if not isinstance(target, OnionAddress) else target
+        responsible = responsible_hsdirs(
+            self.network.consensus, address.identifier(), self.network.simulator.now
+        )
+        controlled = sum(1 for entry in responsible if entry.is_adversarial)
+        denial = False
+        if responsible:
+            try:
+                self.network.lookup_descriptor(address)
+            except Exception:
+                denial = True
+        return InterceptionResult(
+            target=str(address),
+            relays_injected=injected,
+            lead_time_hours=lead_hours,
+            responsible_controlled=controlled,
+            responsible_total=len(responsible),
+            denial_achieved=denial,
+        )
+
+    def collateral_relays(self) -> int:
+        """How many adversarial relays the defender had to run."""
+        return len(self.injected_fingerprints)
+
+
+class _FingerprintPinnedKeypair:
+    """A keypair wrapper whose public fingerprint is pinned to crafted bytes.
+
+    The relay's behaviour in the simulation only depends on its fingerprint,
+    so pinning it is sufficient to model "finding the right public key" (the
+    paper cites Shallot-style brute-forcing taking days of computation; we do
+    not reproduce the brute force itself, only its result, and we account for
+    the 25-hour flag delay which dominates the lead time anyway).
+    """
+
+    def __init__(self, fingerprint: bytes, inner) -> None:
+        self._fingerprint = fingerprint
+        self._inner = inner
+        self.private = inner.private
+        self.public = inner.public
+
+    def public_fingerprint(self, length: int = 20) -> bytes:
+        """The crafted fingerprint (padded/truncated to ``length`` bytes)."""
+        if len(self._fingerprint) >= length:
+            return self._fingerprint[:length]
+        return self._fingerprint + b"\x00" * (length - len(self._fingerprint))
+
+
+def interception_cost_estimate(bots: int, periods: int) -> Dict[str, float]:
+    """Back-of-the-envelope defender cost of HSDir interception at scale.
+
+    Each bot needs ``REPLICAS * SPREAD`` crafted relays per rotation period and
+    25+ hours of lead time -- which is longer than the rotation period itself
+    when bots rotate daily, the core reason the paper judges this mitigation
+    insufficient against OnionBots.
+    """
+    relays_needed = bots * REPLICAS * SPREAD * periods
+    return {
+        "bots": float(bots),
+        "periods": float(periods),
+        "relays_needed": float(relays_needed),
+        "lead_time_hours": HSDIR_UPTIME_HOURS,
+        "lead_exceeds_daily_rotation": float(HSDIR_UPTIME_HOURS > 24.0),
+    }

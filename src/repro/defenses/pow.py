@@ -1,0 +1,107 @@
+"""Proof-of-work peering admission (paper section VII-A).
+
+"In the proof of work scheme each new node needs to do some work before being
+accepted as a peer of an already existing node.  As more nodes request peering
+with a node, the complexity of the task is increased to give preference to the
+older nodes."  The scheme makes SOAP clone floods expensive -- every clone must
+pay an escalating amount of work per target -- at the cost of also making
+legitimate repairs (which are themselves new peering requests) slower.
+
+:class:`PowAdmission` implements the paper's escalation rule as an admission
+policy compatible with :class:`repro.adversary.soap.SoapAttack`, so the
+trade-off can be swept in the ``bench_pow_tradeoff`` benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable
+
+from repro.adversary.soap import AdmissionDecision
+from repro.core.ddsr import DDSROverlay
+
+NodeId = Hashable
+
+
+@dataclass
+class PowParameters:
+    """Tuning of the proof-of-work admission scheme.
+
+    ``base_work`` is the cost of the first peering request a target sees in
+    the current window; each subsequent request multiplies the cost by
+    ``escalation_factor`` (capped at ``max_work``).  ``work_budget_per_clone``
+    is what the defender is modelled to afford per clone before giving up on a
+    request; requests above it are rejected outright.
+    """
+
+    base_work: float = 1.0
+    escalation_factor: float = 2.0
+    max_work: float = 4096.0
+    work_budget_per_clone: float = 256.0
+
+    def __post_init__(self) -> None:
+        if self.base_work <= 0:
+            raise ValueError(f"base_work must be positive, got {self.base_work}")
+        if self.escalation_factor < 1.0:
+            raise ValueError(
+                f"escalation_factor must be >= 1, got {self.escalation_factor}"
+            )
+
+
+@dataclass
+class PowAdmission:
+    """Escalating proof-of-work admission policy.
+
+    Instances are callable with the ``(target, requester, overlay)`` signature
+    the SOAP attack expects, so they can be plugged straight into
+    ``SoapAttack(admission=...)``.  The same policy also prices *legitimate*
+    repairs via :meth:`repair_cost`, which the trade-off benchmark reports.
+    """
+
+    params: PowParameters = field(default_factory=PowParameters)
+    #: Number of peering requests each target has received so far.
+    request_counts: Dict[NodeId, int] = field(default_factory=dict)
+    total_work_charged: float = 0.0
+    total_rejected: int = 0
+
+    def current_cost(self, target: NodeId) -> float:
+        """Work a *new* peering request to ``target`` costs right now."""
+        seen = self.request_counts.get(target, 0)
+        if self.params.escalation_factor > 1.0:
+            # Cap the exponent: beyond ~64 doublings the cost is astronomically
+            # above any max_work, and the naive power would overflow a float.
+            seen = min(seen, 64)
+        cost = self.params.base_work * (self.params.escalation_factor ** seen)
+        return min(cost, self.params.max_work)
+
+    def __call__(self, target: NodeId, requester: NodeId, overlay: DDSROverlay) -> AdmissionDecision:
+        """Admission decision for one peering request."""
+        cost = self.current_cost(target)
+        self.request_counts[target] = self.request_counts.get(target, 0) + 1
+        if cost > self.params.work_budget_per_clone:
+            self.total_rejected += 1
+            # The requester still burned its budget discovering the price.
+            self.total_work_charged += self.params.work_budget_per_clone
+            return AdmissionDecision(
+                accepted=False, work_required=self.params.work_budget_per_clone
+            )
+        self.total_work_charged += cost
+        return AdmissionDecision(accepted=True, work_required=cost)
+
+    # ------------------------------------------------------------------
+    # Cost to the botnet itself
+    # ------------------------------------------------------------------
+    def repair_cost(self, repaired_edges: int) -> float:
+        """Work legitimate bots must spend to re-peer after ``repaired_edges`` repairs.
+
+        Every repair edge is itself a peering request subject to the same
+        pricing; we charge each at the base rate (repairs are spread over many
+        targets, so escalation rarely kicks in for them) -- this is the
+        "decreased flexibility and recoverability" half of the paper's
+        trade-off.
+        """
+        return repaired_edges * self.params.base_work
+
+    def reset_window(self) -> None:
+        """Forget request history (e.g. at a rotation boundary)."""
+        self.request_counts.clear()

@@ -1,0 +1,86 @@
+"""Rate-limited peering admission (paper section VII-A).
+
+"The same approach can be used in the rate limiting, where the delay of
+accepting new nodes is increased proportional to the size of peer list."  Like
+proof-of-work, rate limiting slows SOAP clone floods -- a target only accepts
+a new peer every so often, and the interval grows with its current degree --
+but it equally delays legitimate self-repair after takedowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable
+
+from repro.adversary.soap import AdmissionDecision
+from repro.core.ddsr import DDSROverlay
+
+NodeId = Hashable
+
+
+@dataclass
+class RateLimitParameters:
+    """Tuning of the rate-limited admission scheme.
+
+    ``base_delay`` seconds are charged per admitted peering; the delay grows by
+    ``per_degree_delay`` seconds for every peer the target already has.  A
+    target rejects outright any request arriving while it is still "cooling
+    down" if the requester is unwilling to wait more than
+    ``max_acceptable_delay`` seconds (the defender's patience per clone).
+    """
+
+    base_delay: float = 60.0
+    per_degree_delay: float = 30.0
+    max_acceptable_delay: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0 or self.per_degree_delay < 0:
+            raise ValueError("delays must be non-negative")
+
+
+@dataclass
+class RateLimitedAdmission:
+    """Degree-proportional peering delay, usable as a SOAP admission policy."""
+
+    params: RateLimitParameters = field(default_factory=RateLimitParameters)
+    total_delay_charged: float = 0.0
+    total_rejected: int = 0
+    requests_seen: Dict[NodeId, int] = field(default_factory=dict)
+
+    def delay_for(self, target: NodeId, overlay: DDSROverlay) -> float:
+        """Waiting time the next peering request to ``target`` must accept."""
+        degree = overlay.degree(target) if target in overlay.graph else 0
+        backlog = self.requests_seen.get(target, 0)
+        return self.params.base_delay + self.params.per_degree_delay * (degree + backlog)
+
+    def __call__(self, target: NodeId, requester: NodeId, overlay: DDSROverlay) -> AdmissionDecision:
+        """Admission decision for one peering request."""
+        delay = self.delay_for(target, overlay)
+        self.requests_seen[target] = self.requests_seen.get(target, 0) + 1
+        if delay > self.params.max_acceptable_delay:
+            self.total_rejected += 1
+            return AdmissionDecision(accepted=False, delay_seconds=0.0)
+        self.total_delay_charged += delay
+        return AdmissionDecision(accepted=True, delay_seconds=delay)
+
+    # ------------------------------------------------------------------
+    def repair_delay(self, overlay: DDSROverlay, repaired_edges: int) -> float:
+        """Extra time legitimate self-repair needs under this policy.
+
+        Each repair edge is a peering accepted after the base delay plus the
+        average-degree-proportional component -- the recoverability cost the
+        paper warns about.
+        """
+        if repaired_edges <= 0:
+            return 0.0
+        nodes = overlay.nodes()
+        if nodes:
+            average_degree = sum(overlay.degree(node) for node in nodes) / len(nodes)
+        else:
+            average_degree = 0.0
+        per_edge = self.params.base_delay + self.params.per_degree_delay * average_degree
+        return per_edge * repaired_edges
+
+    def reset_window(self) -> None:
+        """Forget request backlogs (e.g. at a rotation boundary)."""
+        self.requests_seen.clear()

@@ -1,0 +1,125 @@
+"""Tor-level throttling mitigations and their collateral damage.
+
+Section VI-A's "more long term approach involves making changes to Tor, such
+as use of CAPTCHAs, throttling entry guards and reusing failed partial
+circuits" -- the measures proposed by Hopper for the 2013 botnet-driven hidden
+service load.  The paper judges them "limited in their preventive power, open
+the door to censorship, degrade Tor's user experience, and not effective
+against advanced botnets"; this module provides a simple quantitative model of
+exactly that trade-off so the claim can be examined rather than asserted.
+
+The model: hidden-service circuit creation requests arrive from two
+populations -- bots (many small, frequent connections) and legitimate users.
+A throttling policy admits a fraction of requests per source per hour (plus an
+optional CAPTCHA-style proof that bots fail with some probability).  The
+impact report contains both the reduction in bot C&C throughput and the
+fraction of legitimate requests delayed or dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+import random
+
+
+@dataclass
+class ThrottlingImpact:
+    """Outcome of applying a throttling policy to a mixed request load."""
+
+    bot_requests: int
+    user_requests: int
+    bot_admitted: int
+    user_admitted: int
+    policy: str
+
+    @property
+    def bot_block_rate(self) -> float:
+        """Fraction of bot requests denied or delayed past usefulness."""
+        if self.bot_requests == 0:
+            return 0.0
+        return 1.0 - self.bot_admitted / self.bot_requests
+
+    @property
+    def user_collateral_rate(self) -> float:
+        """Fraction of legitimate requests harmed by the policy."""
+        if self.user_requests == 0:
+            return 0.0
+        return 1.0 - self.user_admitted / self.user_requests
+
+    @property
+    def selectivity(self) -> float:
+        """How much more the policy hurts bots than users (>1 is good).
+
+        Returns ``inf`` when users are untouched but bots are blocked.
+        """
+        if self.user_collateral_rate == 0.0:
+            return float("inf") if self.bot_block_rate > 0 else 1.0
+        return self.bot_block_rate / self.user_collateral_rate
+
+
+@dataclass
+class GuardThrottling:
+    """Entry-guard throttling / CAPTCHA admission model.
+
+    Parameters
+    ----------
+    admitted_per_source_per_hour:
+        Circuit-creation budget per source before further requests are dropped.
+    captcha_enabled:
+        Whether an interactive proof is demanded; bots fail it with
+        ``captcha_bot_failure``, humans with ``captcha_user_failure``.
+    """
+
+    admitted_per_source_per_hour: int = 10
+    captcha_enabled: bool = False
+    captcha_bot_failure: float = 0.95
+    captcha_user_failure: float = 0.05
+
+    def evaluate(
+        self,
+        *,
+        bot_sources: int,
+        bot_requests_per_source: int,
+        user_sources: int,
+        user_requests_per_source: int,
+        rng: Optional[random.Random] = None,
+    ) -> ThrottlingImpact:
+        """Apply the policy to one simulated hour of circuit requests."""
+        rng = rng if rng is not None else random.Random(0)
+        bot_requests = bot_sources * bot_requests_per_source
+        user_requests = user_sources * user_requests_per_source
+
+        bot_admitted = bot_sources * min(bot_requests_per_source, self.admitted_per_source_per_hour)
+        user_admitted = user_sources * min(user_requests_per_source, self.admitted_per_source_per_hour)
+
+        if self.captcha_enabled:
+            bot_admitted = sum(
+                1 for _ in range(bot_admitted) if rng.random() > self.captcha_bot_failure
+            )
+            user_admitted = sum(
+                1 for _ in range(user_admitted) if rng.random() > self.captcha_user_failure
+            )
+        policy = (
+            f"throttle<={self.admitted_per_source_per_hour}/h"
+            + (", captcha" if self.captcha_enabled else "")
+        )
+        return ThrottlingImpact(
+            bot_requests=bot_requests,
+            user_requests=user_requests,
+            bot_admitted=bot_admitted,
+            user_admitted=user_admitted,
+            policy=policy,
+        )
+
+    def effect_on_onionbots(self, commands_per_day: int) -> float:
+        """Fraction of a low-rate OnionBot C&C schedule that still gets through.
+
+        OnionBots need very few circuits (one command flood per day easily
+        fits under any per-source budget that does not also break ordinary
+        hidden-service usage), which is why throttling barely affects them.
+        """
+        per_hour = commands_per_day / 24.0
+        if per_hour <= self.admitted_per_source_per_hour:
+            return 1.0
+        return self.admitted_per_source_per_hour / per_hour

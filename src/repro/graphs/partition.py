@@ -1,0 +1,128 @@
+"""Partition analysis (Figure 6 of the paper).
+
+Figure 6 asks: how many nodes must an adversary take down *simultaneously* for
+a 10-regular overlay to split into more than one component, as a function of
+network size?  The paper finds the answer to be roughly 40 % of the nodes for
+n = 1000 ... 15000.  This module provides the primitives the experiment harness
+uses to answer that question: partition checks, reports, and the search for the
+minimum simultaneous-deletion fraction that partitions a given graph.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, Optional, Sequence
+
+from repro.graphs.adjacency import UndirectedGraph
+from repro.graphs.metrics import connected_components
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class PartitionReport:
+    """Summary of the component structure of a graph."""
+
+    surviving_nodes: int
+    component_count: int
+    largest_component: int
+    isolated_nodes: int
+
+    @property
+    def is_partitioned(self) -> bool:
+        """True when the surviving nodes form more than one component."""
+        return self.component_count > 1
+
+    @property
+    def largest_fraction(self) -> float:
+        """Fraction of survivors inside the largest component."""
+        if self.surviving_nodes == 0:
+            return 0.0
+        return self.largest_component / self.surviving_nodes
+
+
+def analyze_partition(graph: UndirectedGraph) -> PartitionReport:
+    """Compute a :class:`PartitionReport` for ``graph``."""
+    components = connected_components(graph)
+    if not components:
+        return PartitionReport(0, 0, 0, 0)
+    isolated = sum(1 for component in components if len(component) == 1)
+    return PartitionReport(
+        surviving_nodes=graph.number_of_nodes(),
+        component_count=len(components),
+        largest_component=len(components[0]),
+        isolated_nodes=isolated,
+    )
+
+
+def is_partitioned(graph: UndirectedGraph) -> bool:
+    """Whether the graph has more than one connected component."""
+    return analyze_partition(graph).is_partitioned
+
+
+def simultaneous_deletion_survivors(
+    graph: UndirectedGraph,
+    victims: Iterable[NodeId],
+) -> UndirectedGraph:
+    """The subgraph remaining after removing ``victims`` all at once.
+
+    "Simultaneous" is the key word: unlike the incremental-deletion sweeps,
+    there is no opportunity for the overlay to run its repair step in between,
+    which is precisely the scenario Figure 6 analyses.
+    """
+    victim_set = set(victims)
+    survivors = [node for node in graph.nodes() if node not in victim_set]
+    return graph.subgraph(survivors)
+
+
+def minimum_partition_fraction(
+    graph: UndirectedGraph,
+    *,
+    rng: Optional[random.Random] = None,
+    resolution: float = 0.01,
+    trials_per_fraction: int = 3,
+) -> float:
+    """Smallest fraction of simultaneously deleted nodes that partitions ``graph``.
+
+    Random victim sets of increasing size are tried (``trials_per_fraction``
+    independent draws per size); the first fraction at which *any* draw
+    partitions the survivors is returned.  Returns ``1.0`` when the graph never
+    partitions before being wiped out (e.g. a complete graph).
+    """
+    if resolution <= 0 or resolution > 1:
+        raise ValueError(f"resolution must be in (0, 1], got {resolution}")
+    rng = rng if rng is not None else random.Random(0)
+    nodes: List[NodeId] = graph.nodes()
+    n = len(nodes)
+    if n < 3:
+        return 1.0
+    fraction = resolution
+    while fraction < 1.0:
+        count = max(1, int(round(fraction * n)))
+        if count >= n - 1:
+            break
+        for _ in range(trials_per_fraction):
+            victims = rng.sample(nodes, count)
+            survivors = simultaneous_deletion_survivors(graph, victims)
+            if survivors.number_of_nodes() > 1 and is_partitioned(survivors):
+                return fraction
+        fraction = round(fraction + resolution, 10)
+    return 1.0
+
+
+def partition_after_fraction(
+    graph: UndirectedGraph,
+    fraction: float,
+    *,
+    rng: Optional[random.Random] = None,
+) -> PartitionReport:
+    """Partition report after deleting a random ``fraction`` of nodes at once."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rng = rng if rng is not None else random.Random(0)
+    nodes: Sequence[NodeId] = graph.nodes()
+    count = int(round(fraction * len(nodes)))
+    victims = rng.sample(list(nodes), count) if count else []
+    survivors = simultaneous_deletion_survivors(graph, victims)
+    return analyze_partition(survivors)

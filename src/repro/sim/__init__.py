@@ -1,0 +1,42 @@
+"""Discrete-event simulation engine underpinning the OnionBots reproduction.
+
+Every higher layer (the Tor model, the DDSR overlay, adversaries and defenses)
+runs on top of this small, dependency-free engine.  The engine provides:
+
+* :class:`~repro.sim.clock.SimClock` -- a simulated clock measured in seconds.
+* :class:`~repro.sim.events.Event` / :class:`~repro.sim.events.EventQueue` --
+  a deterministic priority queue of timestamped callbacks.
+* :class:`~repro.sim.engine.Simulator` -- the event loop, owning the clock,
+  the queue, seeded randomness and metric collection.
+* :class:`~repro.sim.process.PeriodicProcess` -- recurring activities such as
+  consensus publication, heartbeats, or address rotation.
+* :class:`~repro.sim.rng.RandomStreams` -- named, independently seeded random
+  streams so experiments are reproducible component by component.
+* :class:`~repro.sim.metrics.MetricRecorder` -- time-series and counter
+  collection used by the experiment harness.
+* :class:`~repro.sim.trace.TraceLog` -- structured event traces for debugging
+  and for the integration tests.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.metrics import CounterSet, MetricRecorder, TimeSeries
+from repro.sim.process import PeriodicProcess, ProcessState
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceEntry, TraceLog
+
+__all__ = [
+    "SimClock",
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "MetricRecorder",
+    "TimeSeries",
+    "CounterSet",
+    "PeriodicProcess",
+    "ProcessState",
+    "RandomStreams",
+    "TraceLog",
+    "TraceEntry",
+]

@@ -1,0 +1,168 @@
+"""The discrete-event simulator.
+
+:class:`Simulator` owns the clock, the event queue, seeded randomness, metric
+collection and the trace log.  Higher layers (the Tor model, overlays,
+adversaries) hold a reference to one simulator instance and schedule their
+behaviour through it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.metrics import MetricRecorder
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceLog
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling requests."""
+
+
+class Simulator:
+    """Deterministic single-threaded discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed from which every named random stream is derived.
+    start_time:
+        Initial simulated timestamp (seconds).
+    trace:
+        Whether to record structured traces (disable for large sweeps).
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0, trace: bool = True) -> None:
+        self.clock = SimClock(start=start_time)
+        self.queue = EventQueue()
+        self.random = RandomStreams(seed)
+        self.metrics = MetricRecorder()
+        self.trace = TraceLog(enabled=trace)
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        timestamp: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute simulated time ``timestamp``."""
+        if timestamp < self.now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} in the past "
+                f"({timestamp} < {self.now})"
+            )
+        return self.queue.push(timestamp, action, priority=priority, label=label)
+
+    def schedule_in(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay!r}")
+        return self.schedule_at(self.now + delay, action, priority=priority, label=label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self.queue.cancel(event)
+
+    def every(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        *,
+        name: str = "process",
+        jitter: float = 0.0,
+        start_delay: Optional[float] = None,
+        max_ticks: Optional[int] = None,
+    ) -> PeriodicProcess:
+        """Create and start a :class:`PeriodicProcess`."""
+        process = PeriodicProcess(
+            self,
+            interval,
+            action,
+            name=name,
+            jitter=jitter,
+            start_delay=start_delay,
+            max_ticks=max_ticks,
+        )
+        return process.start()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.  Returns ``False`` if none remained."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.timestamp)
+        self.events_processed += 1
+        event.action()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or the budget ends.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire after this simulated time.
+            The clock is advanced to ``until`` when the horizon is hit.
+        max_events:
+            Optional cap on the number of events processed in this call.
+
+        Returns
+        -------
+        int
+            Number of events processed during this call.
+        """
+        processed = 0
+        while True:
+            if max_events is not None and processed >= max_events:
+                return processed
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                if until is not None and until > self.now:
+                    self.clock.advance_to(until)
+                return processed
+            if until is not None and next_time > until:
+                self.clock.advance_to(until)
+                return processed
+            if not self.step():
+                return processed
+            processed += 1
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> int:
+        """Run for ``duration`` simulated seconds from the current time."""
+        if duration < 0:
+            raise SimulationError(f"duration must be non-negative, got {duration!r}")
+        return self.run(until=self.now + duration, max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Tracing helper
+    # ------------------------------------------------------------------
+    def log(self, category: str, message: str, **details: Any) -> None:
+        """Record a trace entry stamped with the current simulated time."""
+        self.trace.record(self.now, category, message, **details)

@@ -1,0 +1,120 @@
+"""Event and event-queue primitives for the discrete-event engine.
+
+Events are ordered by ``(timestamp, priority, sequence)``: the sequence number
+guarantees a deterministic total order even when many events share a timestamp,
+which matters because the resilience experiments (Figures 4--6 of the paper)
+must be exactly reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes
+    ----------
+    timestamp:
+        Simulated time at which the event fires.
+    priority:
+        Tie-breaker for events sharing a timestamp; lower fires first.
+    sequence:
+        Monotonic insertion counter ensuring deterministic ordering.
+    action:
+        Zero-argument callable executed when the event fires.
+    label:
+        Human-readable tag used in traces and error messages.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    timestamp: float
+    priority: int
+    sequence: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when it is reached."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        timestamp: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at ``timestamp`` and return its :class:`Event`."""
+        event = Event(
+            timestamp=timestamp,
+            priority=priority,
+            sequence=next(self._counter),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next non-cancelled event, without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            self._live = 0
+            return None
+        return self._heap[0].timestamp
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        if not event.cancelled:
+            event.cancel()
+            self._live = max(0, self._live - 1)
+
+    def drain(self) -> Iterator[Event]:
+        """Yield remaining events in firing order (used by tests)."""
+        while True:
+            event = self.pop()
+            if event is None:
+                return
+            yield event
+
+    def clear(self) -> None:
+        """Drop every scheduled event."""
+        self._heap.clear()
+        self._live = 0

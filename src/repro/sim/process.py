@@ -1,0 +1,120 @@
+"""Recurring simulated processes.
+
+Several OnionBots mechanisms are periodic: the Tor consensus is published every
+hour, hidden-service descriptors are refreshed every 24 hours, bots rotate
+their ``.onion`` address once per period and SuperOnion hosts probe their
+virtual nodes on a fixed schedule.  :class:`PeriodicProcess` wraps "call this
+function every *interval* seconds" on top of the event queue, with optional
+jitter so that thousands of bots do not act in lock-step.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.events import Event
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a periodic process."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    STOPPED = "stopped"
+
+
+class PeriodicProcess:
+    """Invoke a callback every ``interval`` simulated seconds.
+
+    Parameters
+    ----------
+    simulator:
+        The owning :class:`~repro.sim.engine.Simulator`.
+    interval:
+        Seconds between invocations (must be positive).
+    action:
+        Callable invoked with no arguments on every tick.
+    name:
+        Label used for traces and jitter stream derivation.
+    jitter:
+        If non-zero, each tick is displaced by a uniform offset in
+        ``[-jitter, +jitter]`` drawn from the process's own random stream.
+    start_delay:
+        Seconds before the first tick (defaults to one full interval).
+    max_ticks:
+        Optional upper bound on the number of invocations.
+    """
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        interval: float,
+        action: Callable[[], None],
+        *,
+        name: str = "process",
+        jitter: float = 0.0,
+        start_delay: Optional[float] = None,
+        max_ticks: Optional[int] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        if jitter < 0 or jitter >= interval:
+            raise ValueError(f"jitter must be in [0, interval), got {jitter!r}")
+        self.simulator = simulator
+        self.interval = float(interval)
+        self.action = action
+        self.name = name
+        self.jitter = float(jitter)
+        self.start_delay = float(interval if start_delay is None else start_delay)
+        self.max_ticks = max_ticks
+        self.ticks = 0
+        self.state = ProcessState.CREATED
+        self._pending: Optional["Event"] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "PeriodicProcess":
+        """Schedule the first tick and mark the process as running."""
+        if self.state is ProcessState.RUNNING:
+            return self
+        self.state = ProcessState.RUNNING
+        self._schedule_next(self.start_delay)
+        return self
+
+    def stop(self) -> None:
+        """Cancel any pending tick and mark the process as stopped."""
+        self.state = ProcessState.STOPPED
+        if self._pending is not None:
+            self.simulator.cancel(self._pending)
+            self._pending = None
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the process still has ticks scheduled."""
+        return self.state is ProcessState.RUNNING
+
+    # ------------------------------------------------------------------
+    def _schedule_next(self, delay: float) -> None:
+        offset = 0.0
+        if self.jitter:
+            offset = self.simulator.random.uniform(
+                f"process:{self.name}", -self.jitter, self.jitter
+            )
+        delay = max(0.0, delay + offset)
+        self._pending = self.simulator.schedule_in(
+            delay, self._tick, label=f"{self.name}.tick"
+        )
+
+    def _tick(self) -> None:
+        if self.state is not ProcessState.RUNNING:
+            return
+        self._pending = None
+        self.ticks += 1
+        self.action()
+        if self.max_ticks is not None and self.ticks >= self.max_ticks:
+            self.state = ProcessState.STOPPED
+            return
+        if self.state is ProcessState.RUNNING:
+            self._schedule_next(self.interval)

@@ -1,0 +1,69 @@
+"""In-memory model of the Tor network and its hidden-service machinery.
+
+The OnionBot design leans on specific Tor mechanisms (paper section III):
+
+* relays, the hourly consensus, and the **HSDir** flag earned after 25 hours
+  of uptime (Figure 2 and section VI-A, where adversarial HSDir positioning is
+  the basis of one mitigation);
+* hidden services: identifier = first 80 bits of SHA-1(public key), ``.onion``
+  = base32 of that identifier, descriptor IDs recomputed every 24 hours and
+  stored on 2 x 3 responsible HSDirs around the fingerprint ring (Figure 1/2);
+* introduction points and rendezvous points mediating mutually anonymous
+  connections carried in fixed-size cells.
+
+This package models all of the above deterministically and in-process: there
+is no networking and no interaction with the real Tor network.  The model is
+rich enough to drive every experiment in the paper that touches Tor behaviour
+(address rotation, HSDir interception, descriptor churn) while remaining fast
+enough for thousands of simulated services.
+"""
+
+from repro.tor.onion_address import (
+    OnionAddress,
+    onion_address_from_identifier,
+    onion_address_from_public_key,
+    service_identifier,
+)
+from repro.tor.relay import Relay, RelayFlag
+from repro.tor.consensus import ConsensusDocument, DirectoryAuthority
+from repro.tor.descriptor import HiddenServiceDescriptor
+from repro.tor.hsdir import (
+    REPLICAS,
+    SPREAD,
+    descriptor_id,
+    responsible_hsdirs,
+    secret_id_part,
+    time_period,
+)
+from repro.tor.cells import CELL_SIZE, Cell, chunk_payload, reassemble_cells
+from repro.tor.circuit import Circuit, CircuitPurpose
+from repro.tor.hidden_service import HiddenServiceHost, RendezvousConnection
+from repro.tor.network import TorNetwork, TorNetworkConfig
+
+__all__ = [
+    "OnionAddress",
+    "onion_address_from_public_key",
+    "onion_address_from_identifier",
+    "service_identifier",
+    "Relay",
+    "RelayFlag",
+    "ConsensusDocument",
+    "DirectoryAuthority",
+    "HiddenServiceDescriptor",
+    "descriptor_id",
+    "secret_id_part",
+    "time_period",
+    "responsible_hsdirs",
+    "REPLICAS",
+    "SPREAD",
+    "Cell",
+    "CELL_SIZE",
+    "chunk_payload",
+    "reassemble_cells",
+    "Circuit",
+    "CircuitPurpose",
+    "HiddenServiceHost",
+    "RendezvousConnection",
+    "TorNetwork",
+    "TorNetworkConfig",
+]

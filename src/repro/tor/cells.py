@@ -1,0 +1,98 @@
+"""Fixed-size Tor cells.
+
+"The client sends the data in fixed sized cells" (paper, section III) -- and
+OnionBot reuses the same property so that relayed botnet messages carry no
+length side-channel ("All messages are of the same fixed size, as they are in
+Tor", section IV-D).  This module provides padding/chunking of payloads into
+512-byte cells and reassembly, plus the invariant checks the tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+#: Tor's classic fixed cell size in bytes.
+CELL_SIZE = 512
+#: Bytes of each cell reserved for framing (circuit id, command, length).
+HEADER_SIZE = 5
+#: Usable payload bytes per cell.
+PAYLOAD_PER_CELL = CELL_SIZE - HEADER_SIZE
+
+
+class CellError(ValueError):
+    """Raised for malformed cells or reassembly failures."""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fixed-size cell."""
+
+    circuit_id: int
+    sequence: int
+    payload: bytes
+    payload_length: int
+
+    def __post_init__(self) -> None:
+        if len(self.payload) != PAYLOAD_PER_CELL:
+            raise CellError(
+                f"cell payload must be padded to {PAYLOAD_PER_CELL} bytes, got {len(self.payload)}"
+            )
+        if not 0 <= self.payload_length <= PAYLOAD_PER_CELL:
+            raise CellError(f"invalid payload length {self.payload_length}")
+
+    @property
+    def size(self) -> int:
+        """Total wire size of the cell (always :data:`CELL_SIZE`)."""
+        return HEADER_SIZE + len(self.payload)
+
+
+def chunk_payload(circuit_id: int, payload: bytes) -> List[Cell]:
+    """Split ``payload`` into padded fixed-size cells.
+
+    Every returned cell has exactly the same wire size, regardless of the
+    payload length -- the property that makes traffic analysis by size
+    impossible for relaying nodes.
+    """
+    if circuit_id < 0:
+        raise CellError(f"circuit id must be non-negative, got {circuit_id}")
+    cells: List[Cell] = []
+    offset = 0
+    sequence = 0
+    # Always emit at least one cell so that empty keep-alives are padded too.
+    while offset < len(payload) or sequence == 0:
+        chunk = payload[offset: offset + PAYLOAD_PER_CELL]
+        padded = chunk + b"\x00" * (PAYLOAD_PER_CELL - len(chunk))
+        cells.append(
+            Cell(
+                circuit_id=circuit_id,
+                sequence=sequence,
+                payload=padded,
+                payload_length=len(chunk),
+            )
+        )
+        offset += PAYLOAD_PER_CELL
+        sequence += 1
+    return cells
+
+
+def reassemble_cells(cells: Sequence[Cell]) -> bytes:
+    """Reconstruct the original payload from an ordered cell sequence."""
+    if not cells:
+        raise CellError("cannot reassemble an empty cell sequence")
+    circuit_ids = {cell.circuit_id for cell in cells}
+    if len(circuit_ids) != 1:
+        raise CellError(f"cells from multiple circuits: {sorted(circuit_ids)}")
+    expected = list(range(len(cells)))
+    if [cell.sequence for cell in cells] != expected:
+        raise CellError("cells are out of order or missing")
+    return b"".join(cell.payload[: cell.payload_length] for cell in cells)
+
+
+def cells_required(payload_length: int) -> int:
+    """Number of cells needed to carry ``payload_length`` bytes."""
+    if payload_length < 0:
+        raise CellError(f"payload length must be non-negative, got {payload_length}")
+    if payload_length == 0:
+        return 1
+    return -(-payload_length // PAYLOAD_PER_CELL)

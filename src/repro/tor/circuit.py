@@ -1,0 +1,103 @@
+"""Circuits through the simulated Tor network.
+
+Circuits are modelled at the level the experiments need: an ordered relay
+path with a purpose (general, introduction, rendezvous), a latency derived
+from its length, and enough book-keeping to count how much work hidden-service
+connections cost.  There is no real onion encryption here -- hop-by-hop
+confidentiality is assumed, as the paper does.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.tor.consensus import ConsensusEntry
+
+#: Default per-hop latency in seconds used by the latency model.
+DEFAULT_HOP_LATENCY = 0.05
+
+
+class CircuitPurpose(enum.Enum):
+    """Why a circuit was built (mirrors the hidden-service handshake steps)."""
+
+    GENERAL = "general"
+    INTRODUCTION = "introduction"
+    RENDEZVOUS = "rendezvous"
+    HSDIR_FETCH = "hsdir-fetch"
+
+
+_circuit_ids = itertools.count(1)
+
+
+@dataclass
+class Circuit:
+    """An established circuit through an ordered list of relays."""
+
+    path: List[ConsensusEntry]
+    purpose: CircuitPurpose
+    built_at: float
+    circuit_id: int = field(default_factory=lambda: next(_circuit_ids))
+    closed_at: Optional[float] = None
+    cells_sent: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("a circuit needs at least one relay in its path")
+
+    @property
+    def length(self) -> int:
+        """Number of relays in the path."""
+        return len(self.path)
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the circuit is still usable."""
+        return self.closed_at is None
+
+    def latency(self, per_hop: float = DEFAULT_HOP_LATENCY) -> float:
+        """One-way latency estimate for this circuit."""
+        return self.length * per_hop
+
+    def close(self, now: float) -> None:
+        """Tear the circuit down."""
+        if self.closed_at is None:
+            self.closed_at = now
+
+    def record_cells(self, count: int) -> None:
+        """Account for ``count`` cells sent along the circuit."""
+        if count < 0:
+            raise ValueError(f"cell count must be non-negative, got {count}")
+        self.cells_sent += count
+
+    def contains_relay(self, fingerprint: bytes) -> bool:
+        """Whether a relay with ``fingerprint`` is on the path."""
+        return any(entry.fingerprint == fingerprint for entry in self.path)
+
+
+def build_path(
+    candidates: Sequence[ConsensusEntry],
+    length: int,
+    chooser,
+) -> List[ConsensusEntry]:
+    """Select a loop-free path of ``length`` distinct relays.
+
+    ``chooser`` is a ``random.Random``-like object providing ``sample``; the
+    caller passes a named stream from the simulator so path selection is
+    reproducible.
+    """
+    pool = list(candidates)
+    if length <= 0:
+        raise ValueError(f"path length must be positive, got {length}")
+    if len(pool) < length:
+        raise ValueError(
+            f"not enough relays to build a {length}-hop circuit (have {len(pool)})"
+        )
+    return chooser.sample(pool, length)
+
+
+def rendezvous_latency(client_circuit: Circuit, service_circuit: Circuit, per_hop: float = DEFAULT_HOP_LATENCY) -> float:
+    """End-to-end latency of a rendezvous connection (both spliced circuits)."""
+    return client_circuit.latency(per_hop) + service_circuit.latency(per_hop)

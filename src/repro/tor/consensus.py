@@ -1,0 +1,136 @@
+"""Directory authority and consensus documents.
+
+"The list of Tor relays, which is called the consensus document, is published
+and updated every hour by the Tor authorities" (paper, section III).  The
+consensus is what hidden services and clients consult to find the HSDir ring,
+so it is the natural injection point for the HSDir-interception mitigation of
+section VI-A: an adversarial relay only becomes useful once it has been online
+for 25 hours *and* appears with the HSDir flag in a published consensus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.tor.relay import Relay, RelayFlag
+
+#: Seconds between consensus publications.
+CONSENSUS_INTERVAL = 3600.0
+
+
+@dataclass(frozen=True)
+class ConsensusEntry:
+    """One relay's row in a consensus document."""
+
+    nickname: str
+    fingerprint: bytes
+    flags: frozenset
+    bandwidth: float
+    is_adversarial: bool
+
+    def has_flag(self, flag: RelayFlag) -> bool:
+        """Whether the entry carries ``flag``."""
+        return flag in self.flags
+
+
+@dataclass
+class ConsensusDocument:
+    """A published snapshot of the relay population."""
+
+    published_at: float
+    valid_until: float
+    entries: List[ConsensusEntry] = field(default_factory=list)
+
+    def relays_with_flag(self, flag: RelayFlag) -> List[ConsensusEntry]:
+        """Entries carrying ``flag``."""
+        return [entry for entry in self.entries if entry.has_flag(flag)]
+
+    def hsdirs(self) -> List[ConsensusEntry]:
+        """Entries eligible to store hidden-service descriptors."""
+        return self.relays_with_flag(RelayFlag.HSDIR)
+
+    def hsdir_ring(self) -> List[ConsensusEntry]:
+        """HSDir entries sorted by fingerprint -- the ring of Figure 2."""
+        return sorted(self.hsdirs(), key=lambda entry: entry.fingerprint)
+
+    def find(self, fingerprint: bytes) -> Optional[ConsensusEntry]:
+        """Entry with the given fingerprint, if present."""
+        for entry in self.entries:
+            if entry.fingerprint == fingerprint:
+                return entry
+        return None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class DirectoryAuthority:
+    """Produces hourly consensus documents from the live relay population."""
+
+    def __init__(self) -> None:
+        self._relays: Dict[bytes, Relay] = {}
+        self._latest: Optional[ConsensusDocument] = None
+        self.consensus_history: List[ConsensusDocument] = []
+
+    # ------------------------------------------------------------------
+    # Relay registration
+    # ------------------------------------------------------------------
+    def register(self, relay: Relay) -> None:
+        """Add a relay to the population the authority votes on."""
+        if relay.fingerprint in self._relays:
+            raise ValueError(f"relay with fingerprint {relay.fingerprint_hex} already registered")
+        self._relays[relay.fingerprint] = relay
+
+    def deregister(self, fingerprint: bytes) -> None:
+        """Remove a relay from the population."""
+        self._relays.pop(fingerprint, None)
+
+    def relay(self, fingerprint: bytes) -> Optional[Relay]:
+        """Look up a registered relay by fingerprint."""
+        return self._relays.get(fingerprint)
+
+    def relays(self) -> List[Relay]:
+        """All registered relays."""
+        return list(self._relays.values())
+
+    # ------------------------------------------------------------------
+    # Consensus
+    # ------------------------------------------------------------------
+    def publish_consensus(self, now: float) -> ConsensusDocument:
+        """Assign flags based on uptime and publish a fresh consensus."""
+        entries: List[ConsensusEntry] = []
+        for relay in self._relays.values():
+            if not relay.is_online:
+                continue
+            flags = {RelayFlag.RUNNING}
+            if relay.uptime_hours(now) >= 8:
+                flags.add(RelayFlag.STABLE)
+            if relay.qualifies_for_hsdir(now):
+                flags.add(RelayFlag.HSDIR)
+                relay.flags.add(RelayFlag.HSDIR)
+            else:
+                relay.flags.discard(RelayFlag.HSDIR)
+            entries.append(
+                ConsensusEntry(
+                    nickname=relay.nickname,
+                    fingerprint=relay.fingerprint,
+                    flags=frozenset(flags),
+                    bandwidth=relay.bandwidth,
+                    is_adversarial=relay.is_adversarial,
+                )
+            )
+        entries.sort(key=lambda entry: entry.fingerprint)
+        document = ConsensusDocument(
+            published_at=now,
+            valid_until=now + CONSENSUS_INTERVAL,
+            entries=entries,
+        )
+        self._latest = document
+        self.consensus_history.append(document)
+        return document
+
+    @property
+    def latest_consensus(self) -> Optional[ConsensusDocument]:
+        """Most recently published consensus, if any."""
+        return self._latest

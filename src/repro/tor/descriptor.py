@@ -1,0 +1,79 @@
+"""Hidden-service descriptors.
+
+A descriptor is what a hidden service publishes to its responsible HSDirs and
+what a client fetches in step 3 of Figure 1: it names the service's current
+introduction points and is signed by the service key.  Descriptors expire and
+are republished every 24 hours (or whenever the intro-point set changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.signing import Signature, sign, verify
+from repro.tor.onion_address import OnionAddress, onion_address_from_public_key, service_identifier
+
+#: Descriptors are considered stale after this many seconds.
+DESCRIPTOR_LIFETIME = 86400.0
+
+
+@dataclass
+class HiddenServiceDescriptor:
+    """A published hidden-service descriptor."""
+
+    service_key: PublicKey
+    introduction_points: List[bytes]
+    published_at: float
+    descriptor_cookie: bytes = b""
+    signature: Optional[Signature] = None
+    version: int = field(default=2)
+
+    @property
+    def identifier(self) -> bytes:
+        """The 80-bit service identifier this descriptor belongs to."""
+        return service_identifier(self.service_key)
+
+    @property
+    def onion_address(self) -> OnionAddress:
+        """The onion address the descriptor serves."""
+        return onion_address_from_public_key(self.service_key)
+
+    def is_fresh(self, now: float, lifetime: float = DESCRIPTOR_LIFETIME) -> bool:
+        """Whether the descriptor is still within its validity window."""
+        return now - self.published_at <= lifetime
+
+    # ------------------------------------------------------------------
+    # Signing
+    # ------------------------------------------------------------------
+    def signing_payload(self) -> bytes:
+        """Canonical byte serialization covered by the signature."""
+        parts = [
+            b"hs-descriptor v%d" % self.version,
+            self.service_key.material,
+            b"".join(sorted(self.introduction_points)),
+            int(self.published_at).to_bytes(8, "big"),
+            self.descriptor_cookie,
+        ]
+        return b"|".join(parts)
+
+    def signed_by(self, keypair: KeyPair) -> "HiddenServiceDescriptor":
+        """Return a copy of this descriptor signed with ``keypair``."""
+        if keypair.public.material != self.service_key.material:
+            raise ValueError("descriptor must be signed by the service's own keypair")
+        signature = sign(keypair, self.signing_payload())
+        return HiddenServiceDescriptor(
+            service_key=self.service_key,
+            introduction_points=list(self.introduction_points),
+            published_at=self.published_at,
+            descriptor_cookie=self.descriptor_cookie,
+            signature=signature,
+            version=self.version,
+        )
+
+    def verify_signature(self) -> bool:
+        """Whether the descriptor's signature is present and valid."""
+        if self.signature is None:
+            return False
+        return verify(self.service_key, self.signing_payload(), self.signature)

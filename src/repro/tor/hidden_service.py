@@ -1,0 +1,116 @@
+"""Hidden-service hosts and rendezvous connections.
+
+Models the server side of Figure 1: a host picks introduction points, signs
+and publishes a descriptor, and accepts rendezvous connections from clients
+that looked the descriptor up.  Connections are mutually anonymous by
+construction -- neither endpoint object ever exposes the other's "location"
+(in the simulation, its registry handle), only the onion address.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.crypto.keys import KeyPair
+from repro.tor.circuit import Circuit, rendezvous_latency
+from repro.tor.descriptor import HiddenServiceDescriptor
+from repro.tor.onion_address import OnionAddress, onion_address_from_public_key
+
+#: A service handler receives (payload, connection) and may return a reply.
+ServiceHandler = Callable[[bytes, "RendezvousConnection"], Optional[bytes]]
+
+_connection_ids = itertools.count(1)
+
+
+@dataclass
+class HiddenServiceHost:
+    """One hidden service hosted inside the simulated Tor network."""
+
+    keypair: KeyPair
+    handler: ServiceHandler
+    introduction_points: List[bytes] = field(default_factory=list)
+    descriptor_cookie: bytes = b""
+    created_at: float = 0.0
+    is_online: bool = True
+    descriptors_published: int = 0
+    connections_accepted: int = 0
+
+    @property
+    def onion_address(self) -> OnionAddress:
+        """The service's current ``.onion`` hostname."""
+        return onion_address_from_public_key(self.keypair)
+
+    def build_descriptor(self, now: float) -> HiddenServiceDescriptor:
+        """Create and sign a fresh descriptor for the current intro points."""
+        if not self.introduction_points:
+            raise ValueError("cannot publish a descriptor with no introduction points")
+        descriptor = HiddenServiceDescriptor(
+            service_key=self.keypair.public,
+            introduction_points=list(self.introduction_points),
+            published_at=now,
+            descriptor_cookie=self.descriptor_cookie,
+        )
+        return descriptor.signed_by(self.keypair)
+
+    def deliver(self, payload: bytes, connection: "RendezvousConnection") -> Optional[bytes]:
+        """Hand an inbound payload to the application handler."""
+        if not self.is_online:
+            raise ServiceUnreachable(f"service {self.onion_address} is offline")
+        self.connections_accepted += 1
+        return self.handler(payload, connection)
+
+    def go_offline(self) -> None:
+        """Stop accepting connections (e.g. the bot was cleaned up)."""
+        self.is_online = False
+
+    def rekey(self, new_keypair: KeyPair) -> OnionAddress:
+        """Swap in a new identity keypair (the address-rotation primitive)."""
+        self.keypair = new_keypair
+        return self.onion_address
+
+
+class ServiceUnreachable(RuntimeError):
+    """Raised when a client cannot reach a hidden service.
+
+    Covers every failure mode the paper's mitigations exploit: the descriptor
+    cannot be fetched (censoring HSDirs), the service is offline (node taken
+    down), or no introduction point answers.
+    """
+
+
+@dataclass
+class RendezvousConnection:
+    """An established, mutually anonymous connection to a hidden service."""
+
+    client_label: str
+    service_address: OnionAddress
+    client_circuit: Circuit
+    service_circuit: Circuit
+    established_at: float
+    connection_id: int = field(default_factory=lambda: next(_connection_ids))
+    closed_at: Optional[float] = None
+    payloads_exchanged: int = 0
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the connection can still carry payloads."""
+        return self.closed_at is None and self.client_circuit.is_open and self.service_circuit.is_open
+
+    def latency(self) -> float:
+        """End-to-end latency estimate across both spliced circuits."""
+        return rendezvous_latency(self.client_circuit, self.service_circuit)
+
+    def close(self, now: float) -> None:
+        """Close the connection and both underlying circuits."""
+        if self.closed_at is None:
+            self.closed_at = now
+            self.client_circuit.close(now)
+            self.service_circuit.close(now)
+
+    def record_exchange(self, cells: int) -> None:
+        """Account for one payload exchange of ``cells`` fixed-size cells."""
+        self.payloads_exchanged += 1
+        self.client_circuit.record_cells(cells)
+        self.service_circuit.record_cells(cells)

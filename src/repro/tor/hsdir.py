@@ -1,0 +1,176 @@
+"""Hidden Service Directory (HSDir) placement arithmetic.
+
+Implements the descriptor-ID recipe the paper quotes verbatim from the Tor
+rend-spec (section III):
+
+.. code-block:: text
+
+    descriptor-id  = H(Identifier || secret-id-part)
+    secret-id-part = H(time-period || descriptor-cookie || replica)
+    time-period    = (current-time + permanent-id-byte * 86400 / 256) / 86400
+
+``H`` is SHA-1, ``Identifier`` is the 80-bit truncated SHA-1 of the service
+public key, ``replica`` is 0 or 1, and each replica's descriptor is stored on
+the 3 HSDirs whose fingerprints follow the descriptor ID on the fingerprint
+ring (Figure 2) -- 6 responsible HSDirs in total.  Both the hidden service and
+any client that knows the onion address can run this computation, which is why
+an adversary who can craft relay fingerprints can position themselves as a
+bot's HSDirs (section VI-A).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import List, Optional, Sequence
+
+from repro.tor.consensus import ConsensusDocument, ConsensusEntry
+
+#: Number of replicas (descriptor-ID variants) per hidden service.
+REPLICAS = 2
+#: Number of consecutive HSDirs storing each replica.
+SPREAD = 3
+#: Seconds per descriptor time period.
+PERIOD_SECONDS = 86400
+
+
+def time_period(current_time: float, permanent_id_byte: int) -> int:
+    """The ``time-period`` value for a service at ``current_time``.
+
+    ``permanent_id_byte`` is the first byte of the service identifier; it
+    staggers the daily descriptor rotation so that not every service switches
+    HSDirs at the same instant.
+    """
+    if not 0 <= permanent_id_byte <= 255:
+        raise ValueError(f"permanent_id_byte must be a byte value, got {permanent_id_byte}")
+    return int((int(current_time) + permanent_id_byte * PERIOD_SECONDS // 256) // PERIOD_SECONDS)
+
+
+def secret_id_part(
+    current_time: float,
+    permanent_id_byte: int,
+    replica: int,
+    descriptor_cookie: bytes = b"",
+) -> bytes:
+    """``H(time-period || descriptor-cookie || replica)``."""
+    if replica not in range(REPLICAS):
+        raise ValueError(f"replica must be in 0..{REPLICAS - 1}, got {replica}")
+    period = time_period(current_time, permanent_id_byte)
+    hasher = hashlib.sha1()
+    hasher.update(period.to_bytes(4, "big"))
+    if descriptor_cookie:
+        hasher.update(descriptor_cookie)
+    hasher.update(bytes([replica]))
+    return hasher.digest()
+
+
+def descriptor_id(
+    identifier: bytes,
+    current_time: float,
+    replica: int,
+    descriptor_cookie: bytes = b"",
+) -> bytes:
+    """``H(Identifier || secret-id-part)`` -- a point on the fingerprint ring."""
+    if len(identifier) == 0:
+        raise ValueError("identifier must be non-empty")
+    secret = secret_id_part(current_time, identifier[0], replica, descriptor_cookie)
+    return hashlib.sha1(identifier + secret).digest()
+
+
+def descriptor_ids(
+    identifier: bytes,
+    current_time: float,
+    descriptor_cookie: bytes = b"",
+) -> List[bytes]:
+    """Descriptor IDs for every replica of a service at ``current_time``."""
+    return [
+        descriptor_id(identifier, current_time, replica, descriptor_cookie)
+        for replica in range(REPLICAS)
+    ]
+
+
+def ring_successors(
+    ring: Sequence[ConsensusEntry],
+    point: bytes,
+    count: int,
+) -> List[ConsensusEntry]:
+    """The ``count`` ring entries whose fingerprints follow ``point``.
+
+    The ring wraps around: if the descriptor ID falls after the last
+    fingerprint, storage resumes at the smallest fingerprint, exactly as in
+    Figure 2 of the paper.
+    """
+    if not ring:
+        return []
+    fingerprints = [entry.fingerprint for entry in ring]
+    start = bisect_right(fingerprints, point)
+    selected: List[ConsensusEntry] = []
+    for offset in range(min(count, len(ring))):
+        selected.append(ring[(start + offset) % len(ring)])
+    return selected
+
+
+def responsible_hsdirs(
+    consensus: ConsensusDocument,
+    identifier: bytes,
+    current_time: float,
+    descriptor_cookie: bytes = b"",
+    *,
+    spread: int = SPREAD,
+) -> List[ConsensusEntry]:
+    """All HSDirs responsible for a service's descriptors right now.
+
+    Returns up to ``REPLICAS * spread`` entries (duplicates removed while
+    preserving order), i.e. the "6 responsible HSDirs" of the paper when the
+    ring is large enough.
+    """
+    ring = consensus.hsdir_ring()
+    responsible: List[ConsensusEntry] = []
+    seen: set[bytes] = set()
+    for replica_point in descriptor_ids(identifier, current_time, descriptor_cookie):
+        for entry in ring_successors(ring, replica_point, spread):
+            if entry.fingerprint in seen:
+                continue
+            seen.add(entry.fingerprint)
+            responsible.append(entry)
+    return responsible
+
+
+def position_for_interception(
+    consensus: ConsensusDocument,
+    identifier: bytes,
+    current_time: float,
+    *,
+    replica: int = 0,
+) -> Optional[bytes]:
+    """A fingerprint that would be chosen as the first responsible HSDir.
+
+    Models the attack of Biryukov et al. cited in section VI-A: given a known
+    onion identifier, a defender (or attacker) crafts a relay fingerprint that
+    sorts immediately after the descriptor ID so that, once the relay earns the
+    HSDir flag, it stores -- and can then refuse to serve -- the service's
+    descriptor.  The returned fingerprint is the descriptor ID itself with its
+    last byte nudged, guaranteeing placement directly after the ID and before
+    the currently-first responsible HSDir (if any gap exists).
+    """
+    target = descriptor_id(identifier, current_time, replica)
+    candidate = bytearray(target)
+    # Nudge the last byte up by one (with carry) to land just after the point.
+    for index in range(len(candidate) - 1, -1, -1):
+        if candidate[index] != 0xFF:
+            candidate[index] += 1
+            break
+        candidate[index] = 0
+    else:  # pragma: no cover - astronomically unlikely all-0xFF digest
+        return None
+    crafted = bytes(candidate)
+    ring = consensus.hsdir_ring()
+    if ring:
+        current_first = ring_successors(ring, target, 1)
+        if current_first and not (target < crafted <= current_first[0].fingerprint):
+            # There is no gap between the descriptor ID and the incumbent; the
+            # crafted fingerprint still lands first because it is the immediate
+            # successor of the ID, but double-check ordering to be explicit.
+            if crafted > current_first[0].fingerprint:
+                return current_first[0].fingerprint  # cannot do better than incumbent
+    return crafted

@@ -1,0 +1,359 @@
+"""The simulated Tor network.
+
+:class:`TorNetwork` ties the substrate together: it owns the directory
+authority, the relay population, per-HSDir descriptor storage, hidden-service
+hosting and the client-side connection flow of Figure 1.  It is the single
+object the OnionBot core talks to when it wants to "do Tor things" -- publish
+a service, rotate an address, look up a peer, send a message.
+
+The model supports the two Tor-level phenomena the paper's mitigation section
+cares about:
+
+* **HSDir interception / censorship** (section VI-A): adversarial relays can be
+  injected with crafted fingerprints; once they gain the HSDir flag they become
+  responsible for a target's descriptor and can refuse to serve it, making the
+  service unreachable for new clients.
+* **Descriptor ageing**: descriptors expire after 24 simulated hours unless
+  republished, so a bot that stops maintaining its service naturally drops off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.crypto.keys import KeyPair
+from repro.sim.engine import Simulator
+from repro.tor.circuit import Circuit, CircuitPurpose, build_path
+from repro.tor.consensus import CONSENSUS_INTERVAL, ConsensusDocument, DirectoryAuthority
+from repro.tor.descriptor import HiddenServiceDescriptor
+from repro.tor.hidden_service import (
+    HiddenServiceHost,
+    RendezvousConnection,
+    ServiceHandler,
+    ServiceUnreachable,
+)
+from repro.tor.hsdir import responsible_hsdirs
+from repro.tor.onion_address import OnionAddress
+from repro.tor.relay import HSDIR_UPTIME_HOURS, Relay, RelayFlag
+from repro.tor.cells import cells_required
+
+
+@dataclass
+class TorNetworkConfig:
+    """Tunable parameters of the simulated Tor network."""
+
+    #: Relays created by :meth:`TorNetwork.bootstrap`.
+    num_relays: int = 60
+    #: Number of introduction points each hidden service selects.
+    introduction_points: int = 3
+    #: Hops in a client or service circuit.
+    circuit_length: int = 3
+    #: Whether to keep publishing an hourly consensus via the simulator.
+    auto_consensus: bool = True
+    #: Descriptor lifetime in seconds before a republish is required.
+    descriptor_lifetime: float = 86400.0
+
+
+class TorNetwork:
+    """In-process model of Tor sufficient for the OnionBots experiments."""
+
+    def __init__(self, simulator: Simulator, config: Optional[TorNetworkConfig] = None) -> None:
+        self.simulator = simulator
+        self.config = config or TorNetworkConfig()
+        self.authority = DirectoryAuthority()
+        self._relay_counter = 0
+        #: Descriptor storage per HSDir fingerprint: identifier -> descriptor.
+        self._hsdir_storage: Dict[bytes, Dict[bytes, HiddenServiceDescriptor]] = {}
+        #: Fingerprints of HSDirs that silently drop descriptors they receive.
+        self._censoring_hsdirs: set[bytes] = set()
+        #: Hosted services by onion address string.
+        self._services: Dict[str, HiddenServiceHost] = {}
+        self._consensus_process = None
+
+    # ------------------------------------------------------------------
+    # Relay population
+    # ------------------------------------------------------------------
+    def add_relay(
+        self,
+        *,
+        nickname: Optional[str] = None,
+        adversarial: bool = False,
+        joined_at: Optional[float] = None,
+        fingerprint_seed: Optional[bytes] = None,
+        bandwidth: float = 1.0,
+    ) -> Relay:
+        """Register a new relay with the directory authority.
+
+        ``fingerprint_seed`` lets callers (the HSDir-interception defense)
+        craft relays whose fingerprint lands at a chosen ring position.
+        """
+        self._relay_counter += 1
+        name = nickname or f"relay{self._relay_counter:05d}"
+        seed = fingerprint_seed or self.simulator.random.random_bytes("tor.relay-keys", 32)
+        relay = Relay(
+            nickname=name,
+            keypair=KeyPair.from_seed(seed),
+            joined_at=self.simulator.now if joined_at is None else joined_at,
+            bandwidth=bandwidth,
+            is_adversarial=adversarial,
+        )
+        self.authority.register(relay)
+        self.simulator.log("tor", "relay joined", nickname=name, adversarial=adversarial)
+        return relay
+
+    def bootstrap(self, num_relays: Optional[int] = None) -> ConsensusDocument:
+        """Create the initial relay population and publish the first consensus.
+
+        Relays are backdated so they already satisfy the 25-hour HSDir uptime
+        requirement -- the experiments start from a steady-state Tor network,
+        as the paper assumes.
+        """
+        count = num_relays if num_relays is not None else self.config.num_relays
+        backdate = self.simulator.now - (HSDIR_UPTIME_HOURS + 1) * 3600.0
+        for _ in range(count):
+            self.add_relay(joined_at=backdate)
+        consensus = self.publish_consensus()
+        if self.config.auto_consensus and self._consensus_process is None:
+            self._consensus_process = self.simulator.every(
+                CONSENSUS_INTERVAL,
+                lambda: self.publish_consensus(),
+                name="tor.consensus",
+            )
+        return consensus
+
+    def publish_consensus(self) -> ConsensusDocument:
+        """Publish a consensus for the current relay population."""
+        consensus = self.authority.publish_consensus(self.simulator.now)
+        self.simulator.metrics.counters.increment("tor.consensus_published")
+        return consensus
+
+    @property
+    def consensus(self) -> ConsensusDocument:
+        """The latest consensus (publishing one if none exists yet)."""
+        latest = self.authority.latest_consensus
+        if latest is None:
+            latest = self.publish_consensus()
+        return latest
+
+    def take_relay_offline(self, fingerprint: bytes) -> None:
+        """Remove a relay from service (and from future consensuses)."""
+        relay = self.authority.relay(fingerprint)
+        if relay is None:
+            raise ValueError(f"no relay with fingerprint {fingerprint.hex()}")
+        relay.go_offline(self.simulator.now)
+        self.simulator.log("tor", "relay offline", nickname=relay.nickname)
+
+    def set_censoring(self, fingerprint: bytes, censoring: bool = True) -> None:
+        """Mark an HSDir as refusing to serve (or store) descriptors."""
+        if censoring:
+            self._censoring_hsdirs.add(fingerprint)
+        else:
+            self._censoring_hsdirs.discard(fingerprint)
+
+    # ------------------------------------------------------------------
+    # Hidden-service hosting
+    # ------------------------------------------------------------------
+    def host_service(
+        self,
+        keypair: KeyPair,
+        handler: ServiceHandler,
+        *,
+        descriptor_cookie: bytes = b"",
+    ) -> HiddenServiceHost:
+        """Host a hidden service and publish its first descriptor."""
+        host = HiddenServiceHost(
+            keypair=keypair,
+            handler=handler,
+            descriptor_cookie=descriptor_cookie,
+            created_at=self.simulator.now,
+        )
+        self._select_introduction_points(host)
+        self._services[str(host.onion_address)] = host
+        self.publish_descriptor(host)
+        self.simulator.metrics.counters.increment("tor.services_hosted")
+        return host
+
+    def _select_introduction_points(self, host: HiddenServiceHost) -> None:
+        candidates = [entry for entry in self.consensus.entries if RelayFlag.STABLE in entry.flags]
+        if not candidates:
+            candidates = list(self.consensus.entries)
+        if not candidates:
+            raise ServiceUnreachable("no relays available to act as introduction points")
+        count = min(self.config.introduction_points, len(candidates))
+        chooser = self.simulator.random.stream("tor.intro-points")
+        host.introduction_points = [entry.fingerprint for entry in chooser.sample(candidates, count)]
+
+    def publish_descriptor(self, host: HiddenServiceHost) -> HiddenServiceDescriptor:
+        """(Re)publish the host's descriptor to its responsible HSDirs."""
+        descriptor = host.build_descriptor(self.simulator.now)
+        responsible = responsible_hsdirs(
+            self.consensus,
+            descriptor.identifier,
+            self.simulator.now,
+            descriptor.descriptor_cookie,
+        )
+        stored = 0
+        for entry in responsible:
+            if entry.fingerprint in self._censoring_hsdirs:
+                continue
+            storage = self._hsdir_storage.setdefault(entry.fingerprint, {})
+            storage[descriptor.identifier] = descriptor
+            stored += 1
+        host.descriptors_published += 1
+        self.simulator.metrics.counters.increment("tor.descriptors_published")
+        self.simulator.log(
+            "tor",
+            "descriptor published",
+            onion=str(host.onion_address),
+            hsdirs=stored,
+        )
+        return descriptor
+
+    def retire_service(self, onion_address: OnionAddress | str) -> None:
+        """Take a hidden service offline and purge its descriptors."""
+        key = str(onion_address)
+        host = self._services.pop(key, None)
+        if host is None:
+            return
+        host.go_offline()
+        identifier = host.onion_address.identifier()
+        for storage in self._hsdir_storage.values():
+            storage.pop(identifier, None)
+        self.simulator.log("tor", "service retired", onion=key)
+
+    def rotate_service_key(self, host: HiddenServiceHost, new_keypair: KeyPair) -> OnionAddress:
+        """Re-home a hidden service under a new keypair (address rotation).
+
+        The old descriptor is purged, the host is re-registered under the new
+        onion address and a fresh descriptor is published, mirroring how an
+        OnionBot abandons its previous ``.onion`` each period.
+        """
+        old_address = str(host.onion_address)
+        old_identifier = host.onion_address.identifier()
+        self._services.pop(old_address, None)
+        for storage in self._hsdir_storage.values():
+            storage.pop(old_identifier, None)
+        new_address = host.rekey(new_keypair)
+        self._services[str(new_address)] = host
+        self.publish_descriptor(host)
+        self.simulator.metrics.counters.increment("tor.addresses_rotated")
+        self.simulator.log("tor", "address rotated", old=old_address, new=str(new_address))
+        return new_address
+
+    def service(self, onion_address: OnionAddress | str) -> Optional[HiddenServiceHost]:
+        """The host registered at ``onion_address``, if any."""
+        return self._services.get(str(onion_address))
+
+    def hosted_addresses(self) -> List[str]:
+        """Every onion address currently hosted."""
+        return list(self._services)
+
+    # ------------------------------------------------------------------
+    # Client-side connection flow (Figure 1)
+    # ------------------------------------------------------------------
+    def lookup_descriptor(self, onion_address: OnionAddress | str) -> HiddenServiceDescriptor:
+        """Fetch a service descriptor from its responsible HSDirs.
+
+        Raises :class:`ServiceUnreachable` when no responsible, non-censoring
+        HSDir holds a fresh descriptor -- exactly the failure an HSDir
+        interception attack produces.
+        """
+        address = OnionAddress(str(onion_address)) if not isinstance(onion_address, OnionAddress) else onion_address
+        identifier = address.identifier()
+        responsible = responsible_hsdirs(self.consensus, identifier, self.simulator.now)
+        for entry in responsible:
+            if entry.fingerprint in self._censoring_hsdirs:
+                continue
+            descriptor = self._hsdir_storage.get(entry.fingerprint, {}).get(identifier)
+            if descriptor is None:
+                continue
+            if not descriptor.is_fresh(self.simulator.now, self.config.descriptor_lifetime):
+                continue
+            self.simulator.metrics.counters.increment("tor.descriptor_lookups_ok")
+            return descriptor
+        self.simulator.metrics.counters.increment("tor.descriptor_lookups_failed")
+        raise ServiceUnreachable(f"no fresh descriptor found for {address}")
+
+    def _build_circuit(self, purpose: CircuitPurpose) -> Circuit:
+        candidates = self.consensus.entries
+        if len(candidates) < self.config.circuit_length:
+            raise ServiceUnreachable("not enough relays to build a circuit")
+        chooser = self.simulator.random.stream("tor.circuits")
+        path = build_path(candidates, self.config.circuit_length, chooser)
+        return Circuit(path=path, purpose=purpose, built_at=self.simulator.now)
+
+    def connect(self, client_label: str, onion_address: OnionAddress | str) -> RendezvousConnection:
+        """Establish a rendezvous connection from a client to a hidden service.
+
+        Follows the Figure 1 sequence: descriptor lookup (step 3), rendezvous
+        circuit (step 4), introduction (steps 5-6), service-side circuit to the
+        rendezvous point (step 7).  The returned connection reveals neither
+        party's identity to the other.
+        """
+        descriptor = self.lookup_descriptor(onion_address)
+        host = self._services.get(str(descriptor.onion_address))
+        if host is None or not host.is_online:
+            self.simulator.metrics.counters.increment("tor.connects_failed")
+            raise ServiceUnreachable(f"service {onion_address} is not online")
+        if not descriptor.verify_signature():
+            self.simulator.metrics.counters.increment("tor.connects_failed")
+            raise ServiceUnreachable(f"descriptor signature for {onion_address} is invalid")
+        client_circuit = self._build_circuit(CircuitPurpose.RENDEZVOUS)
+        service_circuit = self._build_circuit(CircuitPurpose.RENDEZVOUS)
+        connection = RendezvousConnection(
+            client_label=client_label,
+            service_address=descriptor.onion_address,
+            client_circuit=client_circuit,
+            service_circuit=service_circuit,
+            established_at=self.simulator.now,
+        )
+        self.simulator.metrics.counters.increment("tor.connects_ok")
+        return connection
+
+    def send(self, connection: RendezvousConnection, payload: bytes) -> Optional[bytes]:
+        """Send ``payload`` over an open connection and return the reply.
+
+        The payload is chunked into fixed-size cells for accounting; delivery
+        is synchronous (the latency estimate is available from the connection
+        for callers that want to model it explicitly).
+        """
+        if not connection.is_open:
+            raise ServiceUnreachable("connection is closed")
+        host = self._services.get(str(connection.service_address))
+        if host is None or not host.is_online:
+            raise ServiceUnreachable(f"service {connection.service_address} went offline")
+        cells = cells_required(len(payload))
+        connection.record_exchange(cells)
+        self.simulator.metrics.counters.increment("tor.cells_relayed", cells)
+        return host.deliver(payload, connection)
+
+    def send_to(self, client_label: str, onion_address: OnionAddress | str, payload: bytes) -> Optional[bytes]:
+        """Convenience: connect, send one payload, close, return the reply."""
+        connection = self.connect(client_label, onion_address)
+        try:
+            return self.send(connection, payload)
+        finally:
+            connection.close(self.simulator.now)
+
+    # ------------------------------------------------------------------
+    # Introspection used by experiments
+    # ------------------------------------------------------------------
+    def hsdirs_storing(self, onion_address: OnionAddress | str) -> List[bytes]:
+        """Fingerprints of HSDirs currently holding a descriptor for the address."""
+        address = OnionAddress(str(onion_address)) if not isinstance(onion_address, OnionAddress) else onion_address
+        identifier = address.identifier()
+        return [
+            fingerprint
+            for fingerprint, storage in self._hsdir_storage.items()
+            if identifier in storage
+        ]
+
+    def adversarial_hsdir_fraction(self, onion_address: OnionAddress | str) -> float:
+        """Fraction of the address's responsible HSDirs that are adversarial."""
+        address = OnionAddress(str(onion_address)) if not isinstance(onion_address, OnionAddress) else onion_address
+        responsible = responsible_hsdirs(self.consensus, address.identifier(), self.simulator.now)
+        if not responsible:
+            return 0.0
+        adversarial = sum(1 for entry in responsible if entry.is_adversarial)
+        return adversarial / len(responsible)

@@ -1,0 +1,87 @@
+"""Onion address derivation (v2 hidden-service style, as in the paper).
+
+Section III of the paper: "The first 10 bytes of the SHA-1 digest of the
+generated RSA public key becomes the Identifier of the hidden service.  The
+``.onion`` hostname is the base-32 encoding representation of the public key"
+(more precisely: of that 80-bit identifier, yielding the familiar 16-character
+v2 onion names).  This module reproduces exactly that arithmetic over the
+simulated keypairs.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyPair, PublicKey
+
+#: Length in bytes of the truncated SHA-1 digest that forms the identifier.
+IDENTIFIER_LENGTH = 10
+#: Length in characters of a v2 onion name (base32 of 10 bytes).
+ONION_NAME_LENGTH = 16
+_ONION_SUFFIX = ".onion"
+
+
+@dataclass(frozen=True, order=True)
+class OnionAddress:
+    """A validated ``.onion`` hostname."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name.endswith(_ONION_SUFFIX):
+            raise ValueError(f"onion address must end with {_ONION_SUFFIX!r}: {self.name!r}")
+        label = self.name[: -len(_ONION_SUFFIX)]
+        if len(label) != ONION_NAME_LENGTH:
+            raise ValueError(
+                f"onion label must be {ONION_NAME_LENGTH} base32 characters, got {label!r}"
+            )
+        try:
+            base64.b32decode(label.upper())
+        except Exception as exc:  # pragma: no cover - defensive
+            raise ValueError(f"onion label is not valid base32: {label!r}") from exc
+
+    @property
+    def label(self) -> str:
+        """The 16-character base32 label without the ``.onion`` suffix."""
+        return self.name[: -len(_ONION_SUFFIX)]
+
+    def identifier(self) -> bytes:
+        """The 80-bit service identifier encoded by this address."""
+        return base64.b32decode(self.label.upper())
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def service_identifier(public_key: PublicKey | bytes) -> bytes:
+    """First 10 bytes of SHA-1 over the public key material."""
+    material = public_key.material if isinstance(public_key, PublicKey) else bytes(public_key)
+    return hashlib.sha1(material).digest()[:IDENTIFIER_LENGTH]
+
+
+def onion_address_from_identifier(identifier: bytes) -> OnionAddress:
+    """Base32-encode an 80-bit identifier into a ``.onion`` hostname."""
+    if len(identifier) != IDENTIFIER_LENGTH:
+        raise ValueError(
+            f"identifier must be exactly {IDENTIFIER_LENGTH} bytes, got {len(identifier)}"
+        )
+    label = base64.b32encode(identifier).decode("ascii").lower()
+    return OnionAddress(label + _ONION_SUFFIX)
+
+
+def onion_address_from_public_key(key: PublicKey | KeyPair | bytes) -> OnionAddress:
+    """Derive the ``.onion`` hostname for a (simulated) hidden-service key."""
+    if isinstance(key, KeyPair):
+        key = key.public
+    return onion_address_from_identifier(service_identifier(key))
+
+
+def is_valid_onion(name: str) -> bool:
+    """Whether ``name`` parses as a v2-style onion hostname."""
+    try:
+        OnionAddress(name)
+    except ValueError:
+        return False
+    return True

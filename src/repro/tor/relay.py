@@ -1,0 +1,96 @@
+"""Tor relays (Onion Routers) in the simulated network.
+
+Relays matter to the reproduction for two reasons: the HSDir fingerprint ring
+(Figure 2) determines where hidden-service descriptors live, and the HSDir
+flag's 25-hour uptime requirement is exactly the hurdle an adversary must clear
+to position interception relays (section VI-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.crypto.keys import KeyPair
+
+#: Hours of continuous uptime required before a relay receives the HSDir flag.
+HSDIR_UPTIME_HOURS = 25.0
+
+
+class RelayFlag(enum.Enum):
+    """Subset of Tor consensus flags relevant to the simulation."""
+
+    RUNNING = "Running"
+    STABLE = "Stable"
+    GUARD = "Guard"
+    EXIT = "Exit"
+    HSDIR = "HSDir"
+
+
+@dataclass
+class Relay:
+    """One simulated onion router.
+
+    Attributes
+    ----------
+    nickname:
+        Human-readable name (unique per network, enforced by the authority).
+    keypair:
+        Identity keypair; the relay fingerprint is derived from its public key.
+    joined_at:
+        Simulated time at which the relay came online.
+    bandwidth:
+        Abstract bandwidth weight used by path selection.
+    is_adversarial:
+        Marks relays injected by a defender/adversary (HSDir interception).
+    """
+
+    nickname: str
+    keypair: KeyPair
+    joined_at: float
+    bandwidth: float = 1.0
+    is_adversarial: bool = False
+    flags: Set[RelayFlag] = field(default_factory=lambda: {RelayFlag.RUNNING})
+    went_offline_at: Optional[float] = None
+
+    @property
+    def fingerprint(self) -> bytes:
+        """20-byte relay fingerprint (truncated SHA-1 of the public key)."""
+        return self.keypair.public_fingerprint()
+
+    @property
+    def fingerprint_hex(self) -> str:
+        """Hex string form of the fingerprint (consensus rendering)."""
+        return self.fingerprint.hex()
+
+    @property
+    def is_online(self) -> bool:
+        """Whether the relay is currently part of the network."""
+        return self.went_offline_at is None
+
+    def uptime_hours(self, now: float) -> float:
+        """Continuous uptime in hours at simulated time ``now``."""
+        if not self.is_online:
+            return 0.0
+        return max(0.0, (now - self.joined_at) / 3600.0)
+
+    def qualifies_for_hsdir(self, now: float) -> bool:
+        """Whether the relay has been up long enough to earn the HSDir flag."""
+        return self.is_online and self.uptime_hours(now) >= HSDIR_UPTIME_HOURS
+
+    def go_offline(self, now: float) -> None:
+        """Mark the relay as having left the network."""
+        self.went_offline_at = now
+        self.flags.discard(RelayFlag.RUNNING)
+        self.flags.discard(RelayFlag.HSDIR)
+
+    def rejoin(self, now: float) -> None:
+        """Bring the relay back online; uptime (and HSDir eligibility) resets."""
+        self.joined_at = now
+        self.went_offline_at = None
+        self.flags.add(RelayFlag.RUNNING)
+
+    def has_flag(self, flag: RelayFlag) -> bool:
+        """Whether the relay currently holds ``flag``."""
+        return flag in self.flags

@@ -1,0 +1,23 @@
+"""Workload generators: deletion schedules, churn models and command streams.
+
+The experiment harness composes these with overlays and botnets:
+
+* :mod:`~repro.workloads.deletion` -- the node-deletion schedules behind
+  Figures 4, 5 and 6 (incremental random, targeted, simultaneous fractions).
+* :mod:`~repro.workloads.churn` -- background join/leave churn used by the
+  failure-injection tests and the ablation benchmarks.
+* :mod:`~repro.workloads.commands` -- streams of benign stand-in C&C commands
+  used to exercise propagation in the integrated botnet simulation.
+"""
+
+from repro.workloads.deletion import DeletionSchedule, fraction_checkpoints
+from repro.workloads.churn import ChurnEvent, ChurnModel
+from repro.workloads.commands import CommandWorkload
+
+__all__ = [
+    "DeletionSchedule",
+    "fraction_checkpoints",
+    "ChurnModel",
+    "ChurnEvent",
+    "CommandWorkload",
+]

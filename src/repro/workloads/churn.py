@@ -1,0 +1,77 @@
+"""Background churn: bots joining and leaving over time.
+
+The paper's experiments only delete nodes, but a realistic deployment also
+gains bots (new infections) and loses them benignly (hosts powered off,
+cleaned up by their owners).  The churn model produces a reproducible event
+stream the failure-injection tests and the ablation benchmarks replay against
+overlays.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class ChurnKind(enum.Enum):
+    """Type of churn event."""
+
+    JOIN = "join"
+    LEAVE = "leave"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One join or leave at a simulated time."""
+
+    time: float
+    kind: ChurnKind
+    label: str
+
+
+@dataclass
+class ChurnModel:
+    """Poisson-ish join/leave process generated ahead of time.
+
+    ``join_rate`` and ``leave_rate`` are events per simulated hour.  Events are
+    pre-generated so that experiments remain reproducible regardless of how
+    the consuming overlay reacts to them.
+    """
+
+    join_rate: float = 2.0
+    leave_rate: float = 2.0
+    seed: int = 0
+
+    def generate(self, duration_hours: float, start_label_index: int = 0) -> List[ChurnEvent]:
+        """Generate all churn events over ``duration_hours``."""
+        if duration_hours < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_hours}")
+        rng = random.Random(self.seed)
+        events: List[ChurnEvent] = []
+        label_index = start_label_index
+
+        def exponential_times(rate: float) -> Iterator[float]:
+            time = 0.0
+            while rate > 0:
+                time += rng.expovariate(rate)
+                if time > duration_hours:
+                    return
+                yield time
+
+        for join_time in exponential_times(self.join_rate):
+            events.append(
+                ChurnEvent(time=join_time * 3600.0, kind=ChurnKind.JOIN, label=f"churn-join-{label_index:05d}")
+            )
+            label_index += 1
+        for leave_time in exponential_times(self.leave_rate):
+            events.append(
+                ChurnEvent(time=leave_time * 3600.0, kind=ChurnKind.LEAVE, label="")
+            )
+        events.sort(key=lambda event: event.time)
+        return events
+
+    def expected_events(self, duration_hours: float) -> float:
+        """Expected total number of churn events over the duration."""
+        return (self.join_rate + self.leave_rate) * duration_hours

@@ -1,0 +1,58 @@
+"""Streams of benign stand-in C&C commands.
+
+The execution stage in the paper covers DDoS, spam and coin mining; the
+simulator obviously performs none of those.  The workload generator instead
+produces harmless placeholder verbs ("noop", "report-status",
+"simulated-task") with realistic pacing, so command propagation, signing and
+replay protection can be exercised end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+#: The benign placeholder verbs the simulated botmaster issues.
+BENIGN_COMMANDS: Tuple[str, ...] = (
+    "noop",
+    "report-status",
+    "simulated-task",
+    "update-peer-list",
+    "rotate-now",
+)
+
+
+@dataclass
+class CommandWorkload:
+    """A reproducible schedule of (time, verb, arguments) command triples."""
+
+    commands_per_day: float = 4.0
+    duration_days: float = 2.0
+    seed: int = 0
+    verbs: Tuple[str, ...] = BENIGN_COMMANDS
+    _schedule: List[Tuple[float, str, Dict[str, str]]] = field(default_factory=list, repr=False)
+
+    def generate(self) -> List[Tuple[float, str, Dict[str, str]]]:
+        """Build (or rebuild) the schedule and return it."""
+        rng = random.Random(self.seed)
+        self._schedule = []
+        if self.commands_per_day <= 0 or self.duration_days <= 0:
+            return self._schedule
+        total = max(1, int(round(self.commands_per_day * self.duration_days)))
+        horizon = self.duration_days * 86400.0
+        times = sorted(rng.uniform(0.0, horizon) for _ in range(total))
+        for index, time in enumerate(times):
+            verb = rng.choice(self.verbs)
+            self._schedule.append((time, verb, {"sequence": str(index)}))
+        return self._schedule
+
+    def __iter__(self) -> Iterator[Tuple[float, str, Dict[str, str]]]:
+        if not self._schedule:
+            self.generate()
+        return iter(self._schedule)
+
+    def __len__(self) -> int:
+        if not self._schedule:
+            self.generate()
+        return len(self._schedule)

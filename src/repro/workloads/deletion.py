@@ -1,0 +1,70 @@
+"""Node-deletion schedules for the resilience experiments."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Iterator, List, Sequence
+
+NodeId = Hashable
+
+
+def fraction_checkpoints(total: int, fractions: Sequence[float]) -> List[int]:
+    """Convert deletion fractions into absolute node counts.
+
+    ``fraction_checkpoints(5000, [0.1, 0.2, 0.3])`` -> ``[500, 1000, 1500]``,
+    the x-axis checkpoints of the Figure 4 curves.
+    """
+    checkpoints = []
+    for fraction in fractions:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fractions must be in [0, 1], got {fraction}")
+        checkpoints.append(int(round(fraction * total)))
+    return checkpoints
+
+
+@dataclass
+class DeletionSchedule:
+    """A reproducible ordering of victims over a node population.
+
+    The same schedule object can be replayed against the DDSR overlay and the
+    normal-graph baseline so both see identical deletions (as Figure 5 does).
+    """
+
+    victims: List[NodeId]
+
+    @classmethod
+    def random(
+        cls, nodes: Sequence[NodeId], fraction: float, *, seed: int = 0
+    ) -> "DeletionSchedule":
+        """Uniformly random victim ordering covering ``fraction`` of ``nodes``."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        rng = random.Random(seed)
+        count = int(round(fraction * len(nodes)))
+        return cls(victims=rng.sample(list(nodes), count) if count else [])
+
+    @classmethod
+    def full_population(cls, nodes: Sequence[NodeId], *, seed: int = 0) -> "DeletionSchedule":
+        """Every node in random order (Figure 5 deletes essentially everyone)."""
+        rng = random.Random(seed)
+        victims = list(nodes)
+        rng.shuffle(victims)
+        return cls(victims=victims)
+
+    def __len__(self) -> int:
+        return len(self.victims)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self.victims)
+
+    def batches(self, batch_size: int) -> Iterator[List[NodeId]]:
+        """Yield victims in fixed-size batches (one batch per checkpoint)."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        for start in range(0, len(self.victims), batch_size):
+            yield self.victims[start: start + batch_size]
+
+    def prefix(self, count: int) -> List[NodeId]:
+        """The first ``count`` victims (a partial campaign)."""
+        return self.victims[:count]

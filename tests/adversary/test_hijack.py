@@ -1,0 +1,39 @@
+"""Tests for command-injection (hijack) attempts."""
+
+from repro.adversary.hijack import HijackAttempt
+
+
+class TestHijackAttempts:
+    def test_unsigned_injection_rejected_by_every_bot(self, small_botnet):
+        outcome = HijackAttempt().inject_unsigned(small_botnet)
+        assert outcome.attempted == 16
+        assert outcome.accepted == 0
+        assert outcome.success_rate == 0.0
+
+    def test_self_signed_injection_rejected(self, small_botnet):
+        outcome = HijackAttempt().inject_self_signed(small_botnet)
+        assert outcome.accepted == 0
+        assert outcome.rejected == 16
+
+    def test_replay_of_real_command_rejected(self, small_botnet):
+        # Deliver a genuine command first, then replay it verbatim.
+        original = small_botnet.botmaster.issue_broadcast(
+            "report-status", now=small_botnet.simulator.now
+        )
+        for label in small_botnet.active_labels():
+            small_botnet.bots[label].process_command(original, small_botnet.simulator.now)
+        outcome = HijackAttempt().replay(small_botnet, original)
+        assert outcome.accepted == 0
+        assert outcome.technique == "replay"
+
+    def test_outcomes_are_recorded(self, small_botnet):
+        attempt = HijackAttempt()
+        attempt.inject_unsigned(small_botnet)
+        attempt.inject_self_signed(small_botnet)
+        assert len(attempt.outcomes) == 2
+
+    def test_empty_botnet_attempt(self, small_botnet):
+        small_botnet.take_down(list(small_botnet.active_labels()))
+        outcome = HijackAttempt().inject_unsigned(small_botnet)
+        assert outcome.attempted == 0
+        assert outcome.success_rate == 0.0

@@ -1,0 +1,57 @@
+"""Tests for honeypot-based bot capture."""
+
+import random
+
+import pytest
+
+from repro.adversary.honeypot import HoneypotOperator
+from repro.core.ddsr import DDSROverlay
+
+
+class TestCaptureFromOverlay:
+    def test_capture_reveals_only_direct_peers(self):
+        overlay = DDSROverlay.k_regular(100, 8, seed=1)
+        operator = HoneypotOperator(rng=random.Random(0))
+        result = operator.capture_from_overlay(overlay, node=overlay.nodes()[0])
+        assert result.captured == overlay.nodes()[0]
+        assert result.peer_labels == overlay.peers(result.captured)
+        assert result.exposure == 8
+
+    def test_capture_random_node(self):
+        overlay = DDSROverlay.k_regular(50, 6, seed=2)
+        operator = HoneypotOperator(rng=random.Random(1))
+        result = operator.capture_from_overlay(overlay)
+        assert result.captured in overlay.graph
+
+    def test_capture_from_empty_overlay_rejected(self):
+        with pytest.raises(ValueError):
+            HoneypotOperator().capture_from_overlay(DDSROverlay())
+
+    def test_total_exposed_accumulates(self):
+        overlay = DDSROverlay.k_regular(60, 6, seed=3)
+        operator = HoneypotOperator(rng=random.Random(2))
+        operator.capture_from_overlay(overlay, node=overlay.nodes()[0])
+        operator.capture_from_overlay(overlay, node=overlay.nodes()[1])
+        exposed = operator.total_exposed()
+        assert overlay.nodes()[0] in exposed
+        assert len(exposed) <= 2 + 12
+
+
+class TestCaptureFromBotnet:
+    def test_capture_reveals_onion_addresses(self, small_botnet):
+        operator = HoneypotOperator(rng=random.Random(0))
+        result = operator.capture_from_botnet(small_botnet)
+        assert result.captured in small_botnet.bots
+        assert all(address.endswith(".onion") for address in result.peer_addresses)
+        assert result.exposure > 0
+
+    def test_capture_specific_label(self, small_botnet):
+        operator = HoneypotOperator()
+        label = small_botnet.active_labels()[3]
+        result = operator.capture_from_botnet(small_botnet, label=label)
+        assert result.captured == label
+
+    def test_capture_fails_when_botnet_is_empty(self, small_botnet):
+        small_botnet.take_down(list(small_botnet.active_labels()))
+        with pytest.raises(ValueError):
+            HoneypotOperator().capture_from_botnet(small_botnet)

@@ -1,0 +1,86 @@
+"""Tests for the crawling / mapping adversary."""
+
+from repro.adversary.mapping import OverlayCrawler, SizeEstimator
+from repro.core.ddsr import DDSROverlay
+
+
+def overlay(n: int = 200, k: int = 8, seed: int = 0) -> DDSROverlay:
+    return DDSROverlay.k_regular(n, k, seed=seed)
+
+
+class TestOverlayCrawler:
+    def test_single_capture_with_one_round_sees_local_neighborhood_only(self):
+        target = overlay()
+        crawler = OverlayCrawler(use_non_knowledge=False, max_rounds=1)
+        result = crawler.crawl(target, [target.nodes()[0]])
+        # One round from one bot: itself plus its k peers.
+        assert len(result.discovered) <= 1 + 8
+        assert result.coverage < 0.1
+
+    def test_non_knowledge_expands_reach(self):
+        target = overlay()
+        start = [target.nodes()[0]]
+        without = OverlayCrawler(use_non_knowledge=False, max_rounds=1).crawl(target, start)
+        with_non = OverlayCrawler(use_non_knowledge=True, max_rounds=1).crawl(target, start)
+        assert len(with_non.discovered) > len(without.discovered)
+
+    def test_more_rounds_discover_more(self):
+        target = overlay()
+        start = [target.nodes()[0]]
+        shallow = OverlayCrawler(max_rounds=1).crawl(target, start)
+        deep = OverlayCrawler(max_rounds=4).crawl(target, start)
+        assert len(deep.discovered) >= len(shallow.discovered)
+
+    def test_unknown_start_nodes_are_ignored(self):
+        target = overlay()
+        result = OverlayCrawler().crawl(target, ["ghost"])
+        assert result.discovered == set()
+        assert result.coverage == 0.0
+
+    def test_rotation_invalidates_harvested_addresses(self):
+        """After one rotation only the captured bots remain actionable."""
+        target = overlay()
+        crawler = OverlayCrawler(max_rounds=3)
+        start = target.nodes()[:2]
+        result = crawler.crawl_then_rotate(target, start)
+        assert result.stale_after_rotation == len(result.discovered) - 2
+        assert result.usable_after_rotation == 2
+
+    def test_empty_overlay_coverage(self):
+        empty = DDSROverlay()
+        result = OverlayCrawler().crawl(empty, [])
+        assert result.coverage == 0.0
+
+
+class TestSizeEstimator:
+    def test_no_captures_estimates_zero(self):
+        assert SizeEstimator().estimate() == 0.0
+
+    def test_single_capture_lower_bounds_by_peer_count(self):
+        estimator = SizeEstimator()
+        estimator.record_capture({1, 2, 3, 4, 5})
+        assert estimator.estimate() == 5.0
+
+    def test_capture_recapture_estimate(self):
+        estimator = SizeEstimator()
+        estimator.record_capture(set(range(10)))
+        estimator.record_capture(set(range(5, 15)))
+        # Lincoln-Petersen: 10 * 10 / 5 overlap = 20.
+        assert estimator.estimate() == 20.0
+
+    def test_disjoint_captures_lower_bound(self):
+        estimator = SizeEstimator()
+        estimator.record_capture({1, 2})
+        estimator.record_capture({3, 4})
+        assert estimator.estimate() == 4.0
+
+    def test_estimate_error_is_large_for_onionbots(self):
+        """Peer-list-based estimation wildly underestimates a 10-regular overlay."""
+        target = overlay(n=500, k=10)
+        estimator = SizeEstimator()
+        estimator.record_capture(target.peers(target.nodes()[0]))
+        estimator.record_capture(target.peers(target.nodes()[1]))
+        assert estimator.error_against(500) > 0.5
+
+    def test_error_against_zero_population(self):
+        assert SizeEstimator().error_against(0) == 0.0

@@ -1,0 +1,133 @@
+"""Tests for the SOAP (Sybil Onion Attack Protocol) mitigation."""
+
+import random
+
+from repro.adversary.soap import AdmissionDecision, SoapAttack, is_clone, open_admission
+from repro.core.ddsr import DDSRConfig, DDSROverlay
+
+
+def overlay(n: int = 120, k: int = 8, seed: int = 0) -> DDSROverlay:
+    return DDSROverlay.k_regular(n, k, seed=seed)
+
+
+class TestCloneIdentifiers:
+    def test_is_clone_detects_minted_names(self):
+        attack = SoapAttack()
+        clone = attack._new_clone()
+        assert is_clone(clone)
+        assert not is_clone("bot-00001")
+        assert not is_clone(42)
+
+    def test_open_admission_accepts_for_free(self):
+        decision = open_admission("target", "clone", DDSROverlay())
+        assert decision.accepted and decision.work_required == 0.0
+
+
+class TestContainSingleNode:
+    def test_target_ends_up_with_only_clone_peers(self):
+        target_overlay = overlay()
+        attack = SoapAttack(rng=random.Random(1))
+        victim = target_overlay.nodes()[0]
+        result = attack.contain_node(target_overlay, victim)
+        assert result.contained
+        assert all(is_clone(peer) for peer in target_overlay.peers(victim))
+        assert result.benign_peers_displaced >= 8
+
+    def test_clones_needed_tracks_initial_degree(self):
+        target_overlay = overlay(k=6)
+        attack = SoapAttack(rng=random.Random(2))
+        victim = target_overlay.nodes()[0]
+        result = attack.contain_node(target_overlay, victim)
+        # At least one clone per displaced benign neighbour.
+        assert result.clones_used >= 6
+
+    def test_target_degree_stays_within_bound(self):
+        target_overlay = overlay()
+        attack = SoapAttack(rng=random.Random(3))
+        victim = target_overlay.nodes()[0]
+        attack.contain_node(target_overlay, victim)
+        assert target_overlay.degree(victim) <= target_overlay.config.d_max
+
+    def test_learned_addresses_are_the_targets_former_peers(self):
+        target_overlay = overlay()
+        victim = target_overlay.nodes()[0]
+        before = target_overlay.peers(victim)
+        attack = SoapAttack(rng=random.Random(4))
+        result = attack.contain_node(target_overlay, victim)
+        assert result.learned_addresses == before
+
+    def test_containing_missing_node_is_a_noop(self):
+        attack = SoapAttack()
+        result = attack.contain_node(overlay(), "ghost")
+        assert not result.contained
+        assert result.clones_used == 0
+
+    def test_rejecting_admission_stalls_containment(self):
+        def always_reject(_target, _requester, _overlay) -> AdmissionDecision:
+            return AdmissionDecision(accepted=False)
+
+        target_overlay = overlay()
+        attack = SoapAttack(rng=random.Random(5), admission=always_reject, max_clones_per_node=20)
+        victim = target_overlay.nodes()[0]
+        result = attack.contain_node(target_overlay, victim)
+        assert not result.contained
+        assert result.clones_used == 0
+        assert result.requests_rejected > 0
+
+
+class TestCampaign:
+    def test_full_campaign_neutralizes_basic_onionbot(self):
+        target_overlay = overlay(n=100, k=8)
+        attack = SoapAttack(rng=random.Random(1))
+        result = attack.run_campaign(target_overlay, [target_overlay.nodes()[0]])
+        assert result.neutralized
+        assert result.containment_fraction == 1.0
+        assert result.clones_created > 100
+
+    def test_benign_subgraph_is_shattered_after_campaign(self):
+        target_overlay = overlay(n=80, k=6)
+        attack = SoapAttack(rng=random.Random(2))
+        attack.run_campaign(target_overlay, [target_overlay.nodes()[0]])
+        summary = SoapAttack.benign_subgraph_components(target_overlay)
+        assert summary["nontrivial_components"] == 0
+        assert summary["largest_component"] == 1
+
+    def test_timeline_is_monotone(self):
+        target_overlay = overlay(n=60, k=6)
+        attack = SoapAttack(rng=random.Random(3))
+        result = attack.run_campaign(target_overlay, [target_overlay.nodes()[0]])
+        fractions = [fraction for _, fraction in result.timeline]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_max_targets_limits_campaign(self):
+        target_overlay = overlay(n=100, k=8)
+        attack = SoapAttack(rng=random.Random(4))
+        result = attack.run_campaign(
+            target_overlay, [target_overlay.nodes()[0]], max_targets=5
+        )
+        assert not result.neutralized
+        assert 0 < result.containment_fraction < 1.0
+
+    def test_work_budget_limits_campaign(self):
+        def unit_cost(_target, _requester, _overlay) -> AdmissionDecision:
+            return AdmissionDecision(accepted=True, work_required=1.0)
+
+        target_overlay = overlay(n=100, k=8)
+        attack = SoapAttack(rng=random.Random(5), admission=unit_cost, work_budget=50.0)
+        result = attack.run_campaign(target_overlay, [target_overlay.nodes()[0]])
+        assert not result.neutralized
+        assert result.work_spent <= 60.0
+
+    def test_compromised_nodes_count_as_contained(self):
+        target_overlay = overlay(n=40, k=4)
+        attack = SoapAttack(rng=random.Random(6))
+        start = target_overlay.nodes()[0]
+        result = attack.run_campaign(target_overlay, [start], max_targets=0)
+        assert start in result.contained
+
+    def test_clones_per_bot_statistic(self):
+        target_overlay = overlay(n=60, k=6)
+        attack = SoapAttack(rng=random.Random(7))
+        result = attack.run_campaign(target_overlay, [target_overlay.nodes()[0]])
+        assert result.clones_per_bot >= 1.0

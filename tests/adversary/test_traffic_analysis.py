@@ -1,0 +1,100 @@
+"""Tests for the passive traffic-analysis observer."""
+
+import pytest
+
+from repro.adversary.traffic_analysis import (
+    PassiveObserver,
+    distinguishable,
+    extract_features,
+    message_classes_leak,
+)
+from repro.baselines.legacy_botnets import sample_message
+from repro.core.messaging import CommandMessage, MessageKind, build_envelope
+from repro.crypto.keys import KeyPair
+
+BOTMASTER = KeyPair.from_seed(b"traffic-botmaster")
+KEY = b"traffic-analysis-network-key-32b"
+
+
+def onionbot_flow(kind: MessageKind = MessageKind.COMMAND_BROADCAST, count: int = 8):
+    flow = []
+    for serial in range(count):
+        message = CommandMessage(
+            kind=kind,
+            command="report-status",
+            arguments={"sequence": str(serial)},
+            targets=["abcdefghijklmnop.onion"] if kind is MessageKind.COMMAND_DIRECTED else [],
+            issued_at=float(serial),
+            nonce=f"ta-{kind.value}-{serial}",
+        ).signed_by(BOTMASTER)
+        flow.append(build_envelope(message.to_bytes(), KEY, bytes([serial]) * 32).blob)
+    return flow
+
+
+def legacy_flow(family: str, count: int = 8):
+    # Serials of different magnitudes so the plaintext (and thus the framed
+    # message) length varies, as real command streams do.
+    serials = (5, 42, 137, 1024, 99999, 7, 314159, 28, 3, 65536)
+    return [sample_message(family, serial) for serial in serials[:count]]
+
+
+class TestFeatureExtraction:
+    def test_features_of_onionbot_flow(self):
+        features = extract_features(onionbot_flow())
+        assert features.constant_size
+        assert features.looks_encrypted
+        assert features.length_stdev == 0.0
+
+    def test_features_of_plaintext_flow(self):
+        features = extract_features(legacy_flow("Miner"))
+        assert not features.looks_encrypted
+        assert features.mean_entropy < 6.0
+
+    def test_empty_flow_rejected(self):
+        with pytest.raises(ValueError):
+            extract_features([])
+
+
+class TestPassiveObserver:
+    def test_classifies_plaintext_cnc(self):
+        observer = PassiveObserver()
+        observer.observe_many(legacy_flow("Miner"))
+        assert observer.classify() == "plaintext-like"
+
+    def test_classifies_obfuscated_but_size_leaking_cnc(self):
+        observer = PassiveObserver()
+        observer.observe_many(legacy_flow("ZeroAccess v1"))
+        assert observer.classify() == "obfuscated-variable-size"
+
+    def test_classifies_onionbot_flow_as_uniform(self):
+        observer = PassiveObserver()
+        observer.observe_many(onionbot_flow())
+        assert observer.classify() == "uniform-fixed-size"
+
+    def test_observe_single_blob(self):
+        observer = PassiveObserver()
+        observer.observe(onionbot_flow(count=1)[0])
+        assert observer.report().samples == 1
+
+
+class TestDistinguishability:
+    def test_legacy_families_distinguishable_from_onionbot(self):
+        onion = onionbot_flow()
+        for family in ("Miner", "Storm", "ZeroAccess v1", "Zeus"):
+            assert distinguishable(legacy_flow(family), onion)
+
+    def test_onionbot_message_classes_do_not_leak(self):
+        """Broadcast, directed and maintenance envelopes are mutually indistinguishable."""
+        flows = [
+            onionbot_flow(MessageKind.COMMAND_BROADCAST),
+            onionbot_flow(MessageKind.COMMAND_DIRECTED),
+            onionbot_flow(MessageKind.MAINTENANCE),
+        ]
+        assert not message_classes_leak(flows)
+
+    def test_legacy_message_classes_leak(self):
+        flows = [legacy_flow("Miner"), legacy_flow("ZeroAccess v1")]
+        assert message_classes_leak(flows)
+
+    def test_same_family_not_distinguishable_from_itself(self):
+        assert not distinguishable(onionbot_flow(count=5), onionbot_flow(count=7))

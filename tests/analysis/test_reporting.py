@@ -1,0 +1,45 @@
+"""Tests for the text reporting helpers."""
+
+from repro.analysis.reporting import format_series, format_table, render_result_rows
+
+
+class TestFormatTable:
+    def test_headers_and_rows_are_aligned(self):
+        table = format_table(["Name", "Value"], [["alpha", 1], ["b", 22.5]])
+        lines = table.splitlines()
+        assert lines[0].startswith("Name")
+        assert "alpha" in lines[2]
+        # Every row has the same column boundary.
+        assert lines[0].index("|") == lines[2].index("|") == lines[3].index("|")
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in table
+
+    def test_infinity_and_nan(self):
+        table = format_table(["x"], [[float("inf")], [float("nan")]])
+        assert "inf" in table
+        assert "nan" in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "b" in table
+
+
+class TestFormatSeries:
+    def test_pairs_rendering(self):
+        out = format_series("closeness", [0, 100], [0.5, 0.4])
+        assert out.startswith("closeness:")
+        assert "(0, 0.5)" in out
+        assert "(100, 0.4)" in out
+
+
+class TestRenderResultRows:
+    def test_dict_rows(self):
+        rows = [{"Botnet": "Miner", "Crypto": "none"}, {"Botnet": "Zeus", "Crypto": "XOR"}]
+        out = render_result_rows(rows)
+        assert "Botnet" in out
+        assert "Zeus" in out
+
+    def test_empty(self):
+        assert render_result_rows([]) == "(no rows)"

@@ -1,0 +1,29 @@
+"""Tests for the parameter-sweep helper."""
+
+from repro.analysis.sweep import parameter_sweep
+
+
+def runner(a: int, b: str):
+    return {"result": a * 10, "tag": f"{a}-{b}"}
+
+
+class TestParameterSweep:
+    def test_covers_cartesian_product(self):
+        sweep = parameter_sweep(runner, {"a": [1, 2], "b": ["x", "y"]})
+        assert len(sweep.rows) == 4
+        assert sweep.parameter_names == ["a", "b"]
+
+    def test_rows_merge_parameters_and_results(self):
+        sweep = parameter_sweep(runner, {"a": [3], "b": ["z"]})
+        row = sweep.rows[0]
+        assert row == {"a": 3, "b": "z", "result": 30, "tag": "3-z"}
+
+    def test_filter(self):
+        sweep = parameter_sweep(runner, {"a": [1, 2], "b": ["x", "y"]})
+        matched = sweep.filter(a=2)
+        assert len(matched) == 2
+        assert all(row["a"] == 2 for row in matched)
+
+    def test_column(self):
+        sweep = parameter_sweep(runner, {"a": [1, 2], "b": ["x"]})
+        assert sweep.column("result") == [10, 20]

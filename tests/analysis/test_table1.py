@@ -1,0 +1,40 @@
+"""Tests for the augmented Table I builder."""
+
+from repro.analysis.table1 import build_table1
+
+
+class TestTable1:
+    def test_rows_cover_all_families(self):
+        rows = build_table1(samples_per_family=4)
+        names = [row["Botnet"] for row in rows]
+        assert names == ["Miner", "Storm", "ZeroAccess v1", "Zeus", "OnionBot"]
+
+    def test_published_columns_match_paper(self):
+        rows = {row["Botnet"]: row for row in build_table1(samples_per_family=4)}
+        assert rows["Miner"]["Crypto"] == "none"
+        assert rows["Storm"]["Crypto"] == "XOR"
+        assert rows["ZeroAccess v1"]["Crypto"] == "RC4"
+        assert rows["Zeus"]["Crypto"] == "chained XOR"
+        assert all(rows[name]["Replay"] == "yes" for name in ("Miner", "Storm", "ZeroAccess v1", "Zeus"))
+        assert rows["OnionBot"]["Replay"] == "no"
+
+    def test_onionbot_envelopes_measure_as_uniform_and_constant_size(self):
+        rows = {row["Botnet"]: row for row in build_table1(samples_per_family=4)}
+        onion = rows["OnionBot"]
+        assert onion["LooksUniform"] is True
+        assert onion["ConstantSize"] is True
+        assert onion["MeanByteEntropy"] > 7.5
+
+    def test_plaintext_families_measure_as_distinguishable(self):
+        rows = {row["Botnet"]: row for row in build_table1(samples_per_family=4)}
+        assert rows["Miner"]["MeanByteEntropy"] < 6.0
+        assert rows["Miner"]["LooksUniform"] is False
+        assert rows["Miner"]["ConstantSize"] is False
+        assert rows["Storm"]["LooksUniform"] is False
+
+    def test_entropy_ordering_matches_crypto_strength(self):
+        """Plaintext < XOR-family < keystream family < OnionBot envelopes."""
+        rows = {row["Botnet"]: row for row in build_table1(samples_per_family=6)}
+        assert rows["Miner"]["MeanByteEntropy"] <= rows["Zeus"]["MeanByteEntropy"]
+        assert rows["Zeus"]["MeanByteEntropy"] <= rows["ZeroAccess v1"]["MeanByteEntropy"]
+        assert rows["ZeroAccess v1"]["MeanByteEntropy"] <= rows["OnionBot"]["MeanByteEntropy"]

@@ -1,0 +1,54 @@
+"""Tests for the centralized C&C baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.centralized import CentralizedBotnet
+
+
+class TestCentralizedBotnet:
+    def test_build(self):
+        botnet = CentralizedBotnet.build(100, 2)
+        assert len(botnet.bots) == 100
+        assert len(botnet.cc_servers) == 2
+        assert botnet.operational
+
+    def test_invalid_build(self):
+        with pytest.raises(ValueError):
+            CentralizedBotnet.build(0)
+
+    def test_bot_takedown_barely_matters(self):
+        botnet = CentralizedBotnet.build(100)
+        botnet.take_down_bots(40, random.Random(0))
+        assert botnet.operational
+        assert botnet.reachable_bots() == 60
+
+    def test_cc_takedown_kills_everything(self):
+        botnet = CentralizedBotnet.build(100)
+        botnet.take_down_cc(1)
+        assert not botnet.operational
+        assert botnet.reachable_bots() == 0
+
+    def test_multiple_cc_servers_require_multiple_takedowns(self):
+        botnet = CentralizedBotnet.build(100, n_servers=3)
+        botnet.take_down_cc(2)
+        assert botnet.operational
+        botnet.take_down_cc(1)
+        assert not botnet.operational
+
+    def test_summary_reports(self):
+        botnet = CentralizedBotnet.build(50)
+        botnet.take_down_cc(1)
+        summary = botnet.summarize(50, 1)
+        assert summary.bots_remaining == 50
+        assert summary.cc_servers_remaining == 0
+        assert summary.surviving_fraction == 0.0
+
+    def test_takedown_comparison_contrast(self):
+        """40% bot cleanup leaves a working botnet; one C&C seizure ends it."""
+        bots_scenario, cc_scenario = CentralizedBotnet.takedown_comparison(1000)
+        assert bots_scenario.operational
+        assert bots_scenario.surviving_fraction == pytest.approx(0.6)
+        assert not cc_scenario.operational
+        assert cc_scenario.surviving_fraction == 0.0

@@ -1,0 +1,75 @@
+"""Tests for the Kademlia-style structured overlay baseline."""
+
+from repro.baselines.kademlia import (
+    BUCKET_SIZE,
+    KademliaOverlay,
+    node_id_from_label,
+    xor_distance,
+)
+
+
+class TestPrimitives:
+    def test_node_id_is_deterministic(self):
+        assert node_id_from_label("knode-1") == node_id_from_label("knode-1")
+
+    def test_xor_distance_properties(self):
+        assert xor_distance(5, 5) == 0
+        assert xor_distance(1, 2) == xor_distance(2, 1)
+
+
+class TestKademliaNode:
+    def test_observe_populates_buckets(self):
+        overlay = KademliaOverlay.build(50, seed=1)
+        node = next(iter(overlay.nodes.values()))
+        assert node.routing_state_size() > 0
+        assert node.routing_state_size() <= BUCKET_SIZE * 32
+
+    def test_bucket_capacity_respected(self):
+        overlay = KademliaOverlay.build(200, seed=2, bootstrap_contacts=64)
+        node = next(iter(overlay.nodes.values()))
+        assert all(len(bucket) <= BUCKET_SIZE for bucket in node.buckets.values())
+
+    def test_self_never_in_buckets(self):
+        overlay = KademliaOverlay.build(30, seed=3)
+        for node in overlay.nodes.values():
+            assert node.node_id not in node.contacts()
+
+    def test_forget_removes_contact(self):
+        overlay = KademliaOverlay.build(20, seed=4)
+        node = next(iter(overlay.nodes.values()))
+        contact = next(iter(node.contacts()))
+        node.forget(contact)
+        assert contact not in node.contacts()
+
+
+class TestLookups:
+    def test_lookup_succeeds_on_healthy_network(self):
+        overlay = KademliaOverlay.build(100, seed=5)
+        assert overlay.lookup_success_rate(trials=50) > 0.9
+
+    def test_lookup_from_unknown_origin(self):
+        overlay = KademliaOverlay.build(20, seed=6)
+        assert overlay.lookup(999999999, 1) is None
+
+    def test_mass_takedown_degrades_lookups(self):
+        overlay = KademliaOverlay.build(150, seed=7)
+        healthy = overlay.lookup_success_rate(trials=60)
+        overlay.remove_fraction(0.6)
+        degraded = overlay.lookup_success_rate(trials=60)
+        assert degraded <= healthy
+
+    def test_routing_state_is_larger_than_ddsr_degree(self):
+        """Structured overlays carry much more per-node state than DDSR's ~k peers."""
+        overlay = KademliaOverlay.build(200, seed=8, bootstrap_contacts=32)
+        assert overlay.average_routing_state() > 15
+
+    def test_remove_fraction_bounds(self):
+        overlay = KademliaOverlay.build(20, seed=9)
+        victims = overlay.remove_fraction(0.5)
+        assert len(victims) == 10
+        assert len(overlay.nodes) == 10
+
+    def test_empty_overlay_rates(self):
+        overlay = KademliaOverlay(seed=0)
+        assert overlay.lookup_success_rate() == 0.0
+        assert overlay.average_routing_state() == 0.0

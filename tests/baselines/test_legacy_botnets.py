@@ -1,0 +1,68 @@
+"""Tests for the Table I legacy botnet profiles and sample messages."""
+
+import pytest
+
+from repro.baselines.legacy_botnets import (
+    LEGACY_BOTNETS,
+    ONIONBOT_PROFILE,
+    all_profiles,
+    message_lengths_vary,
+    sample_message,
+)
+from repro.crypto.elligator import byte_entropy
+
+
+class TestProfiles:
+    def test_table1_families_present(self):
+        names = [profile.name for profile in LEGACY_BOTNETS]
+        assert names == ["Miner", "Storm", "ZeroAccess v1", "Zeus"]
+
+    def test_table1_rows_match_paper(self):
+        rows = {profile.name: profile.as_row() for profile in LEGACY_BOTNETS}
+        assert rows["Miner"]["Crypto"] == "none"
+        assert rows["Storm"]["Crypto"] == "XOR"
+        assert rows["ZeroAccess v1"]["Signing"] == "RSA 512"
+        assert rows["Zeus"]["Signing"] == "RSA 2048"
+        assert all(row["Replay"] == "yes" for row in rows.values())
+
+    def test_onionbot_profile_closes_the_gaps(self):
+        assert ONIONBOT_PROFILE.replay_protected
+        assert "Tor" in ONIONBOT_PROFILE.crypto
+        assert ONIONBOT_PROFILE.as_row()["Replay"] == "no"
+
+    def test_all_profiles_order(self):
+        profiles = all_profiles()
+        assert profiles[-1] is ONIONBOT_PROFILE
+        assert len(profiles) == 5
+
+
+class TestSampleMessages:
+    def test_miner_messages_are_plaintext(self):
+        message = sample_message("Miner", 1)
+        assert b"ddos" in message
+        assert byte_entropy(message) < 6.0
+
+    def test_storm_xor_is_reversible_structure(self):
+        message = sample_message("Storm", 1)
+        assert b"ddos" not in message
+        # Single-byte XOR preserves the byte-distribution shape: low entropy.
+        assert byte_entropy(message) < 6.0
+
+    def test_zeroaccess_rc4_like_looks_random(self):
+        message = sample_message("ZeroAccess v1", 1)
+        assert byte_entropy(message) > 6.0
+
+    def test_zeus_chained_xor_obscures_plaintext(self):
+        message = sample_message("Zeus", 1)
+        assert b"ddos" not in message
+
+    def test_messages_differ_per_serial(self):
+        assert sample_message("Miner", 1) != sample_message("Miner", 2)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            sample_message("Mirai")
+
+    def test_legacy_framings_leak_plaintext_length(self):
+        for profile in LEGACY_BOTNETS:
+            assert message_lengths_vary(profile.name)

@@ -1,0 +1,47 @@
+"""Tests for the no-self-repair baseline overlay."""
+
+import random
+
+from repro.baselines.normal_graph import NormalOverlay
+from repro.core.ddsr import DDSROverlay
+from repro.graphs.metrics import number_connected_components
+
+
+class TestNormalOverlay:
+    def test_no_repair_edges_ever_added(self):
+        overlay = NormalOverlay.k_regular(100, 6, seed=1)
+        overlay.remove_fraction(0.5, rng=random.Random(0))
+        assert overlay.stats.repair_edges_added == 0
+        assert overlay.stats.prune_edges_removed == 0
+
+    def test_partitions_under_heavy_deletion_unlike_ddsr(self):
+        schedule_seed = random.Random(42)
+        ddsr = DDSROverlay.k_regular(150, 10, seed=7)
+        normal = NormalOverlay.matching(ddsr)
+        victims = schedule_seed.sample(ddsr.nodes(), 120)
+        ddsr.remove_nodes(list(victims))
+        normal.remove_nodes(list(victims))
+        assert number_connected_components(ddsr.graph) == 1
+        assert number_connected_components(normal.graph) > 1
+
+    def test_matching_copies_current_wiring(self):
+        ddsr = DDSROverlay.k_regular(40, 4, seed=3)
+        normal = NormalOverlay.matching(ddsr)
+        assert sorted(map(sorted, normal.graph.edges())) == sorted(map(sorted, ddsr.graph.edges()))
+        # Mutating one must not affect the other.
+        normal.remove_node(normal.nodes()[0])
+        assert len(ddsr) == 40
+
+    def test_k_regular_builder_ignores_config_argument(self):
+        overlay = NormalOverlay.k_regular(30, 4, config="ignored", seed=1)
+        assert len(overlay) == 30
+
+    def test_degrees_never_pruned(self):
+        overlay = NormalOverlay.k_regular(60, 6, seed=2)
+        # Manually inflate a node's degree; the normal overlay never prunes.
+        hub = overlay.nodes()[0]
+        for other in overlay.nodes()[1:30]:
+            if not overlay.graph.has_edge(hub, other):
+                overlay.graph.add_edge(hub, other)
+        overlay.enforce_degree_bound(hub)
+        assert overlay.degree(hub) > 20

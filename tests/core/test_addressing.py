@@ -1,0 +1,94 @@
+"""Tests for periodic onion-address rotation."""
+
+import pytest
+
+from repro.core.addressing import (
+    AddressPlan,
+    current_onion_address,
+    keypair_for_period,
+    onion_schedule,
+    period_index_for,
+)
+from repro.crypto.keys import KeyPair
+from repro.sim.clock import SECONDS_PER_DAY
+
+
+BOTMASTER = KeyPair.from_seed(b"addressing-botmaster")
+BOT_KEY = b"addressing-bot-key"
+
+
+class TestPeriodIndex:
+    def test_daily_periods(self):
+        assert period_index_for(0.0) == 0
+        assert period_index_for(SECONDS_PER_DAY - 1) == 0
+        assert period_index_for(SECONDS_PER_DAY) == 1
+
+    def test_custom_period(self):
+        assert period_index_for(7200.0, period_seconds=3600.0) == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            period_index_for(-1.0)
+        with pytest.raises(ValueError):
+            period_index_for(0.0, period_seconds=0.0)
+
+
+class TestRotationRecipe:
+    def test_bot_and_cc_agree_on_address(self):
+        """generateKey(PK_CC, H(K_B, i_p)) yields the same address on both sides."""
+        for day in range(4):
+            time = day * SECONDS_PER_DAY + 100.0
+            bot_side = current_onion_address(BOTMASTER.public, BOT_KEY, time)
+            cc_side = AddressPlan(BOTMASTER.public, BOT_KEY).address_at(time)
+            assert bot_side == cc_side
+
+    def test_address_changes_each_period(self):
+        addresses = onion_schedule(BOTMASTER.public, BOT_KEY, 0, 10)
+        assert len(set(addresses)) == 10
+
+    def test_address_stable_within_period(self):
+        early = current_onion_address(BOTMASTER.public, BOT_KEY, 10.0)
+        late = current_onion_address(BOTMASTER.public, BOT_KEY, SECONDS_PER_DAY - 10.0)
+        assert early == late
+
+    def test_different_bots_never_collide(self):
+        a = onion_schedule(BOTMASTER.public, b"bot-a", 0, 5)
+        b = onion_schedule(BOTMASTER.public, b"bot-b", 0, 5)
+        assert not set(a) & set(b)
+
+    def test_past_addresses_not_derivable_without_bot_key(self):
+        """Different bot keys give unrelated schedules (no cross-prediction)."""
+        schedule_real = onion_schedule(BOTMASTER.public, BOT_KEY, 0, 3)
+        schedule_guess = onion_schedule(BOTMASTER.public, b"wrong-guess", 0, 3)
+        assert not set(schedule_real) & set(schedule_guess)
+
+    def test_keypair_for_period_deterministic(self):
+        assert keypair_for_period(BOTMASTER.public, BOT_KEY, 7) == keypair_for_period(
+            BOTMASTER.public, BOT_KEY, 7
+        )
+
+    def test_negative_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            onion_schedule(BOTMASTER.public, BOT_KEY, 0, -1)
+
+
+class TestAddressPlan:
+    def test_addresses_between_covers_every_period(self):
+        plan = AddressPlan(BOTMASTER.public, BOT_KEY)
+        addresses = plan.addresses_between(0.0, 3 * SECONDS_PER_DAY)
+        assert len(addresses) == 4
+
+    def test_addresses_between_invalid_range(self):
+        plan = AddressPlan(BOTMASTER.public, BOT_KEY)
+        with pytest.raises(ValueError):
+            plan.addresses_between(100.0, 0.0)
+
+    def test_window_maps_period_to_address(self):
+        plan = AddressPlan(BOTMASTER.public, BOT_KEY)
+        window = plan.window(0.0, periods_ahead=3)
+        assert sorted(window) == [0, 1, 2, 3]
+        assert window[2] == plan.address_at(2 * SECONDS_PER_DAY + 1)
+
+    def test_custom_rotation_period(self):
+        plan = AddressPlan(BOTMASTER.public, BOT_KEY, period_seconds=3600.0)
+        assert plan.address_at(0.0) != plan.address_at(3601.0)

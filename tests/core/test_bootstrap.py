@@ -1,0 +1,138 @@
+"""Tests for bootstrap (rally) strategies."""
+
+import random
+
+import pytest
+
+from repro.core.bootstrap import (
+    ONION_ADDRESS_SPACE,
+    CompositeBootstrap,
+    HardcodedPeerList,
+    Hotlist,
+    OutOfBandChannel,
+    RandomProbingEstimate,
+    estimate_random_probe_expected_attempts,
+)
+from repro.core.errors import BootstrapError
+
+
+PEERS = [f"peer{i:02d}aaaaaaaaaaaa.onion" for i in range(10)]
+
+
+class TestHardcodedPeerList:
+    def test_candidates_exclude_requester(self):
+        strategy = HardcodedPeerList(peers=list(PEERS))
+        candidates = strategy.candidate_peers(PEERS[0], 20, random.Random(0))
+        assert PEERS[0] not in candidates
+        assert len(candidates) == 9
+
+    def test_candidates_limited_to_count(self):
+        strategy = HardcodedPeerList(peers=list(PEERS))
+        assert len(strategy.candidate_peers("other", 3, random.Random(0))) == 3
+
+    def test_child_list_is_probabilistic_subset(self):
+        strategy = HardcodedPeerList(peers=list(PEERS), share_probability=0.5)
+        child = strategy.child_list(random.Random(1))
+        assert set(child.peers) <= set(PEERS)
+        assert len(child.peers) >= 1
+
+    def test_child_list_with_zero_probability_keeps_one_peer(self):
+        strategy = HardcodedPeerList(peers=list(PEERS), share_probability=0.0)
+        child = strategy.child_list(random.Random(1))
+        assert len(child.peers) == 1
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(BootstrapError):
+            HardcodedPeerList(peers=[], share_probability=2.0)
+
+    def test_update_and_forget(self):
+        strategy = HardcodedPeerList(peers=list(PEERS[:2]))
+        strategy.update([PEERS[5], PEERS[0]])
+        assert PEERS[5] in strategy.peers
+        assert strategy.peers.count(PEERS[0]) == 1
+        strategy.forget([PEERS[0]])
+        assert PEERS[0] not in strategy.peers
+
+    def test_empty_list_returns_nothing(self):
+        assert HardcodedPeerList(peers=[]).candidate_peers("x", 5, random.Random(0)) == []
+
+
+class TestHotlist:
+    def test_query_merges_server_subsets(self):
+        hotlist = Hotlist(servers_per_bot=2)
+        hotlist.add_server("cache-a", PEERS[:4])
+        hotlist.add_server("cache-b", PEERS[4:8])
+        candidates = hotlist.candidate_peers("requester", 20, random.Random(0))
+        assert set(candidates) <= set(PEERS[:8])
+        assert len(candidates) >= 4
+
+    def test_publish_deduplicates(self):
+        hotlist = Hotlist()
+        hotlist.publish("cache-a", PEERS[0])
+        hotlist.publish("cache-a", PEERS[0])
+        assert hotlist.servers["cache-a"] == [PEERS[0]]
+
+    def test_empty_hotlist(self):
+        assert Hotlist().candidate_peers("x", 5, random.Random(0)) == []
+
+    def test_seizing_one_server_reveals_only_its_subset(self):
+        hotlist = Hotlist()
+        hotlist.add_server("cache-a", PEERS[:2])
+        hotlist.add_server("cache-b", PEERS[2:10])
+        assert hotlist.exposure_if_server_seized("cache-a") == pytest.approx(0.2)
+        assert hotlist.exposure_if_server_seized("missing") == 0.0
+
+
+class TestOutOfBand:
+    def test_latest_post_is_served(self):
+        channel = OutOfBandChannel()
+        channel.publish(PEERS[:3])
+        channel.publish(PEERS[3:6])
+        assert channel.latest() == PEERS[3:6]
+        candidates = channel.candidate_peers("x", 10, random.Random(0))
+        assert set(candidates) == set(PEERS[3:6])
+
+    def test_empty_channel(self):
+        assert OutOfBandChannel().candidate_peers("x", 5, random.Random(0)) == []
+
+
+class TestRandomProbing:
+    def test_address_space_is_32_to_the_16(self):
+        assert ONION_ADDRESS_SPACE == 32 ** 16
+
+    def test_expected_probes_scale_inversely_with_population(self):
+        small = RandomProbingEstimate(population=1000)
+        large = RandomProbingEstimate(population=1_000_000)
+        assert small.expected_probes > large.expected_probes
+        assert small.expected_probes == pytest.approx(32 ** 16 / 1000)
+
+    def test_probing_is_infeasible_even_for_huge_botnets(self):
+        """Even a million-bot population takes ~38 million years at 1k probes/s."""
+        estimate = RandomProbingEstimate(population=1_000_000, probes_per_second=1000.0)
+        assert estimate.expected_years > 1e6
+
+    def test_zero_population_is_infinite(self):
+        assert RandomProbingEstimate(population=0).expected_probes == float("inf")
+
+    def test_helper_function(self):
+        assert estimate_random_probe_expected_attempts(100) == pytest.approx(32 ** 16 / 100)
+
+
+class TestComposite:
+    def test_falls_back_when_primary_short(self):
+        primary = HardcodedPeerList(peers=PEERS[:2])
+        fallback = Hotlist()
+        fallback.add_server("cache", PEERS[2:8])
+        composite = CompositeBootstrap(primary, fallback)
+        candidates = composite.candidate_peers("requester", 5, random.Random(0))
+        assert len(candidates) == 5
+        assert set(PEERS[:2]) <= set(candidates)
+
+    def test_no_fallback_needed_when_primary_sufficient(self):
+        composite = CompositeBootstrap(HardcodedPeerList(peers=list(PEERS)))
+        assert len(composite.candidate_peers("x", 4, random.Random(0))) == 4
+
+    def test_describe_mentions_both(self):
+        composite = CompositeBootstrap(HardcodedPeerList(peers=[]), Hotlist())
+        assert "HardcodedPeerList" in composite.describe()
+        assert "Hotlist" in composite.describe()

@@ -1,0 +1,124 @@
+"""Tests for the integrated OnionBotnet orchestrator."""
+
+import pytest
+
+from repro.core.botnet import OnionBotnet
+from repro.core.errors import BotnetError
+from repro.tor.hidden_service import ServiceUnreachable
+
+
+class TestBuild:
+    def test_build_creates_bots_services_and_overlay(self, small_botnet):
+        stats = small_botnet.stats()
+        assert stats.active_bots == 16
+        assert stats.connected_components == 1
+        assert stats.overlay_edges > 0
+        assert len(small_botnet.tor.hosted_addresses()) == 16
+
+    def test_every_bot_is_enrolled_with_the_cc(self, small_botnet):
+        assert len(small_botnet.botmaster.enrolled_labels()) == 16
+
+    def test_build_twice_rejected(self, small_botnet):
+        with pytest.raises(BotnetError):
+            small_botnet.build(4)
+
+    def test_too_few_bots_rejected(self):
+        with pytest.raises(BotnetError):
+            OnionBotnet(seed=1).build(1)
+
+    def test_onion_of_unknown_bot_rejected(self, small_botnet):
+        with pytest.raises(BotnetError):
+            small_botnet.onion_of("ghost")
+
+    def test_bots_only_know_peer_onions_not_labels(self, small_botnet):
+        """Stealth property: a bot's view contains onion addresses only."""
+        label = small_botnet.active_labels()[0]
+        view = small_botnet.capture_view(label)
+        assert all(address.endswith(".onion") for address in view)
+        assert not any(address.startswith("bot-") for address in view)
+
+
+class TestCommandPropagation:
+    def test_broadcast_reaches_every_active_bot(self, small_botnet):
+        report = small_botnet.broadcast_command("report-status")
+        assert report.coverage == 1.0
+        assert report.executed == 16
+        assert report.envelopes_sent >= 16
+
+    def test_directed_command_only_executes_on_targets(self, small_botnet):
+        targets = small_botnet.active_labels()[:2]
+        report = small_botnet.directed_command("simulated-task", targets)
+        assert report.reached == 16  # everyone relays the envelope...
+        assert report.executed == 2  # ...but only the targets execute it
+
+    def test_replayed_broadcast_not_executed_twice(self, small_botnet):
+        first = small_botnet.broadcast_command("noop")
+        assert first.executed == 16
+        # A second, distinct command executes; the same nonce never re-executes
+        # (replay protection is per-command nonce, exercised in node tests).
+        second = small_botnet.broadcast_command("noop")
+        assert second.executed == 16
+        assert first.nonce != second.nonce
+
+
+class TestTakedownAndSelfHealing:
+    def test_gradual_takedown_keeps_overlay_connected(self, small_botnet):
+        victims = small_botnet.active_labels()[:5]
+        removed = small_botnet.take_down(victims)
+        stats = small_botnet.stats()
+        assert removed == 5
+        assert stats.active_bots == 11
+        assert stats.connected_components == 1
+        assert stats.max_degree <= small_botnet.config.d_max
+
+    def test_taken_down_bot_unreachable_over_tor(self, small_botnet):
+        victim = small_botnet.active_labels()[0]
+        victim_onion = small_botnet.onion_of(victim)
+        small_botnet.take_down([victim])
+        with pytest.raises(ServiceUnreachable):
+            small_botnet.tor.connect("prober", victim_onion)
+
+    def test_commands_still_propagate_after_takedown(self, small_botnet):
+        small_botnet.take_down(small_botnet.active_labels()[:4])
+        report = small_botnet.broadcast_command("report-status")
+        assert report.coverage == 1.0
+
+    def test_take_down_unknown_or_dead_bots_is_safe(self, small_botnet):
+        victim = small_botnet.active_labels()[0]
+        small_botnet.take_down([victim])
+        assert small_botnet.take_down([victim, "ghost"]) == 0
+
+    def test_simultaneous_takedown_without_repair(self, small_botnet):
+        victims = small_botnet.active_labels()[:6]
+        removed = small_botnet.take_down(victims, repair=False)
+        assert removed == 6
+        # Survivors healed in one batch afterwards; overlay should still work.
+        report = small_botnet.broadcast_command("noop")
+        assert report.total_active == 10
+
+
+class TestAddressRotation:
+    def test_rotation_changes_every_address(self, small_botnet):
+        before = {label: small_botnet.onion_of(label) for label in small_botnet.active_labels()}
+        rotated = small_botnet.advance_to_next_period()
+        assert set(rotated) == set(before)
+        assert all(rotated[label] != before[label] for label in rotated)
+
+    def test_botmaster_can_still_reach_bots_after_rotation(self, small_botnet):
+        small_botnet.advance_to_next_period()
+        now = small_botnet.simulator.now
+        for label in small_botnet.active_labels()[:4]:
+            expected = small_botnet.botmaster.address_of(label, now)
+            assert str(expected) == small_botnet.onion_of(label)
+
+    def test_old_addresses_are_dead_after_rotation(self, small_botnet):
+        label = small_botnet.active_labels()[0]
+        old_onion = small_botnet.onion_of(label)
+        small_botnet.advance_to_next_period()
+        with pytest.raises(ServiceUnreachable):
+            small_botnet.tor.connect("prober", old_onion)
+
+    def test_commands_propagate_after_rotation(self, small_botnet):
+        small_botnet.advance_to_next_period()
+        report = small_botnet.broadcast_command("report-status")
+        assert report.coverage == 1.0

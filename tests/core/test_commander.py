@@ -1,0 +1,145 @@
+"""Tests for the botmaster / C&C logic."""
+
+import pytest
+
+from repro.core.commander import Botmaster
+from repro.core.config import OnionBotConfig
+from repro.core.errors import MessageError
+from repro.core.messaging import KeyReport, MessageKind, open_envelope
+from repro.core.node import OnionBotNode
+from repro.crypto.kdf import kdf
+from repro.crypto.keys import KeyPair
+
+
+def make_botmaster() -> Botmaster:
+    return Botmaster(keypair=KeyPair.from_seed(b"commander-test"), config=OnionBotConfig())
+
+
+def make_bot(botmaster: Botmaster, label: str) -> OnionBotNode:
+    bot = OnionBotNode(
+        label=label,
+        botmaster_public=botmaster.public_key,
+        network_key=botmaster.network_key,
+        bot_key=kdf("onionbot.bot-key", label.encode()),
+        config=botmaster.config,
+    )
+    bot.infect(0.0)
+    return bot
+
+
+def enroll(botmaster: Botmaster, bot: OnionBotNode, now: float = 10.0) -> KeyReport:
+    report = bot.rally(set(), now)
+    botmaster.enroll(bot.label, report)
+    return report
+
+
+class TestEnrollment:
+    def test_enroll_recovers_bot_key(self):
+        botmaster = make_botmaster()
+        bot = make_bot(botmaster, "bot-1")
+        enroll(botmaster, bot)
+        assert botmaster.knows("bot-1")
+        assert botmaster.enrolled_labels() == ["bot-1"]
+
+    def test_address_of_matches_bot_across_periods(self):
+        """The C&C can reach any bot anytime despite rotation (section IV-D)."""
+        botmaster = make_botmaster()
+        bot = make_bot(botmaster, "bot-1")
+        enroll(botmaster, bot)
+        for time in (0.0, 90_000.0, 200_000.0, 1_000_000.0):
+            assert botmaster.address_of("bot-1", time) == bot.onion_at(time)
+
+    def test_address_of_unknown_bot_raises(self):
+        with pytest.raises(MessageError):
+            make_botmaster().address_of("ghost", 0.0)
+
+    def test_addresses_at_lists_all_bots(self):
+        botmaster = make_botmaster()
+        for index in range(3):
+            enroll(botmaster, make_bot(botmaster, f"bot-{index}"))
+        addresses = botmaster.addresses_at(50_000.0)
+        assert len(addresses) == 3
+        assert len(set(addresses.values())) == 3
+
+    def test_forget_bot(self):
+        botmaster = make_botmaster()
+        bot = make_bot(botmaster, "bot-1")
+        enroll(botmaster, bot)
+        botmaster.forget_bot("bot-1")
+        assert not botmaster.knows("bot-1")
+
+
+class TestCommandIssuance:
+    def test_broadcast_is_signed_and_recorded(self):
+        botmaster = make_botmaster()
+        message = botmaster.issue_broadcast("noop", now=5.0, ttl=60.0)
+        assert message.verify_signature(botmaster.public_key)
+        assert message.expires_at == 65.0
+        assert botmaster.issued_commands == [message]
+
+    def test_nonces_are_unique(self):
+        botmaster = make_botmaster()
+        nonces = {botmaster.issue_broadcast("noop", now=0.0).nonce for _ in range(10)}
+        assert len(nonces) == 10
+
+    def test_directed_requires_targets(self):
+        botmaster = make_botmaster()
+        with pytest.raises(MessageError):
+            botmaster.issue_directed("noop", [], now=0.0)
+
+    def test_group_command_names_group(self):
+        botmaster = make_botmaster()
+        message = botmaster.issue_group("noop", "miners", now=0.0)
+        assert message.kind is MessageKind.COMMAND_GROUP
+        assert message.group == "miners"
+
+    def test_maintenance_message(self):
+        botmaster = make_botmaster()
+        message = botmaster.issue_maintenance("update-peer-list", now=0.0)
+        assert message.kind is MessageKind.MAINTENANCE
+        assert message.verify_signature(botmaster.public_key)
+
+
+class TestEnvelopes:
+    def test_broadcast_envelope_opens_with_network_key(self):
+        botmaster = make_botmaster()
+        message = botmaster.issue_broadcast("noop", now=0.0)
+        envelope = botmaster.envelope_for(message, b"r" * 32)
+        assert open_envelope(envelope, botmaster.network_key) == message.to_bytes()
+
+    def test_directed_envelope_uses_bot_key(self):
+        botmaster = make_botmaster()
+        bot = make_bot(botmaster, "bot-1")
+        enroll(botmaster, bot)
+        message = botmaster.issue_directed("noop", [str(bot.onion_at(20.0))], now=20.0)
+        envelope = botmaster.envelope_for(message, b"r" * 32, target_label="bot-1")
+        assert open_envelope(envelope, bot.bot_key) == message.to_bytes()
+
+    def test_directed_envelope_without_label_rejected(self):
+        botmaster = make_botmaster()
+        message = botmaster.issue_directed("noop", ["target.onion"], now=0.0)
+        with pytest.raises(MessageError):
+            botmaster.envelope_for(message, b"r" * 32)
+
+    def test_group_envelope_uses_group_key(self):
+        botmaster = make_botmaster()
+        message = botmaster.issue_group("noop", "miners", now=0.0)
+        envelope = botmaster.envelope_for(message, b"r" * 32)
+        assert open_envelope(envelope, botmaster.group_key("miners")) == message.to_bytes()
+
+    def test_group_keys_are_stable_and_distinct(self):
+        botmaster = make_botmaster()
+        assert botmaster.group_key("a") == botmaster.group_key("a")
+        assert botmaster.group_key("a") != botmaster.group_key("b")
+
+
+class TestRental:
+    def test_rent_out_issues_valid_token(self):
+        botmaster = make_botmaster()
+        renter = KeyPair.from_seed(b"renter")
+        token = botmaster.rent_out(
+            renter.public, now=0.0, duration=3600.0, whitelisted_commands=["noop"]
+        )
+        assert token.verify(botmaster.public_key)
+        assert token.expires_at == 3600.0
+        assert token.permits("noop")

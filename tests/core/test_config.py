@@ -1,0 +1,46 @@
+"""Tests for OnionBot configuration validation."""
+
+import pytest
+
+from repro.core.config import OnionBotConfig
+
+
+class TestOnionBotConfig:
+    def test_defaults_are_valid(self):
+        config = OnionBotConfig()
+        assert config.degree == 10
+        assert config.d_min <= config.degree <= config.d_max
+
+    def test_paper_defaults_for_each_k(self):
+        for degree in (5, 10, 15):
+            config = OnionBotConfig.paper_defaults(degree)
+            assert config.degree == degree
+            assert config.d_min <= degree <= config.d_max
+
+    def test_rejects_degree_below_one(self):
+        with pytest.raises(ValueError):
+            OnionBotConfig(degree=0)
+
+    def test_rejects_dmax_below_dmin(self):
+        with pytest.raises(ValueError):
+            OnionBotConfig(d_min=10, d_max=5)
+
+    def test_rejects_degree_outside_bounds(self):
+        with pytest.raises(ValueError):
+            OnionBotConfig(degree=20, d_min=5, d_max=15)
+
+    def test_rejects_bad_share_probability(self):
+        with pytest.raises(ValueError):
+            OnionBotConfig(peer_share_probability=1.5)
+
+    def test_rejects_nonpositive_rotation_period(self):
+        with pytest.raises(ValueError):
+            OnionBotConfig(rotation_period=0)
+
+    def test_rejects_nonpositive_heartbeat(self):
+        with pytest.raises(ValueError):
+            OnionBotConfig(heartbeat_interval=0)
+
+    def test_rejects_negative_dmin(self):
+        with pytest.raises(ValueError):
+            OnionBotConfig(d_min=-1)

@@ -1,0 +1,90 @@
+"""Tests for heartbeat-based failure detection and repair."""
+
+import pytest
+
+from repro.core.botnet import OnionBotnet
+from repro.core.errors import BotnetError
+from repro.core.failure_detection import FailureDetector
+from repro.graphs.metrics import number_connected_components
+
+
+@pytest.fixture
+def botnet() -> OnionBotnet:
+    net = OnionBotnet(seed=55)
+    net.build(14)
+    return net
+
+
+class TestSilentFailure:
+    def test_silent_failure_leaves_overlay_stale(self, botnet):
+        victim = botnet.active_labels()[0]
+        botnet.silent_failure(victim)
+        # The bot is gone from Tor, but the overlay still lists it.
+        assert victim in botnet.overlay.graph
+        assert not botnet.bots[victim].is_active
+
+    def test_silent_failure_requires_active_bot(self, botnet):
+        victim = botnet.active_labels()[0]
+        botnet.silent_failure(victim)
+        with pytest.raises(BotnetError):
+            botnet.silent_failure(victim)
+        with pytest.raises(BotnetError):
+            botnet.silent_failure("ghost")
+
+
+class TestFailureDetector:
+    def test_healthy_botnet_declares_nobody_dead(self, botnet):
+        detector = FailureDetector(botnet, suspicion_threshold=2)
+        report = detector.sweep()
+        assert report.peers_unreachable == 0
+        assert report.peers_declared_dead == 0
+        assert report.probes_sent > 0
+
+    def test_dead_peer_detected_after_threshold_sweeps(self, botnet):
+        victim = botnet.active_labels()[0]
+        botnet.silent_failure(victim)
+        detector = FailureDetector(botnet, suspicion_threshold=2)
+
+        first = detector.sweep()
+        assert first.peers_unreachable > 0
+        assert first.peers_declared_dead == 0  # still below the threshold
+
+        second = detector.sweep()
+        assert victim in second.dead_labels
+        assert victim not in botnet.overlay.graph
+        # The survivors healed around the failure.
+        assert number_connected_components(botnet.overlay.graph) == 1
+        assert botnet.overlay.degree_bounds_satisfied()
+
+    def test_peer_lists_updated_after_detection(self, botnet):
+        victim = botnet.active_labels()[0]
+        victim_onion = botnet.onion_of(victim)
+        botnet.silent_failure(victim)
+        detector = FailureDetector(botnet, suspicion_threshold=1)
+        detector.sweep()
+        for label in botnet.active_labels():
+            assert victim_onion not in botnet.bots[label].peer_addresses
+
+    def test_multiple_failures_detected(self, botnet):
+        victims = botnet.active_labels()[:3]
+        for victim in victims:
+            botnet.silent_failure(victim)
+        detector = FailureDetector(botnet, suspicion_threshold=1)
+        report = detector.sweep()
+        assert set(victims) <= set(report.dead_labels)
+        assert detector.total_declared_dead >= 3
+
+    def test_commands_propagate_after_detection_and_repair(self, botnet):
+        victims = botnet.active_labels()[:3]
+        for victim in victims:
+            botnet.silent_failure(victim)
+        FailureDetector(botnet, suspicion_threshold=1).sweep()
+        report = botnet.broadcast_command("report-status")
+        assert report.coverage == 1.0
+
+    def test_periodic_registration_runs_sweeps(self, botnet):
+        detector = FailureDetector(botnet, suspicion_threshold=1)
+        process = detector.run_periodic(interval=100.0)
+        botnet.simulator.run_for(350.0)
+        assert detector.sweeps_performed >= 3
+        process.stop()

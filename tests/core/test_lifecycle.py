@@ -1,0 +1,77 @@
+"""Tests for the bot life-cycle state machine."""
+
+import pytest
+
+from repro.core.errors import LifecycleError
+from repro.core.lifecycle import BotStage, LifecycleMachine
+
+
+class TestHappyPath:
+    def test_full_lifecycle(self):
+        machine = LifecycleMachine()
+        machine.infect(1.0)
+        machine.rally(2.0)
+        machine.wait(3.0)
+        machine.execute(4.0)
+        machine.wait(5.0)
+        machine.neutralize(6.0)
+        assert machine.stage is BotStage.NEUTRALIZED
+        assert machine.is_neutralized
+
+    def test_history_records_transitions(self):
+        machine = LifecycleMachine()
+        machine.infect(1.0)
+        machine.rally(2.0)
+        assert machine.history == [(1.0, BotStage.INFECTION), (2.0, BotStage.RALLY)]
+        assert machine.time_entered(BotStage.RALLY) == 2.0
+        assert machine.time_entered(BotStage.EXECUTION) is None
+
+    def test_waiting_bot_can_re_rally(self):
+        machine = LifecycleMachine()
+        machine.infect()
+        machine.rally()
+        machine.wait()
+        machine.rally()
+        assert machine.stage is BotStage.RALLY
+
+    def test_is_active_states(self):
+        machine = LifecycleMachine()
+        assert not machine.is_active
+        machine.infect()
+        assert not machine.is_active
+        machine.rally()
+        assert machine.is_active
+        machine.wait()
+        assert machine.is_active
+        machine.neutralize()
+        assert not machine.is_active
+
+
+class TestIllegalTransitions:
+    def test_cannot_execute_before_waiting(self):
+        machine = LifecycleMachine()
+        machine.infect()
+        with pytest.raises(LifecycleError):
+            machine.execute()
+
+    def test_cannot_rally_before_infection(self):
+        with pytest.raises(LifecycleError):
+            LifecycleMachine().rally()
+
+    def test_neutralized_is_terminal(self):
+        machine = LifecycleMachine()
+        machine.infect()
+        machine.neutralize()
+        for action in (machine.infect, machine.rally, machine.wait, machine.execute):
+            with pytest.raises(LifecycleError):
+                action()
+
+    def test_cannot_neutralize_before_creation_stage_changes(self):
+        machine = LifecycleMachine()
+        with pytest.raises(LifecycleError):
+            machine.neutralize()
+
+    def test_can_transition_predicate(self):
+        machine = LifecycleMachine()
+        assert machine.can_transition(BotStage.INFECTION)
+        assert not machine.can_transition(BotStage.EXECUTION)

@@ -1,0 +1,156 @@
+"""Tests for C&C message formats and the fixed-size uniform envelope."""
+
+import pytest
+
+from repro.core.errors import MessageError
+from repro.core.messaging import (
+    ENVELOPE_SIZE,
+    CommandMessage,
+    Envelope,
+    KeyReport,
+    MessageKind,
+    build_envelope,
+    open_envelope,
+)
+from repro.crypto.elligator import looks_uniform
+from repro.crypto.keys import KeyPair
+
+BOTMASTER = KeyPair.from_seed(b"messaging-botmaster")
+KEY = b"messaging-symmetric-key-32bytes!"
+RANDOMNESS = b"messaging-randomness-0123456789abcdef"
+
+
+def broadcast(command: str = "noop", **kwargs) -> CommandMessage:
+    return CommandMessage(
+        kind=MessageKind.COMMAND_BROADCAST,
+        command=command,
+        issued_at=kwargs.pop("issued_at", 0.0),
+        nonce=kwargs.pop("nonce", "n-1"),
+        **kwargs,
+    )
+
+
+class TestCommandMessage:
+    def test_sign_and_verify(self):
+        message = broadcast().signed_by(BOTMASTER)
+        assert message.verify_signature(BOTMASTER.public)
+
+    def test_unsigned_fails_verification(self):
+        assert not broadcast().verify_signature(BOTMASTER.public)
+
+    def test_wrong_signer_fails(self):
+        other = KeyPair.from_seed(b"someone-else")
+        message = broadcast().signed_by(other)
+        assert not message.verify_signature(BOTMASTER.public)
+
+    def test_serialization_roundtrip_preserves_signature(self):
+        message = broadcast(arguments={"target": "simulated"}).signed_by(BOTMASTER)
+        restored = CommandMessage.from_bytes(message.to_bytes())
+        assert restored.command == "noop"
+        assert restored.arguments == {"target": "simulated"}
+        assert restored.verify_signature(BOTMASTER.public)
+
+    def test_malformed_bytes_rejected(self):
+        with pytest.raises(MessageError):
+            CommandMessage.from_bytes(b"\xff\xfe not json")
+
+    def test_expiry(self):
+        message = CommandMessage(
+            kind=MessageKind.COMMAND_BROADCAST, command="noop", issued_at=0.0, expires_at=100.0
+        )
+        assert not message.is_expired(50.0)
+        assert message.is_expired(101.0)
+
+    def test_addressing_broadcast(self):
+        assert broadcast().addressed_to("anyaddress.onion")
+
+    def test_addressing_directed(self):
+        message = CommandMessage(
+            kind=MessageKind.COMMAND_DIRECTED,
+            command="noop",
+            targets=["abc.onion"],
+        )
+        assert message.addressed_to("abc.onion")
+        assert not message.addressed_to("xyz.onion")
+
+    def test_group_addressing_is_key_based(self):
+        message = CommandMessage(kind=MessageKind.COMMAND_GROUP, command="noop", group="g1")
+        assert message.addressed_to("any.onion")
+
+    def test_tampering_with_command_invalidates_signature(self):
+        message = broadcast(command="benign").signed_by(BOTMASTER)
+        tampered = CommandMessage.from_bytes(message.to_bytes())
+        tampered.command = "malicious"
+        assert not tampered.verify_signature(BOTMASTER.public)
+
+
+class TestKeyReport:
+    def test_roundtrip_through_botmaster(self):
+        report = KeyReport.create(
+            bot_key=b"K_B material",
+            onion_address="abcdefghijklmnop.onion",
+            botmaster_public=BOTMASTER.public,
+            nonce=b"nonce-material-16",
+            reported_at=42.0,
+        )
+        assert report.open_with(BOTMASTER) == b"K_B material"
+
+    def test_serialization_roundtrip(self):
+        report = KeyReport.create(
+            bot_key=b"K_B material",
+            onion_address="abcdefghijklmnop.onion",
+            botmaster_public=BOTMASTER.public,
+            nonce=b"nonce-material-16",
+            reported_at=42.0,
+        )
+        restored = KeyReport.from_bytes(report.to_bytes())
+        assert restored.onion_address == report.onion_address
+        assert restored.open_with(BOTMASTER) == b"K_B material"
+
+    def test_malformed_report_rejected(self):
+        with pytest.raises(MessageError):
+            KeyReport.from_bytes(b"not json at all")
+
+
+class TestEnvelope:
+    def test_envelope_has_fixed_size(self):
+        short = build_envelope(b"tiny", KEY, RANDOMNESS)
+        longer = build_envelope(b"x" * 1500, KEY, RANDOMNESS)
+        assert short.size == longer.size == ENVELOPE_SIZE
+
+    def test_roundtrip(self):
+        plaintext = broadcast().signed_by(BOTMASTER).to_bytes()
+        envelope = build_envelope(plaintext, KEY, RANDOMNESS)
+        assert open_envelope(envelope, KEY) == plaintext
+
+    def test_wrong_key_cannot_open(self):
+        envelope = build_envelope(b"secret command", KEY, RANDOMNESS)
+        with pytest.raises(MessageError):
+            open_envelope(envelope, b"some-other-key")
+
+    def test_envelope_looks_uniform(self):
+        plaintext = broadcast(command="report-status").signed_by(BOTMASTER).to_bytes()
+        envelope = build_envelope(plaintext, KEY, RANDOMNESS)
+        assert looks_uniform(envelope.blob)
+
+    def test_broadcast_and_directed_envelopes_indistinguishable_by_size(self):
+        broadcast_env = build_envelope(broadcast().to_bytes(), KEY, RANDOMNESS)
+        directed = CommandMessage(
+            kind=MessageKind.COMMAND_DIRECTED,
+            command="noop",
+            targets=["abcdefghijklmnop.onion"] * 5,
+        )
+        directed_env = build_envelope(directed.to_bytes(), KEY, RANDOMNESS)
+        assert broadcast_env.size == directed_env.size
+
+    def test_oversized_message_rejected(self):
+        with pytest.raises(MessageError):
+            build_envelope(b"x" * (ENVELOPE_SIZE + 1), KEY, RANDOMNESS)
+
+    def test_short_randomness_rejected(self):
+        with pytest.raises(MessageError):
+            build_envelope(b"data", KEY, b"short")
+
+    def test_envelope_validates_blob_size(self):
+        with pytest.raises(MessageError):
+            Envelope(blob=b"too small")

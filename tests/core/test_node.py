@@ -1,0 +1,198 @@
+"""Tests for individual OnionBot nodes."""
+
+import pytest
+
+from repro.core.config import OnionBotConfig
+from repro.core.errors import MessageError
+from repro.core.messaging import CommandMessage, MessageKind, build_envelope
+from repro.core.node import OnionBotNode
+from repro.crypto.kdf import derive_group_key, kdf
+from repro.crypto.keys import KeyPair
+
+BOTMASTER = KeyPair.from_seed(b"node-test-botmaster")
+NETWORK_KEY = kdf("onionbot.network-key", BOTMASTER.private)
+
+
+def make_bot(label: str = "bot-x") -> OnionBotNode:
+    bot = OnionBotNode(
+        label=label,
+        botmaster_public=BOTMASTER.public,
+        network_key=NETWORK_KEY,
+        bot_key=kdf("onionbot.bot-key", label.encode()),
+        config=OnionBotConfig(),
+    )
+    bot.infect(0.0)
+    return bot
+
+
+def rallied_bot(label: str = "bot-x") -> OnionBotNode:
+    bot = make_bot(label)
+    bot.rally({"peeronionaddress1.onion"}, 10.0)
+    return bot
+
+
+def signed_broadcast(command: str = "noop", nonce: str = "n-1", **kwargs) -> CommandMessage:
+    return CommandMessage(
+        kind=MessageKind.COMMAND_BROADCAST,
+        command=command,
+        nonce=nonce,
+        issued_at=kwargs.pop("issued_at", 0.0),
+        **kwargs,
+    ).signed_by(BOTMASTER)
+
+
+class TestIdentityRotation:
+    def test_onion_changes_across_periods(self):
+        bot = make_bot()
+        day = bot.config.rotation_period
+        assert bot.onion_at(0.0) != bot.onion_at(day + 1)
+
+    def test_onion_stable_within_period(self):
+        bot = make_bot()
+        assert bot.onion_at(100.0) == bot.onion_at(bot.config.rotation_period - 100.0)
+
+    def test_address_plan_matches_node(self):
+        bot = make_bot()
+        assert bot.address_plan.address_at(5000.0) == bot.onion_at(5000.0)
+
+
+class TestLifecycleIntegration:
+    def test_rally_produces_key_report_the_botmaster_can_open(self):
+        bot = make_bot()
+        report = bot.rally({"peer.onion" * 2}, 100.0)
+        assert report.open_with(BOTMASTER) == bot.bot_key
+        assert bot.lifecycle.stage.value == "waiting"
+
+    def test_neutralize_clears_peers_and_deactivates(self):
+        bot = rallied_bot()
+        bot.neutralize(50.0)
+        assert not bot.is_active
+        assert bot.peer_addresses == set()
+
+    def test_neutralize_is_idempotent(self):
+        bot = rallied_bot()
+        bot.neutralize(50.0)
+        bot.neutralize(60.0)
+        assert not bot.is_active
+
+
+class TestPeerListMaintenance:
+    def test_learn_and_forget_peer(self):
+        bot = rallied_bot()
+        bot.learn_peer("newpeeronionaddr.onion")
+        assert bot.peer_count() == 2
+        bot.forget_peer("newpeeronionaddr.onion")
+        assert bot.peer_count() == 1
+
+    def test_replace_peer_address_on_rotation_announcement(self):
+        bot = rallied_bot()
+        bot.replace_peer_address("peeronionaddress1.onion", "rotatedonionaddr1.onion")
+        assert "rotatedonionaddr1.onion" in bot.peer_addresses
+        assert "peeronionaddress1.onion" not in bot.peer_addresses
+
+    def test_replace_unknown_address_is_noop(self):
+        bot = rallied_bot()
+        bot.replace_peer_address("unknown.onion", "new.onion")
+        assert "new.onion" not in bot.peer_addresses
+
+
+class TestCommandProcessing:
+    def test_accepts_botmaster_signed_broadcast(self):
+        bot = rallied_bot()
+        assert bot.process_command(signed_broadcast(), 20.0) is True
+        assert bot.executed[0].command == "noop"
+
+    def test_rejects_unsigned_command(self):
+        bot = rallied_bot()
+        unsigned = CommandMessage(kind=MessageKind.COMMAND_BROADCAST, command="noop", nonce="u-1")
+        assert bot.process_command(unsigned, 20.0) is False
+        assert bot.rejected_messages == 1
+
+    def test_rejects_command_signed_by_stranger(self):
+        bot = rallied_bot()
+        stranger = KeyPair.from_seed(b"stranger")
+        forged = CommandMessage(
+            kind=MessageKind.COMMAND_BROADCAST, command="noop", nonce="f-1"
+        ).signed_by(stranger)
+        assert bot.process_command(forged, 20.0) is False
+
+    def test_rejects_replayed_nonce(self):
+        bot = rallied_bot()
+        message = signed_broadcast(nonce="replay-me")
+        assert bot.process_command(message, 20.0) is True
+        assert bot.process_command(message, 21.0) is False
+        assert len(bot.executed) == 1
+
+    def test_rejects_expired_command(self):
+        bot = rallied_bot()
+        message = signed_broadcast(nonce="exp-1", expires_at=10.0)
+        assert bot.process_command(message, 20.0) is False
+
+    def test_ignores_directed_command_for_other_bot(self):
+        bot = rallied_bot()
+        other_target = CommandMessage(
+            kind=MessageKind.COMMAND_DIRECTED,
+            command="noop",
+            targets=["someotherbotaddr.onion"],
+            nonce="d-1",
+        ).signed_by(BOTMASTER)
+        assert bot.process_command(other_target, 20.0) is False
+
+    def test_accepts_directed_command_for_own_address(self):
+        bot = rallied_bot()
+        message = CommandMessage(
+            kind=MessageKind.COMMAND_DIRECTED,
+            command="noop",
+            targets=[str(bot.onion_at(20.0))],
+            nonce="d-2",
+        ).signed_by(BOTMASTER)
+        assert bot.process_command(message, 20.0) is True
+
+    def test_neutralized_bot_ignores_commands(self):
+        bot = rallied_bot()
+        bot.neutralize(15.0)
+        assert bot.process_command(signed_broadcast(nonce="n-2"), 20.0) is False
+
+
+class TestEnvelopeHandling:
+    def test_try_open_with_network_key(self):
+        bot = rallied_bot()
+        message = signed_broadcast(nonce="env-1")
+        envelope = build_envelope(message.to_bytes(), NETWORK_KEY, b"r" * 32)
+        opened = bot.try_open(envelope, 20.0)
+        assert opened is not None and opened.nonce == "env-1"
+
+    def test_try_open_with_bot_key(self):
+        bot = rallied_bot()
+        message = signed_broadcast(nonce="env-2")
+        envelope = build_envelope(message.to_bytes(), bot.bot_key, b"r" * 32)
+        assert bot.try_open(envelope, 20.0) is not None
+
+    def test_try_open_with_unknown_key_returns_none(self):
+        bot = rallied_bot()
+        envelope = build_envelope(b"opaque", b"a key the bot does not hold", b"r" * 32)
+        assert bot.try_open(envelope, 20.0) is None
+
+    def test_group_key_routing(self):
+        bot = rallied_bot()
+        group_key = derive_group_key(BOTMASTER.private, "miners")
+        bot.group_keys["miners"] = group_key
+        assert bot.key_for(MessageKind.COMMAND_GROUP, "miners") == group_key
+        with pytest.raises(MessageError):
+            bot.key_for(MessageKind.COMMAND_GROUP, "unknown-group")
+
+    def test_key_for_report_kind_rejected(self):
+        bot = rallied_bot()
+        with pytest.raises(MessageError):
+            bot.key_for(MessageKind.KEY_REPORT)
+
+    def test_wrap_command_produces_fixed_size_envelope(self):
+        bot = rallied_bot()
+        envelope = bot.wrap_command(signed_broadcast(nonce="w-1"), b"r" * 32)
+        assert envelope.size == 2048
+
+    def test_relay_counter(self):
+        bot = rallied_bot()
+        bot.record_relay()
+        bot.record_relay()
+        assert bot.relayed_envelopes == 2

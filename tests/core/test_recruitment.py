@@ -1,0 +1,108 @@
+"""Tests for botnet growth through recruitment."""
+
+import pytest
+
+from repro.core.bootstrap import Hotlist
+from repro.core.botnet import OnionBotnet
+from repro.core.errors import BotnetError
+from repro.core.recruitment import RecruitmentCampaign
+from repro.graphs.metrics import number_connected_components
+
+
+@pytest.fixture
+def botnet() -> OnionBotnet:
+    net = OnionBotnet(seed=66)
+    net.build(12)
+    return net
+
+
+class TestRecruitOne:
+    def test_new_bot_joins_overlay_and_tor(self, botnet):
+        campaign = RecruitmentCampaign(botnet)
+        label = campaign.recruit_one()
+        assert label in botnet.bots
+        assert label in botnet.overlay.graph
+        assert botnet.overlay.degree(label) >= 1
+        assert botnet.bots[label].is_active
+        # Its hidden service is reachable and the C&C knows its key.
+        assert botnet.tor.service(botnet.onion_of(label)) is not None
+        assert botnet.botmaster.knows(label)
+
+    def test_recruit_from_specific_infector(self, botnet):
+        infector = botnet.active_labels()[0]
+        campaign = RecruitmentCampaign(botnet)
+        label = campaign.recruit_one(infector_label=infector)
+        # The newcomer's peers come from the infector's neighbourhood (its
+        # peers plus the infector itself).
+        allowed = set(botnet.overlay.peers(infector)) | {infector}
+        assert set(botnet.overlay.peers(label)) <= allowed | {label}
+
+    def test_recruit_from_unknown_infector_rejected(self, botnet):
+        with pytest.raises(BotnetError):
+            RecruitmentCampaign(botnet).recruit_one(infector_label="ghost")
+
+    def test_degree_bounds_respected_after_recruits(self, botnet):
+        campaign = RecruitmentCampaign(botnet)
+        for _ in range(10):
+            campaign.recruit_one()
+        assert botnet.overlay.degree_bounds_satisfied()
+
+    def test_labels_are_unique(self, botnet):
+        campaign = RecruitmentCampaign(botnet)
+        labels = {campaign.recruit_one() for _ in range(5)}
+        assert len(labels) == 5
+
+
+class TestRecruitMany:
+    def test_batch_recruitment(self, botnet):
+        campaign = RecruitmentCampaign(botnet)
+        result = campaign.recruit(8)
+        assert result.recruited == 8
+        assert result.success_rate == 1.0
+        assert botnet.stats().active_bots == 20
+        assert number_connected_components(botnet.overlay.graph) == 1
+
+    def test_commands_reach_recruits(self, botnet):
+        RecruitmentCampaign(botnet).recruit(6)
+        report = botnet.broadcast_command("report-status")
+        assert report.coverage == 1.0
+        assert report.total_active == 18
+
+    def test_negative_count_rejected(self, botnet):
+        with pytest.raises(BotnetError):
+            RecruitmentCampaign(botnet).recruit(-1)
+
+    def test_zero_count(self, botnet):
+        result = RecruitmentCampaign(botnet).recruit(0)
+        assert result.requested == 0
+        assert result.success_rate == 0.0
+
+    def test_custom_bootstrap_strategy(self, botnet):
+        hotlist = Hotlist(servers_per_bot=1)
+        hotlist.add_server(
+            "cache-a", [botnet.onion_of(label) for label in botnet.active_labels()[:5]]
+        )
+        campaign = RecruitmentCampaign(botnet, strategy=hotlist, target_peers=3)
+        label = campaign.recruit_one()
+        assert botnet.overlay.degree(label) >= 1
+
+    def test_growth_profile_rows(self, botnet):
+        campaign = RecruitmentCampaign(botnet)
+        rows = campaign.growth_profile(waves=3, per_wave=4)
+        assert len(rows) == 3
+        assert rows[-1]["active_bots"] == 24
+        assert all(row["broadcast_coverage"] == 1.0 for row in rows)
+        assert all(row["max_degree"] <= botnet.config.d_max for row in rows)
+
+
+class TestGrowthAfterTakedown:
+    def test_botnet_regrows_after_partial_takedown(self, botnet):
+        """Takedowns and re-recruitment interleave without breaking the overlay."""
+        botnet.take_down(botnet.active_labels()[:4])
+        campaign = RecruitmentCampaign(botnet)
+        result = campaign.recruit(6)
+        assert result.recruited == 6
+        stats = botnet.stats()
+        assert stats.active_bots == 14
+        assert stats.connected_components == 1
+        assert botnet.broadcast_command("noop").coverage == 1.0

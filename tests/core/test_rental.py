@@ -1,0 +1,125 @@
+"""Tests for the botnet-for-rent token scheme."""
+
+import pytest
+
+from repro.core.errors import RentalError
+from repro.core.messaging import CommandMessage, MessageKind
+from repro.core.rental import (
+    issue_token,
+    require_rented_command,
+    sign_rented_command,
+    verify_rented_command,
+)
+from repro.crypto.keys import KeyPair
+
+BOTMASTER = KeyPair.from_seed(b"rental-botmaster")
+RENTER = KeyPair.from_seed(b"rental-renter")
+
+
+def make_token(whitelist=("simulated-task",), expires_at=1000.0):
+    return issue_token(
+        BOTMASTER,
+        RENTER.public,
+        issued_at=0.0,
+        expires_at=expires_at,
+        whitelisted_commands=list(whitelist),
+    )
+
+
+def renter_command(command="simulated-task", expires_at=None):
+    message = CommandMessage(
+        kind=MessageKind.COMMAND_BROADCAST,
+        command=command,
+        issued_at=1.0,
+        expires_at=expires_at,
+        nonce="rental-1",
+    )
+    return sign_rented_command(RENTER, message)
+
+
+class TestTokenIssuance:
+    def test_token_verifies_against_botmaster(self):
+        assert make_token().verify(BOTMASTER.public)
+
+    def test_token_from_wrong_issuer_fails(self):
+        impostor = KeyPair.from_seed(b"impostor")
+        token = issue_token(
+            impostor, RENTER.public, issued_at=0.0, expires_at=10.0, whitelisted_commands=["x"]
+        )
+        assert not token.verify(BOTMASTER.public)
+
+    def test_token_expiry(self):
+        token = make_token(expires_at=100.0)
+        assert not token.is_expired(50.0)
+        assert token.is_expired(101.0)
+
+    def test_token_whitelist(self):
+        token = make_token(whitelist=("a", "b"))
+        assert token.permits("a")
+        assert not token.permits("c")
+
+    def test_empty_whitelist_rejected(self):
+        with pytest.raises(RentalError):
+            issue_token(BOTMASTER, RENTER.public, issued_at=0.0, expires_at=10.0, whitelisted_commands=[])
+
+    def test_expiry_before_issuance_rejected(self):
+        with pytest.raises(RentalError):
+            issue_token(BOTMASTER, RENTER.public, issued_at=10.0, expires_at=5.0, whitelisted_commands=["x"])
+
+
+class TestRentedCommandVerification:
+    def test_valid_rented_command_accepted(self):
+        assert verify_rented_command(BOTMASTER.public, renter_command(), make_token(), now=10.0)
+
+    def test_command_not_on_whitelist_rejected(self):
+        command = renter_command(command="forbidden-task")
+        assert not verify_rented_command(BOTMASTER.public, command, make_token(), now=10.0)
+        with pytest.raises(RentalError, match="not whitelisted"):
+            require_rented_command(BOTMASTER.public, command, make_token(), now=10.0)
+
+    def test_expired_token_rejected(self):
+        token = make_token(expires_at=5.0)
+        with pytest.raises(RentalError, match="expired"):
+            require_rented_command(BOTMASTER.public, renter_command(), token, now=10.0)
+
+    def test_expired_command_rejected(self):
+        command = renter_command(expires_at=2.0)
+        with pytest.raises(RentalError, match="command itself has expired"):
+            require_rented_command(BOTMASTER.public, command, make_token(), now=10.0)
+
+    def test_command_signed_by_wrong_renter_rejected(self):
+        other = KeyPair.from_seed(b"other-renter")
+        message = CommandMessage(
+            kind=MessageKind.COMMAND_BROADCAST, command="simulated-task", issued_at=1.0, nonce="x"
+        ).signed_by(other)
+        with pytest.raises(RentalError, match="not signed by the renter"):
+            require_rented_command(BOTMASTER.public, message, make_token(), now=10.0)
+
+    def test_forged_token_rejected(self):
+        impostor = KeyPair.from_seed(b"impostor")
+        forged = issue_token(
+            impostor, RENTER.public, issued_at=0.0, expires_at=100.0, whitelisted_commands=["simulated-task"]
+        )
+        with pytest.raises(RentalError, match="not signed by the botmaster"):
+            require_rented_command(BOTMASTER.public, renter_command(), forged, now=10.0)
+
+    def test_bot_accepts_rented_command_through_node_api(self):
+        from repro.core.config import OnionBotConfig
+        from repro.core.node import OnionBotNode
+        from repro.crypto.kdf import kdf
+
+        bot = OnionBotNode(
+            label="rented-bot",
+            botmaster_public=BOTMASTER.public,
+            network_key=b"net-key",
+            bot_key=kdf("onionbot.bot-key", b"rented-bot"),
+            config=OnionBotConfig(),
+        )
+        bot.infect(0.0)
+        bot.rally(set(), 1.0)
+        accepted = bot.process_command(renter_command(), 10.0, rental_token=make_token())
+        assert accepted is True
+        rejected = bot.process_command(
+            renter_command(command="forbidden-task"), 11.0, rental_token=make_token()
+        )
+        assert rejected is False

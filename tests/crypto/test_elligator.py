@@ -1,0 +1,71 @@
+"""Tests for the uniform-encoding (Elligator stand-in) model."""
+
+import pytest
+
+from repro.crypto.elligator import (
+    byte_entropy,
+    decode_uniform,
+    distinguishing_advantage,
+    encode_uniform,
+    looks_uniform,
+)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        payload = b"maintenance message: change peers" * 4
+        encoded = encode_uniform(payload, b"randomness-seed")
+        assert decode_uniform(encoded) == payload
+
+    def test_encoded_is_longer_by_prefix(self):
+        payload = b"x" * 100
+        encoded = encode_uniform(payload, b"r")
+        assert len(encoded) == len(payload) + 16
+
+    def test_decode_too_short_raises(self):
+        with pytest.raises(ValueError):
+            decode_uniform(b"short")
+
+    def test_same_payload_different_randomness_differs(self):
+        payload = b"identical payload bytes" * 8
+        a = encode_uniform(payload, b"rand-a")
+        b = encode_uniform(payload, b"rand-b")
+        assert a != b
+
+    def test_structured_payload_becomes_high_entropy(self):
+        payload = b'{"cmd": "ddos", "target": "example.com"}' * 10
+        assert byte_entropy(payload) < 6.0
+        assert byte_entropy(encode_uniform(payload, b"r")) > 7.0
+
+
+class TestEntropyChecks:
+    def test_byte_entropy_bounds(self):
+        assert byte_entropy(b"") == 0.0
+        assert byte_entropy(b"\x00" * 100) == 0.0
+        assert byte_entropy(bytes(range(256)) * 4) == pytest.approx(8.0)
+
+    def test_looks_uniform_accepts_whitened_blob(self):
+        blob = encode_uniform(b"some structured plaintext" * 20, b"r")
+        assert looks_uniform(blob)
+
+    def test_looks_uniform_rejects_plaintext(self):
+        assert not looks_uniform(b"plaintext command " * 20)
+
+    def test_looks_uniform_requires_minimum_size(self):
+        with pytest.raises(ValueError):
+            looks_uniform(b"tiny")
+
+    def test_distinguishing_advantage_separates_plain_from_uniform(self):
+        plain = [b"GET /command HTTP/1.1 host: cc.example" * 5 for _ in range(5)]
+        uniform = [encode_uniform(sample, bytes([index])) for index, sample in enumerate(plain)]
+        advantage = distinguishing_advantage(plain, uniform)
+        assert advantage > 0.2
+
+    def test_distinguishing_advantage_near_zero_for_same_family(self):
+        family = [encode_uniform(b"message" * 30, bytes([index])) for index in range(6)]
+        advantage = distinguishing_advantage(family[:3], family[3:])
+        assert advantage < 0.05
+
+    def test_distinguishing_advantage_requires_samples(self):
+        with pytest.raises(ValueError):
+            distinguishing_advantage([], [b"x" * 64])

@@ -1,0 +1,92 @@
+"""Tests for key derivation (address-rotation recipe)."""
+
+import pytest
+
+from repro.crypto.kdf import (
+    combine,
+    derive_group_key,
+    derive_period_key,
+    hash_chain,
+    hmac_tag,
+    kdf,
+    period_token,
+    verify_hmac,
+)
+from repro.crypto.keys import KeyPair
+
+
+class TestKdf:
+    def test_deterministic(self):
+        assert kdf("ctx", b"a", b"b") == kdf("ctx", b"a", b"b")
+
+    def test_domain_separation(self):
+        assert kdf("ctx1", b"a") != kdf("ctx2", b"a")
+
+    def test_length_framing_prevents_ambiguity(self):
+        # (b"ab", b"c") must not collide with (b"a", b"bc").
+        assert kdf("ctx", b"ab", b"c") != kdf("ctx", b"a", b"bc")
+
+    def test_output_is_32_bytes(self):
+        assert len(kdf("ctx", b"data")) == 32
+
+
+class TestPeriodKeys:
+    def test_period_token_changes_with_period(self):
+        assert period_token(b"botkey", 0) != period_token(b"botkey", 1)
+
+    def test_period_token_rejects_negative(self):
+        with pytest.raises(ValueError):
+            period_token(b"botkey", -1)
+
+    def test_bot_and_cc_derive_identical_keypairs(self):
+        """Both sides of the shared secret agree on every period's keypair."""
+        botmaster = KeyPair.from_seed(b"cc")
+        bot_key = b"bot-key-material"
+        for period in range(5):
+            bot_side = derive_period_key(botmaster.public, bot_key, period)
+            cc_side = derive_period_key(botmaster.public, bot_key, period)
+            assert bot_side == cc_side
+
+    def test_period_keys_differ_across_periods(self):
+        botmaster = KeyPair.from_seed(b"cc")
+        keys = {derive_period_key(botmaster.public, b"k", period).public.material for period in range(10)}
+        assert len(keys) == 10
+
+    def test_period_keys_differ_across_bots(self):
+        botmaster = KeyPair.from_seed(b"cc")
+        a = derive_period_key(botmaster.public, b"bot-a", 3)
+        b = derive_period_key(botmaster.public, b"bot-b", 3)
+        assert a != b
+
+    def test_group_key_is_per_group(self):
+        botmaster = KeyPair.from_seed(b"cc")
+        assert derive_group_key(botmaster.private, "ddos") != derive_group_key(botmaster.private, "spam")
+
+
+class TestHashChainAndHmac:
+    def test_hash_chain_length(self):
+        chain = hash_chain(b"seed", 5)
+        assert len(chain) == 5
+        assert len(set(chain)) == 5
+
+    def test_hash_chain_zero_length(self):
+        assert hash_chain(b"seed", 0) == []
+
+    def test_hash_chain_negative_rejected(self):
+        with pytest.raises(ValueError):
+            hash_chain(b"seed", -1)
+
+    def test_hash_chain_is_forward_linked(self):
+        import hashlib
+
+        chain = hash_chain(b"seed", 3)
+        assert chain[1] == hashlib.sha256(chain[0]).digest()
+
+    def test_hmac_roundtrip(self):
+        tag = hmac_tag(b"key", b"message")
+        assert verify_hmac(b"key", b"message", tag)
+        assert not verify_hmac(b"key", b"tampered", tag)
+        assert not verify_hmac(b"other", b"message", tag)
+
+    def test_combine_is_order_sensitive(self):
+        assert combine([b"a", b"b"]) != combine([b"b", b"a"])

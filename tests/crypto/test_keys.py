@@ -1,0 +1,76 @@
+"""Tests for simulated keypairs."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair, PublicKey, fingerprint, key_id, shared_identity
+
+
+class TestKeyPair:
+    def test_from_seed_is_deterministic(self):
+        assert KeyPair.from_seed(b"seed") == KeyPair.from_seed(b"seed")
+
+    def test_different_seeds_differ(self):
+        assert KeyPair.from_seed(b"a") != KeyPair.from_seed(b"b")
+
+    def test_string_seed_equivalent_to_bytes(self):
+        assert KeyPair.from_seed("seed") == KeyPair.from_seed(b"seed")
+
+    def test_public_key_material_size(self):
+        keypair = KeyPair.from_seed(b"x")
+        assert len(keypair.public.material) == 32
+        assert len(keypair.private) == 32
+
+    def test_generate_requires_entropy(self):
+        with pytest.raises(ValueError):
+            KeyPair.generate(b"")
+
+    def test_public_key_validates_length(self):
+        with pytest.raises(ValueError):
+            PublicKey(b"short")
+
+    def test_private_not_in_repr(self):
+        keypair = KeyPair.from_seed(b"secret-seed")
+        assert keypair.private.hex() not in repr(keypair)
+
+
+class TestFingerprints:
+    def test_fingerprint_is_20_bytes(self):
+        keypair = KeyPair.from_seed(b"x")
+        assert len(keypair.public_fingerprint()) == 20
+
+    def test_fingerprint_truncation(self):
+        keypair = KeyPair.from_seed(b"x")
+        assert keypair.public_fingerprint(10) == keypair.public_fingerprint()[:10]
+
+    def test_fingerprint_helper_accepts_many_types(self):
+        keypair = KeyPair.from_seed(b"x")
+        assert fingerprint(keypair) == fingerprint(keypair.public)
+        assert fingerprint(keypair.public.material) == fingerprint(keypair.public)
+
+    def test_fingerprint_helper_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            fingerprint(12345)  # type: ignore[arg-type]
+
+    def test_key_id_is_short_hex(self):
+        keypair = KeyPair.from_seed(b"x")
+        assert len(key_id(keypair.public)) == 16
+        assert set(key_id(keypair.public)) <= set("0123456789abcdef")
+
+
+class TestSharedIdentity:
+    def test_deterministic(self):
+        a = KeyPair.from_seed(b"a")
+        b = KeyPair.from_seed(b"b")
+        assert shared_identity(a.private, b.public) == shared_identity(a.private, b.public)
+
+    def test_depends_on_both_keys(self):
+        a = KeyPair.from_seed(b"a")
+        b = KeyPair.from_seed(b"b")
+        c = KeyPair.from_seed(b"c")
+        assert shared_identity(a.private, b.public) != shared_identity(a.private, c.public)
+        assert shared_identity(a.private, b.public) != shared_identity(c.private, b.public)
+
+    def test_requires_public_key_type(self):
+        a = KeyPair.from_seed(b"a")
+        with pytest.raises(TypeError):
+            shared_identity(a.private, b"not-a-key")  # type: ignore[arg-type]

@@ -1,0 +1,66 @@
+"""Tests for simulated signatures."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.signing import SignatureError, require_valid, sign, verify
+
+
+class TestSignatures:
+    def test_sign_and_verify_roundtrip(self):
+        keypair = KeyPair.from_seed(b"signer")
+        signature = sign(keypair, b"message")
+        assert verify(keypair.public, b"message", signature)
+
+    def test_tampered_message_fails(self):
+        keypair = KeyPair.from_seed(b"signer")
+        signature = sign(keypair, b"message")
+        assert not verify(keypair.public, b"other message", signature)
+
+    def test_wrong_public_key_fails(self):
+        signer = KeyPair.from_seed(b"signer")
+        other = KeyPair.from_seed(b"other")
+        signature = sign(signer, b"message")
+        assert not verify(other.public, b"message", signature)
+
+    def test_signature_from_other_key_claiming_same_signer_fails(self):
+        signer = KeyPair.from_seed(b"signer")
+        impostor = KeyPair.from_seed(b"impostor")
+        # The impostor signs, then swaps the signer field to claim it came
+        # from the real signer; verification must reject it.
+        forged = sign(impostor, b"attack command")
+        from repro.crypto.signing import Signature
+
+        claimed = Signature(tag=forged.tag, signer=signer.public)
+        sign(signer, b"anything")  # ensure the real signer's binding exists
+        assert not verify(signer.public, b"attack command", claimed)
+
+    def test_signature_is_deterministic_per_message(self):
+        keypair = KeyPair.from_seed(b"signer")
+        assert sign(keypair, b"m").tag == sign(keypair, b"m").tag
+
+    def test_signature_differs_per_message(self):
+        keypair = KeyPair.from_seed(b"signer")
+        assert sign(keypair, b"m1").tag != sign(keypair, b"m2").tag
+
+    def test_sign_requires_bytes(self):
+        keypair = KeyPair.from_seed(b"signer")
+        with pytest.raises(TypeError):
+            sign(keypair, "not bytes")  # type: ignore[arg-type]
+
+    def test_verify_requires_signature_type(self):
+        keypair = KeyPair.from_seed(b"signer")
+        with pytest.raises(TypeError):
+            verify(keypair.public, b"m", b"raw-bytes")  # type: ignore[arg-type]
+
+    def test_require_valid_raises_on_failure(self):
+        keypair = KeyPair.from_seed(b"signer")
+        signature = sign(keypair, b"message")
+        require_valid(keypair.public, b"message", signature)
+        with pytest.raises(SignatureError):
+            require_valid(keypair.public, b"tampered", signature)
+
+    def test_signature_hex_rendering(self):
+        keypair = KeyPair.from_seed(b"signer")
+        signature = sign(keypair, b"message")
+        assert len(signature.hex()) == 64

@@ -1,0 +1,86 @@
+"""Tests for simulated symmetric sealing."""
+
+import pytest
+
+from repro.crypto.symmetric import (
+    SealedBox,
+    SealError,
+    open_from_private,
+    open_sealed,
+    seal,
+    seal_to_public,
+)
+from repro.crypto.keys import KeyPair
+
+
+class TestSeal:
+    def test_roundtrip(self):
+        box = seal(b"key", b"hello world", b"nonce-12345678")
+        assert open_sealed(b"key", box) == b"hello world"
+
+    def test_wrong_key_fails_authentication(self):
+        box = seal(b"key", b"hello", b"nonce-12345678")
+        with pytest.raises(SealError):
+            open_sealed(b"other-key", box)
+
+    def test_tampered_ciphertext_fails(self):
+        box = seal(b"key", b"hello", b"nonce-12345678")
+        tampered = SealedBox(
+            nonce=box.nonce,
+            ciphertext=bytes([box.ciphertext[0] ^ 1]) + box.ciphertext[1:],
+            tag=box.tag,
+        )
+        with pytest.raises(SealError):
+            open_sealed(b"key", tampered)
+
+    def test_tampered_nonce_fails(self):
+        box = seal(b"key", b"hello", b"nonce-12345678")
+        tampered = SealedBox(nonce=b"another-nonce!!", ciphertext=box.ciphertext, tag=box.tag)
+        with pytest.raises(SealError):
+            open_sealed(b"key", tampered)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            seal(b"", b"data", b"nonce-12345678")
+
+    def test_short_nonce_rejected(self):
+        with pytest.raises(ValueError):
+            seal(b"key", b"data", b"short")
+
+    def test_ciphertext_differs_from_plaintext(self):
+        box = seal(b"key", b"hello world, this is plaintext", b"nonce-12345678")
+        assert box.ciphertext != b"hello world, this is plaintext"
+
+    def test_different_nonces_give_different_ciphertexts(self):
+        a = seal(b"key", b"same message", b"nonce-aaaaaaaa")
+        b = seal(b"key", b"same message", b"nonce-bbbbbbbb")
+        assert a.ciphertext != b.ciphertext
+
+    def test_empty_plaintext_roundtrip(self):
+        box = seal(b"key", b"", b"nonce-12345678")
+        assert open_sealed(b"key", box) == b""
+
+    def test_box_size(self):
+        box = seal(b"key", b"12345", b"nonce-12345678")
+        assert box.size() == len(box.nonce) + len(box.ciphertext) + len(box.tag)
+
+
+class TestPublicKeySealing:
+    def test_roundtrip_to_keypair_owner(self):
+        botmaster = KeyPair.from_seed(b"cc")
+        box = seal_to_public(botmaster.public.material, b"K_B material", b"nonce-12345678")
+        opened = open_from_private(botmaster.private, botmaster.public.material, box)
+        assert opened == b"K_B material"
+
+    def test_open_requires_private_material(self):
+        botmaster = KeyPair.from_seed(b"cc")
+        box = seal_to_public(botmaster.public.material, b"secret", b"nonce-12345678")
+        with pytest.raises(ValueError):
+            open_from_private(b"", botmaster.public.material, box)
+
+    def test_wrong_recipient_cannot_open(self):
+        botmaster = KeyPair.from_seed(b"cc")
+        other = KeyPair.from_seed(b"other")
+        box = seal_to_public(botmaster.public.material, b"secret", b"nonce-12345678")
+        with pytest.raises(SealError):
+            open_from_private(other.private, other.public.material, box)

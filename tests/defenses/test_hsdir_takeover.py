@@ -1,0 +1,81 @@
+"""Tests for the HSDir interception mitigation."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.defenses.hsdir_takeover import HsdirInterception, interception_cost_estimate
+from repro.sim.engine import Simulator
+from repro.tor.hidden_service import ServiceUnreachable
+from repro.tor.hsdir import REPLICAS, SPREAD
+from repro.tor.network import TorNetwork, TorNetworkConfig
+
+
+@pytest.fixture
+def network() -> TorNetwork:
+    simulator = Simulator(seed=5)
+    net = TorNetwork(simulator, TorNetworkConfig(num_relays=30))
+    net.bootstrap()
+    return net
+
+
+def host_service(network: TorNetwork, seed: bytes = b"victim-service"):
+    return network.host_service(KeyPair.from_seed(seed), lambda payload, conn: b"ack")
+
+
+class TestPlanning:
+    def test_plan_produces_six_fingerprints(self, network):
+        host = host_service(network)
+        defender = HsdirInterception(network)
+        fingerprints = defender.plan_fingerprints(host.onion_address)
+        assert len(fingerprints) == REPLICAS * SPREAD
+        assert all(len(fp) == 20 for fp in fingerprints)
+
+    def test_injected_relays_are_not_hsdirs_immediately(self, network):
+        host = host_service(network)
+        defender = HsdirInterception(network)
+        defender.inject_relays(host.onion_address)
+        network.publish_consensus()
+        result = defender.measure(host.onion_address)
+        assert result.responsible_controlled == 0
+
+
+class TestInterception:
+    def test_full_interception_denies_access(self, network):
+        host = host_service(network)
+        defender = HsdirInterception(network)
+        result = defender.intercept(host.onion_address)
+        # After the 25-hour wait the original descriptor has also expired; the
+        # service republishes, but its responsible HSDirs are now adversarial
+        # and censoring, so clients cannot fetch the descriptor.
+        network.publish_descriptor(host)
+        assert result.relays_injected == REPLICAS * SPREAD
+        assert result.lead_time_hours >= 25.0
+        assert result.responsible_controlled > 0
+        with pytest.raises(ServiceUnreachable):
+            network.lookup_descriptor(host.onion_address)
+
+    def test_rotation_escapes_interception(self, network):
+        host = host_service(network)
+        defender = HsdirInterception(network)
+        defender.intercept(host.onion_address)
+        # The bot rotates to a fresh keypair the defender could not predict.
+        new_address = network.rotate_service_key(host, KeyPair.from_seed(b"next-period"))
+        assert network.lookup_descriptor(new_address) is not None
+
+    def test_collateral_relay_count(self, network):
+        host = host_service(network)
+        defender = HsdirInterception(network)
+        defender.intercept(host.onion_address)
+        assert defender.collateral_relays() == REPLICAS * SPREAD
+
+
+class TestCostEstimate:
+    def test_cost_scales_with_bots_and_periods(self):
+        small = interception_cost_estimate(bots=10, periods=1)
+        large = interception_cost_estimate(bots=1000, periods=7)
+        assert large["relays_needed"] > small["relays_needed"]
+        assert small["relays_needed"] == 10 * REPLICAS * SPREAD
+
+    def test_lead_time_exceeds_daily_rotation(self):
+        estimate = interception_cost_estimate(bots=1, periods=1)
+        assert estimate["lead_exceeds_daily_rotation"] == 1.0

@@ -1,0 +1,92 @@
+"""Tests for proof-of-work peering admission."""
+
+import random
+
+import pytest
+
+from repro.adversary.soap import SoapAttack
+from repro.core.ddsr import DDSROverlay
+from repro.defenses.pow import PowAdmission, PowParameters
+
+
+class TestPowParameters:
+    def test_invalid_base_work(self):
+        with pytest.raises(ValueError):
+            PowParameters(base_work=0.0)
+
+    def test_invalid_escalation(self):
+        with pytest.raises(ValueError):
+            PowParameters(escalation_factor=0.5)
+
+
+class TestPowAdmission:
+    def test_cost_escalates_per_target(self):
+        admission = PowAdmission(PowParameters(base_work=1.0, escalation_factor=2.0))
+        overlay = DDSROverlay.k_regular(20, 4, seed=1)
+        target = overlay.nodes()[0]
+        costs = []
+        for index in range(4):
+            decision = admission(target, f"clone-{index}", overlay)
+            costs.append(decision.work_required)
+        assert costs == [1.0, 2.0, 4.0, 8.0]
+
+    def test_costs_are_per_target(self):
+        admission = PowAdmission(PowParameters(base_work=1.0, escalation_factor=2.0))
+        overlay = DDSROverlay.k_regular(20, 4, seed=1)
+        a, b = overlay.nodes()[:2]
+        admission(a, "c1", overlay)
+        admission(a, "c2", overlay)
+        fresh = admission(b, "c3", overlay)
+        assert fresh.work_required == 1.0
+
+    def test_requests_above_budget_rejected(self):
+        admission = PowAdmission(
+            PowParameters(base_work=1.0, escalation_factor=2.0, work_budget_per_clone=4.0)
+        )
+        overlay = DDSROverlay.k_regular(20, 4, seed=1)
+        target = overlay.nodes()[0]
+        decisions = [admission(target, f"c{i}", overlay) for i in range(6)]
+        assert [d.accepted for d in decisions[:3]] == [True, True, True]
+        assert not decisions[4].accepted
+        assert admission.total_rejected >= 1
+
+    def test_cost_capped_at_max_work(self):
+        admission = PowAdmission(PowParameters(base_work=1.0, escalation_factor=10.0, max_work=50.0))
+        overlay = DDSROverlay.k_regular(20, 4, seed=1)
+        target = overlay.nodes()[0]
+        for index in range(100):
+            admission(target, f"c{index}", overlay)
+        assert admission.current_cost(target) == 50.0
+
+    def test_reset_window_clears_history(self):
+        admission = PowAdmission(PowParameters(base_work=1.0, escalation_factor=2.0))
+        overlay = DDSROverlay.k_regular(20, 4, seed=1)
+        target = overlay.nodes()[0]
+        admission(target, "c1", overlay)
+        admission.reset_window()
+        assert admission.current_cost(target) == 1.0
+
+    def test_repair_cost_scales_with_edges(self):
+        admission = PowAdmission(PowParameters(base_work=2.0))
+        assert admission.repair_cost(10) == 20.0
+
+
+class TestPowAgainstSoap:
+    def test_pow_stalls_soap_containment(self):
+        overlay = DDSROverlay.k_regular(80, 8, seed=3)
+        admission = PowAdmission(
+            PowParameters(base_work=1.0, escalation_factor=2.0, work_budget_per_clone=16.0)
+        )
+        attack = SoapAttack(rng=random.Random(1), admission=admission, max_clones_per_node=50)
+        result = attack.run_campaign(overlay, [overlay.nodes()[0]])
+        assert not result.neutralized
+        assert result.containment_fraction < 0.5
+        assert result.requests_rejected > 0
+
+    def test_without_escalation_soap_still_wins_but_pays(self):
+        overlay = DDSROverlay.k_regular(60, 6, seed=4)
+        admission = PowAdmission(PowParameters(base_work=1.0, escalation_factor=1.0))
+        attack = SoapAttack(rng=random.Random(2), admission=admission)
+        result = attack.run_campaign(overlay, [overlay.nodes()[0]])
+        assert result.neutralized
+        assert result.work_spent >= result.clones_created

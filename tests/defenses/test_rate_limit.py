@@ -1,0 +1,81 @@
+"""Tests for rate-limited peering admission."""
+
+import random
+
+import pytest
+
+from repro.adversary.soap import SoapAttack
+from repro.core.ddsr import DDSROverlay
+from repro.defenses.rate_limit import RateLimitedAdmission, RateLimitParameters
+
+
+class TestRateLimitParameters:
+    def test_negative_delays_rejected(self):
+        with pytest.raises(ValueError):
+            RateLimitParameters(base_delay=-1.0)
+
+
+class TestRateLimitedAdmission:
+    def test_delay_grows_with_degree(self):
+        params = RateLimitParameters(base_delay=10.0, per_degree_delay=5.0)
+        admission = RateLimitedAdmission(params)
+        overlay = DDSROverlay.k_regular(30, 4, seed=1)
+        low = overlay.nodes()[0]
+        assert admission.delay_for(low, overlay) == 10.0 + 5.0 * 4
+
+    def test_delay_grows_with_request_backlog(self):
+        admission = RateLimitedAdmission(RateLimitParameters(base_delay=1.0, per_degree_delay=1.0))
+        overlay = DDSROverlay.k_regular(30, 4, seed=1)
+        target = overlay.nodes()[0]
+        first = admission(target, "c1", overlay)
+        second = admission(target, "c2", overlay)
+        assert second.delay_seconds > first.delay_seconds
+
+    def test_requests_beyond_patience_rejected(self):
+        params = RateLimitParameters(base_delay=100.0, per_degree_delay=50.0, max_acceptable_delay=200.0)
+        admission = RateLimitedAdmission(params)
+        overlay = DDSROverlay.k_regular(30, 8, seed=1)
+        target = overlay.nodes()[0]
+        decision = admission(target, "c1", overlay)
+        # 100 + 50*8 = 500 > 200 -> rejected outright.
+        assert not decision.accepted
+        assert admission.total_rejected == 1
+
+    def test_repair_delay_estimate(self):
+        admission = RateLimitedAdmission(RateLimitParameters(base_delay=10.0, per_degree_delay=1.0))
+        overlay = DDSROverlay.k_regular(30, 4, seed=1)
+        assert admission.repair_delay(overlay, 0) == 0.0
+        assert admission.repair_delay(overlay, 10) == pytest.approx((10.0 + 4.0) * 10)
+
+    def test_reset_window(self):
+        admission = RateLimitedAdmission(RateLimitParameters(base_delay=1.0, per_degree_delay=1.0))
+        overlay = DDSROverlay.k_regular(30, 4, seed=1)
+        target = overlay.nodes()[0]
+        admission(target, "c1", overlay)
+        admission.reset_window()
+        assert admission.requests_seen == {}
+
+
+class TestRateLimitAgainstSoap:
+    def test_rate_limit_slows_soap_campaign(self):
+        overlay = DDSROverlay.k_regular(60, 6, seed=2)
+        admission = RateLimitedAdmission(
+            RateLimitParameters(base_delay=60.0, per_degree_delay=30.0, max_acceptable_delay=10_000.0)
+        )
+        attack = SoapAttack(rng=random.Random(1), admission=admission)
+        result = attack.run_campaign(overlay, [overlay.nodes()[0]])
+        # The campaign still completes but the accumulated waiting time is
+        # substantial -- hours of delay for a 60-bot network.
+        assert result.neutralized
+        assert result.time_spent > 3600.0
+
+    def test_time_budget_makes_rate_limit_effective(self):
+        overlay = DDSROverlay.k_regular(60, 6, seed=3)
+        admission = RateLimitedAdmission(
+            RateLimitParameters(base_delay=60.0, per_degree_delay=30.0, max_acceptable_delay=10_000.0)
+        )
+        attack = SoapAttack(
+            rng=random.Random(2), admission=admission, time_budget=2 * 3600.0
+        )
+        result = attack.run_campaign(overlay, [overlay.nodes()[0]])
+        assert not result.neutralized

@@ -1,0 +1,67 @@
+"""Tests for Tor-level throttling mitigations."""
+
+import random
+
+from repro.defenses.tor_level import GuardThrottling
+
+
+class TestGuardThrottling:
+    def test_throttling_blocks_heavy_bot_load(self):
+        policy = GuardThrottling(admitted_per_source_per_hour=10)
+        impact = policy.evaluate(
+            bot_sources=100,
+            bot_requests_per_source=100,
+            user_sources=100,
+            user_requests_per_source=5,
+        )
+        assert impact.bot_block_rate > 0.8
+        assert impact.user_collateral_rate == 0.0
+        assert impact.selectivity == float("inf")
+
+    def test_throttling_hurts_heavy_legitimate_users_too(self):
+        policy = GuardThrottling(admitted_per_source_per_hour=3)
+        impact = policy.evaluate(
+            bot_sources=10,
+            bot_requests_per_source=50,
+            user_sources=10,
+            user_requests_per_source=10,
+        )
+        assert impact.user_collateral_rate > 0.5
+
+    def test_captcha_blocks_bots_with_some_user_collateral(self):
+        policy = GuardThrottling(admitted_per_source_per_hour=1000, captcha_enabled=True)
+        impact = policy.evaluate(
+            bot_sources=50,
+            bot_requests_per_source=10,
+            user_sources=50,
+            user_requests_per_source=10,
+            rng=random.Random(0),
+        )
+        assert impact.bot_block_rate > 0.8
+        assert 0.0 < impact.user_collateral_rate < 0.2
+        assert impact.selectivity > 1.0
+
+    def test_policy_label_mentions_captcha(self):
+        policy = GuardThrottling(captcha_enabled=True)
+        impact = policy.evaluate(
+            bot_sources=1, bot_requests_per_source=1, user_sources=1, user_requests_per_source=1
+        )
+        assert "captcha" in impact.policy
+
+    def test_onionbots_low_rate_cc_unaffected(self):
+        """The paper's point: OnionBot C&C traffic is far below any sane threshold."""
+        policy = GuardThrottling(admitted_per_source_per_hour=10)
+        assert policy.effect_on_onionbots(commands_per_day=4) == 1.0
+
+    def test_extreme_throttling_would_be_needed_to_hurt_onionbots(self):
+        policy = GuardThrottling(admitted_per_source_per_hour=1)
+        assert policy.effect_on_onionbots(commands_per_day=240) < 1.0
+
+    def test_zero_load_edge_cases(self):
+        policy = GuardThrottling()
+        impact = policy.evaluate(
+            bot_sources=0, bot_requests_per_source=0, user_sources=0, user_requests_per_source=0
+        )
+        assert impact.bot_block_rate == 0.0
+        assert impact.user_collateral_rate == 0.0
+        assert impact.selectivity == 1.0

@@ -1,0 +1,99 @@
+"""Tests for graph generators."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.adjacency import GraphError
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    from_networkx,
+    k_regular_graph,
+    relabel,
+    ring_graph,
+    to_networkx,
+)
+from repro.graphs.metrics import number_connected_components
+
+
+class TestKRegular:
+    def test_every_node_has_degree_k(self):
+        graph = k_regular_graph(100, 6, seed=1)
+        assert all(graph.degree(node) == 6 for node in graph.nodes())
+
+    def test_paper_parameters_small_scale(self):
+        for k in (5, 10, 15):
+            graph = k_regular_graph(200, k, seed=k)
+            assert graph.number_of_nodes() == 200
+            assert all(graph.degree(node) == k for node in graph.nodes())
+
+    def test_deterministic_for_seed(self):
+        a = k_regular_graph(60, 4, seed=3)
+        b = k_regular_graph(60, 4, seed=3)
+        assert sorted(map(sorted, a.edges())) == sorted(map(sorted, b.edges()))
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(GraphError):
+            k_regular_graph(5, 3)
+
+    def test_k_must_be_less_than_n(self):
+        with pytest.raises(GraphError):
+            k_regular_graph(5, 5)
+
+    def test_zero_degree_graph(self):
+        graph = k_regular_graph(10, 0)
+        assert graph.number_of_edges() == 0
+
+    def test_usually_connected_at_k_ten(self):
+        graph = k_regular_graph(300, 10, seed=5)
+        assert number_connected_components(graph) == 1
+
+
+class TestOtherGenerators:
+    def test_erdos_renyi_edge_count_reasonable(self):
+        graph = erdos_renyi_graph(100, 0.1, seed=1)
+        expected = 0.1 * 100 * 99 / 2
+        assert 0.5 * expected < graph.number_of_edges() < 1.5 * expected
+
+    def test_erdos_renyi_p_bounds(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_barabasi_albert_min_degree(self):
+        graph = barabasi_albert_graph(100, 3, seed=2)
+        assert graph.number_of_nodes() == 100
+        assert all(graph.degree(node) >= 3 for node in graph.nodes() if node > 3)
+
+    def test_barabasi_albert_invalid_m(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(10, 0)
+
+    def test_ring_graph(self):
+        graph = ring_graph(5)
+        assert graph.number_of_edges() == 5
+        assert all(graph.degree(node) == 2 for node in graph.nodes())
+
+    def test_ring_too_small(self):
+        with pytest.raises(GraphError):
+            ring_graph(2)
+
+
+class TestNetworkxConversion:
+    def test_roundtrip_preserves_structure(self):
+        graph = k_regular_graph(50, 4, seed=7)
+        back = from_networkx(to_networkx(graph))
+        assert back.number_of_nodes() == graph.number_of_nodes()
+        assert back.number_of_edges() == graph.number_of_edges()
+
+    def test_from_networkx_drops_self_loops(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(1, 1)
+        nx_graph.add_edge(1, 2)
+        graph = from_networkx(nx_graph)
+        assert graph.number_of_edges() == 1
+
+    def test_relabel(self):
+        graph = ring_graph(3)
+        mapped = relabel(graph, {0: "a", 1: "b", 2: "c"})
+        assert set(mapped.nodes()) == {"a", "b", "c"}
+        assert mapped.has_edge("a", "b")

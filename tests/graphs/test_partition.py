@@ -1,0 +1,101 @@
+"""Tests for partition analysis (Figure 6 primitives)."""
+
+import random
+
+import pytest
+
+from repro.graphs.adjacency import UndirectedGraph
+from repro.graphs.generators import k_regular_graph, ring_graph
+from repro.graphs.partition import (
+    PartitionReport,
+    analyze_partition,
+    is_partitioned,
+    minimum_partition_fraction,
+    partition_after_fraction,
+    simultaneous_deletion_survivors,
+)
+
+
+class TestPartitionReport:
+    def test_connected_graph_report(self):
+        report = analyze_partition(ring_graph(10))
+        assert report.surviving_nodes == 10
+        assert report.component_count == 1
+        assert report.largest_component == 10
+        assert not report.is_partitioned
+        assert report.largest_fraction == 1.0
+
+    def test_partitioned_graph_report(self):
+        graph = UndirectedGraph(edges=[(0, 1), (2, 3)])
+        graph.add_node(4)
+        report = analyze_partition(graph)
+        assert report.component_count == 3
+        assert report.isolated_nodes == 1
+        assert report.is_partitioned
+        assert is_partitioned(graph)
+
+    def test_empty_graph_report(self):
+        report = analyze_partition(UndirectedGraph())
+        assert report == PartitionReport(0, 0, 0, 0)
+        assert report.largest_fraction == 0.0
+
+
+class TestSimultaneousDeletion:
+    def test_survivors_exclude_victims(self):
+        graph = ring_graph(10)
+        survivors = simultaneous_deletion_survivors(graph, [0, 5])
+        assert survivors.number_of_nodes() == 8
+        assert 0 not in survivors and 5 not in survivors
+
+    def test_removing_opposite_ring_nodes_partitions(self):
+        graph = ring_graph(10)
+        survivors = simultaneous_deletion_survivors(graph, [0, 5])
+        assert is_partitioned(survivors)
+
+    def test_original_graph_untouched(self):
+        graph = ring_graph(6)
+        simultaneous_deletion_survivors(graph, [0])
+        assert graph.number_of_nodes() == 6
+
+
+class TestPartitionThreshold:
+    def test_ring_partitions_immediately(self):
+        # Removing any two non-adjacent nodes partitions a ring, so the
+        # threshold should be found at a very small fraction.
+        fraction = minimum_partition_fraction(
+            ring_graph(50), rng=random.Random(0), resolution=0.02, trials_per_fraction=3
+        )
+        assert fraction <= 0.1
+
+    def test_k_regular_threshold_is_substantial(self):
+        graph = k_regular_graph(200, 10, seed=1)
+        fraction = minimum_partition_fraction(
+            graph, rng=random.Random(1), resolution=0.05, trials_per_fraction=2
+        )
+        # The paper reports ~40% for larger graphs; small graphs partition a
+        # bit later, but never below 20% for a 10-regular topology.
+        assert fraction >= 0.2
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_partition_fraction(ring_graph(10), resolution=0.0)
+
+    def test_tiny_graph_returns_one(self):
+        assert minimum_partition_fraction(UndirectedGraph(edges=[(0, 1)])) == 1.0
+
+
+class TestPartitionAfterFraction:
+    def test_zero_fraction_keeps_graph_connected(self):
+        graph = k_regular_graph(100, 8, seed=2)
+        report = partition_after_fraction(graph, 0.0)
+        assert report.component_count == 1
+
+    def test_high_fraction_partitions_k_regular(self):
+        graph = k_regular_graph(200, 10, seed=3)
+        report = partition_after_fraction(graph, 0.85, rng=random.Random(0))
+        assert report.surviving_nodes == 30
+        assert report.is_partitioned
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            partition_after_fraction(ring_graph(5), 1.5)

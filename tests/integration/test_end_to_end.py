@@ -1,0 +1,135 @@
+"""End-to-end integration tests across every subsystem."""
+
+import random
+
+import pytest
+
+from repro.adversary.hijack import HijackAttempt
+from repro.adversary.honeypot import HoneypotOperator
+from repro.adversary.soap import SoapAttack, is_clone
+from repro.core.botnet import OnionBotnet
+from repro.core.config import OnionBotConfig
+from repro.core.rental import issue_token, sign_rented_command
+from repro.core.messaging import CommandMessage, MessageKind
+from repro.crypto.keys import KeyPair
+
+
+class TestBotnetLifecycleEndToEnd:
+    def test_build_command_takedown_rotate_command(self):
+        """The full life of a small OnionBot deployment, through the Tor model."""
+        net = OnionBotnet(seed=11, config=OnionBotConfig(degree=6, d_min=3, d_max=9))
+        net.build(20)
+
+        first = net.broadcast_command("report-status")
+        assert first.coverage == 1.0
+
+        # A defender cleans up a quarter of the bots one by one.
+        victims = net.active_labels()[:5]
+        net.take_down(victims)
+        assert net.stats().connected_components == 1
+
+        # Every surviving bot rotates to a fresh address at the period boundary.
+        rotated = net.advance_to_next_period()
+        assert len(rotated) == 15
+
+        second = net.broadcast_command("simulated-task")
+        assert second.coverage == 1.0
+        assert second.executed == 15
+
+    def test_defender_view_stays_small_despite_captures(self):
+        net = OnionBotnet(seed=12)
+        net.build(24)
+        operator = HoneypotOperator(rng=random.Random(0))
+        for _ in range(2):
+            operator.capture_from_botnet(net)
+        exposed = operator.total_exposed()
+        # Two captures expose at most the captured bots plus their peer lists.
+        assert len(exposed) <= 2 + 2 * net.config.d_max
+        assert len(exposed) < 24
+
+    def test_hijack_attempts_fail_end_to_end(self):
+        net = OnionBotnet(seed=13)
+        net.build(12)
+        attempt = HijackAttempt()
+        assert attempt.inject_unsigned(net).accepted == 0
+        assert attempt.inject_self_signed(net).accepted == 0
+
+    def test_rental_flow_end_to_end(self):
+        """Mallory rents the botnet to Trudy for a whitelisted command."""
+        net = OnionBotnet(seed=14)
+        net.build(10)
+        now = net.simulator.now
+        trudy = KeyPair.from_seed(b"trudy-the-renter")
+        token = net.botmaster.rent_out(
+            trudy.public, now=now, duration=3600.0, whitelisted_commands=["simulated-task"]
+        )
+        command = sign_rented_command(
+            trudy,
+            CommandMessage(
+                kind=MessageKind.COMMAND_BROADCAST,
+                command="simulated-task",
+                issued_at=now,
+                nonce="trudy-1",
+            ),
+        )
+        accepted = sum(
+            1
+            for label in net.active_labels()
+            if net.bots[label].process_command(command, now, rental_token=token)
+        )
+        assert accepted == 10
+
+        # Outside the whitelist (or after expiry) the same renter is refused.
+        forbidden = sign_rented_command(
+            trudy,
+            CommandMessage(
+                kind=MessageKind.COMMAND_BROADCAST,
+                command="forbidden-task",
+                issued_at=now,
+                nonce="trudy-2",
+            ),
+        )
+        refused = sum(
+            1
+            for label in net.active_labels()
+            if net.bots[label].process_command(forbidden, now, rental_token=token)
+        )
+        assert refused == 0
+
+
+class TestSoapAgainstLiveBotnet:
+    def test_soap_contains_the_overlay_of_a_live_botnet(self):
+        net = OnionBotnet(seed=15)
+        net.build(20)
+        attack = SoapAttack(rng=random.Random(1))
+        start = net.active_labels()[0]
+        result = attack.run_campaign(net.overlay, [start])
+        assert result.neutralized
+        # Every bot's peer list (graph view) is now clones only (possibly empty
+        # when all of a bot's former peers pruned it away while being soaped).
+        for label in net.active_labels():
+            if label in net.overlay.graph and label != start:
+                peers = net.overlay.peers(label)
+                assert all(is_clone(peer) for peer in peers)
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_identical_runs(self):
+        def run(seed: int):
+            net = OnionBotnet(seed=seed)
+            net.build(12)
+            report = net.broadcast_command("noop")
+            net.take_down(net.active_labels()[:3])
+            stats = net.stats()
+            return (report.reached, report.envelopes_sent, stats.overlay_edges, stats.max_degree)
+
+        assert run(77) == run(77)
+
+    def test_different_seeds_differ_somewhere(self):
+        net_a = OnionBotnet(seed=1)
+        net_a.build(12)
+        net_b = OnionBotnet(seed=2)
+        net_b.build(12)
+        onions_a = sorted(net_a.onion_of(label) for label in net_a.active_labels())
+        onions_b = sorted(net_b.onion_of(label) for label in net_b.active_labels())
+        assert onions_a != onions_b

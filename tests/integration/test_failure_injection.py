@@ -1,0 +1,87 @@
+"""Failure-injection tests: relay churn, lost descriptors, missed rotations."""
+
+import pytest
+
+from repro.core.botnet import OnionBotnet
+from repro.core.ddsr import DDSROverlay
+from repro.tor.hidden_service import ServiceUnreachable
+from repro.workloads.churn import ChurnKind, ChurnModel
+
+
+class TestTorFailures:
+    def test_relay_churn_does_not_break_hidden_services(self, tor_network):
+        from repro.crypto.keys import KeyPair
+
+        host = tor_network.host_service(KeyPair.from_seed(b"svc"), lambda p, c: b"ok")
+        # Take a third of the relays offline (none of them required specifically).
+        victims = [entry.fingerprint for entry in tor_network.consensus.entries[:10]]
+        for fingerprint in victims:
+            tor_network.take_relay_offline(fingerprint)
+        tor_network.publish_consensus()
+        # The descriptor may now live on HSDirs that disappeared; republishing
+        # (which a real hidden service does periodically) restores service.
+        tor_network.publish_descriptor(host)
+        assert tor_network.send_to("client", host.onion_address, b"ping") == b"ok"
+
+    def test_losing_every_hsdir_with_the_descriptor_requires_republish(self, tor_network):
+        from repro.crypto.keys import KeyPair
+
+        host = tor_network.host_service(KeyPair.from_seed(b"svc2"), lambda p, c: b"ok")
+        for fingerprint in tor_network.hsdirs_storing(host.onion_address):
+            tor_network.take_relay_offline(fingerprint)
+        tor_network.publish_consensus()
+        with pytest.raises(ServiceUnreachable):
+            tor_network.lookup_descriptor(host.onion_address)
+        tor_network.publish_descriptor(host)
+        assert tor_network.lookup_descriptor(host.onion_address) is not None
+
+    def test_bot_that_misses_rotation_becomes_unreachable(self):
+        net = OnionBotnet(seed=21)
+        net.build(10)
+        lagging = net.active_labels()[0]
+        old_onion = net.onion_of(lagging)
+        # Remove the lagging bot's host from the rotation by deleting its
+        # record, then advance the period: its old address dies with everyone
+        # else's, and it never publishes a new one.
+        del net._hosts[lagging]
+        net.advance_to_next_period()
+        with pytest.raises(ServiceUnreachable):
+            net.tor.connect("prober", old_onion)
+        with pytest.raises(ServiceUnreachable):
+            net.tor.connect("prober", net.onion_of(lagging))
+
+
+class TestOverlayChurn:
+    def test_overlay_absorbs_background_churn(self):
+        overlay = DDSROverlay.k_regular(120, 8, seed=31)
+        churn = ChurnModel(join_rate=3.0, leave_rate=3.0, seed=5)
+        events = churn.generate(duration_hours=24.0)
+        joined = 0
+        import random
+
+        rng = random.Random(9)
+        for event in events:
+            if event.kind is ChurnKind.JOIN:
+                peers = rng.sample(overlay.nodes(), min(4, len(overlay.nodes())))
+                overlay.add_node(event.label, peers)
+                joined += 1
+            else:
+                nodes = overlay.nodes()
+                if len(nodes) > 10:
+                    overlay.remove_node(rng.choice(nodes))
+        assert joined > 0
+        assert overlay.degree_bounds_satisfied()
+        from repro.graphs.metrics import number_connected_components
+
+        assert number_connected_components(overlay.graph) == 1
+
+    def test_botnet_survives_takedown_of_almost_everyone(self):
+        """Gradual removal of 90% of the bots leaves the rest connected (paper's claim)."""
+        overlay = DDSROverlay.k_regular(200, 10, seed=32)
+        import random
+
+        overlay.remove_fraction(0.9, rng=random.Random(3))
+        from repro.graphs.metrics import number_connected_components
+
+        assert len(overlay) == 20
+        assert number_connected_components(overlay.graph) == 1

@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ddsr import DDSRConfig, DDSROverlay
+from repro.core.messaging import ENVELOPE_SIZE, build_envelope, open_envelope
+from repro.crypto.elligator import decode_uniform, encode_uniform
+from repro.crypto.keys import KeyPair
+from repro.crypto.symmetric import open_sealed, seal
+from repro.graphs.generators import k_regular_graph, to_networkx
+from repro.graphs.metrics import (
+    closeness_centrality,
+    number_connected_components,
+)
+from repro.sim.events import EventQueue
+from repro.tor.cells import chunk_payload, reassemble_cells
+from repro.tor.hsdir import REPLICAS, SPREAD, responsible_hsdirs
+from repro.tor.onion_address import onion_address_from_public_key
+
+_SLOW = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestGraphProperties:
+    @_SLOW
+    @given(
+        n=st.integers(min_value=20, max_value=80),
+        k=st.sampled_from([4, 6, 8]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_k_regular_generator_always_produces_k_regular_graphs(self, n, k, seed):
+        graph = k_regular_graph(n, k, seed=seed)
+        assert all(graph.degree(node) == k for node in graph.nodes())
+        assert graph.number_of_edges() == n * k // 2
+
+    @_SLOW
+    @given(
+        n=st.integers(min_value=10, max_value=40),
+        p=st.floats(min_value=0.1, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_closeness_centrality_matches_networkx_on_random_graphs(self, n, p, seed):
+        from repro.graphs.generators import erdos_renyi_graph
+
+        graph = erdos_renyi_graph(n, p, seed=seed)
+        nx_graph = to_networkx(graph)
+        nx_closeness = nx.closeness_centrality(nx_graph)
+        rng = random.Random(seed)
+        for node in rng.sample(graph.nodes(), min(5, len(graph.nodes()))):
+            ours = closeness_centrality(graph, node)
+            assert abs(ours - nx_closeness[node]) < 1e-9
+
+
+class TestDDSRInvariants:
+    @_SLOW
+    @given(
+        n=st.integers(min_value=30, max_value=80),
+        k=st.sampled_from([6, 8, 10]),
+        fraction=st.floats(min_value=0.05, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_degree_bound_holds_after_any_deletion_sequence(self, n, k, fraction, seed):
+        overlay = DDSROverlay.k_regular(n, k, seed=seed)
+        overlay.remove_fraction(fraction, rng=random.Random(seed + 1))
+        assert overlay.degree_bounds_satisfied()
+
+    @_SLOW
+    @given(
+        n=st.integers(min_value=30, max_value=70),
+        fraction=st.floats(min_value=0.05, max_value=0.6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_incremental_deletions_never_partition_a_10_regular_overlay(self, n, fraction, seed):
+        overlay = DDSROverlay.k_regular(n, 10, seed=seed)
+        overlay.remove_fraction(fraction, rng=random.Random(seed + 2))
+        if len(overlay) > 1:
+            assert number_connected_components(overlay.graph) == 1
+
+    @_SLOW
+    @given(
+        d_max=st.integers(min_value=4, max_value=12),
+        extra_edges=st.integers(min_value=1, max_value=20),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_enforce_degree_bound_always_restores_the_bound(self, d_max, extra_edges, seed):
+        overlay = DDSROverlay.k_regular(
+            40, 4, config=DDSRConfig(d_min=2, d_max=d_max), seed=seed
+        )
+        rng = random.Random(seed)
+        node = overlay.nodes()[0]
+        others = [other for other in overlay.nodes() if other != node]
+        for other in rng.sample(others, min(extra_edges, len(others))):
+            if not overlay.graph.has_edge(node, other):
+                overlay.graph.add_edge(node, other)
+        overlay.enforce_degree_bound(node)
+        assert overlay.degree(node) <= d_max
+
+
+class TestCryptoProperties:
+    @_SLOW
+    @given(payload=st.binary(min_size=0, max_size=2000), randomness=st.binary(min_size=1, max_size=64))
+    def test_uniform_encoding_roundtrips(self, payload, randomness):
+        assert decode_uniform(encode_uniform(payload, randomness)) == payload
+
+    @_SLOW
+    @given(
+        key=st.binary(min_size=1, max_size=64),
+        plaintext=st.binary(min_size=0, max_size=1000),
+        nonce=st.binary(min_size=8, max_size=32),
+    )
+    def test_seal_roundtrips(self, key, plaintext, nonce):
+        assert open_sealed(key, seal(key, plaintext, nonce)) == plaintext
+
+    @_SLOW
+    @given(
+        plaintext=st.binary(min_size=0, max_size=1500),
+        key=st.binary(min_size=1, max_size=64),
+        randomness=st.binary(min_size=16, max_size=64),
+    )
+    def test_envelopes_are_constant_size_and_roundtrip(self, plaintext, key, randomness):
+        envelope = build_envelope(plaintext, key, randomness)
+        assert envelope.size == ENVELOPE_SIZE
+        assert open_envelope(envelope, key) == plaintext
+
+    @_SLOW
+    @given(seed=st.binary(min_size=1, max_size=64))
+    def test_onion_addresses_are_always_valid(self, seed):
+        address = onion_address_from_public_key(KeyPair.from_seed(seed))
+        assert len(address.label) == 16
+        assert str(address).endswith(".onion")
+
+
+class TestTorProperties:
+    @_SLOW
+    @given(
+        payload=st.binary(min_size=0, max_size=4000),
+        circuit_id=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_cell_chunking_roundtrips_and_pads(self, payload, circuit_id):
+        cells = chunk_payload(circuit_id, payload)
+        assert all(cell.size == cells[0].size for cell in cells)
+        assert reassemble_cells(cells) == payload
+
+    @_SLOW
+    @given(
+        service_seed=st.binary(min_size=1, max_size=32),
+        when=st.floats(min_value=0, max_value=10 * 86400),
+        n_relays=st.integers(min_value=6, max_value=25),
+    )
+    def test_responsible_hsdirs_are_consistent_and_bounded(self, service_seed, when, n_relays):
+        from repro.crypto.keys import KeyPair as KP
+        from repro.tor.consensus import DirectoryAuthority
+        from repro.tor.onion_address import service_identifier
+        from repro.tor.relay import Relay
+
+        authority = DirectoryAuthority()
+        for index in range(n_relays):
+            authority.register(
+                Relay(
+                    nickname=f"r{index}",
+                    keypair=KP.from_seed(b"prop-relay-%d" % index),
+                    joined_at=-30 * 3600.0,
+                )
+            )
+        consensus = authority.publish_consensus(now=0.0)
+        identifier = service_identifier(KP.from_seed(service_seed).public)
+        first = responsible_hsdirs(consensus, identifier, when)
+        second = responsible_hsdirs(consensus, identifier, when)
+        assert [e.fingerprint for e in first] == [e.fingerprint for e in second]
+        assert 1 <= len(first) <= REPLICAS * SPREAD
+        fingerprints = [e.fingerprint for e in first]
+        assert len(fingerprints) == len(set(fingerprints))
+
+
+class TestEventQueueProperties:
+    @_SLOW
+    @given(
+        timestamps=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200)
+    )
+    def test_events_always_pop_in_nondecreasing_time_order(self, timestamps):
+        queue = EventQueue()
+        for timestamp in timestamps:
+            queue.push(timestamp, lambda: None)
+        popped = [event.timestamp for event in queue.drain()]
+        assert popped == sorted(popped)
+        assert len(popped) == len(timestamps)

@@ -1,0 +1,69 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.sim.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR, ClockError, SimClock
+
+
+class TestSimClockBasics:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(start=100.0).now == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock(start=-1.0)
+
+    def test_advance_to_moves_forward(self):
+        clock = SimClock()
+        assert clock.advance_to(50.0) == 50.0
+        assert clock.now == 50.0
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = SimClock(start=10.0)
+        assert clock.advance_to(10.0) == 10.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(5.0)
+
+    def test_advance_by_delta(self):
+        clock = SimClock(start=5.0)
+        assert clock.advance_by(2.5) == 7.5
+
+    def test_advance_by_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ClockError):
+            clock.advance_by(-0.1)
+
+
+class TestProtocolUnits:
+    def test_hours_and_days_properties(self):
+        clock = SimClock(start=SECONDS_PER_DAY + SECONDS_PER_HOUR)
+        assert clock.hours == pytest.approx(25.0)
+        assert clock.days == pytest.approx(25.0 / 24.0)
+
+    def test_period_index_daily(self):
+        clock = SimClock(start=3 * SECONDS_PER_DAY + 10)
+        assert clock.period_index() == 3
+
+    def test_period_index_custom_period(self):
+        clock = SimClock(start=7200.0)
+        assert clock.period_index(period_seconds=3600.0) == 2
+
+    def test_period_index_rejects_nonpositive_period(self):
+        clock = SimClock()
+        with pytest.raises(ClockError):
+            clock.period_index(period_seconds=0)
+
+    def test_seconds_until_period_boundary(self):
+        clock = SimClock(start=SECONDS_PER_DAY - 100)
+        assert clock.seconds_until_period() == pytest.approx(100.0)
+
+    def test_seconds_until_period_at_boundary(self):
+        clock = SimClock(start=SECONDS_PER_DAY)
+        # Exactly on a boundary the next boundary is a full period away.
+        assert clock.seconds_until_period() == pytest.approx(SECONDS_PER_DAY)

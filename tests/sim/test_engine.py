@@ -1,0 +1,117 @@
+"""Tests for the discrete-event simulator engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_schedule_at_runs_action_at_time(self):
+        sim = Simulator()
+        fired_at = []
+        sim.schedule_at(10.0, lambda: fired_at.append(sim.now))
+        sim.run()
+        assert fired_at == [10.0]
+
+    def test_schedule_in_is_relative(self):
+        sim = Simulator()
+        sim.schedule_in(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_cancel_prevents_execution(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_in(1.0, lambda: fired.append(1))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule_in(5.0, lambda: fired.append("second"))
+
+        sim.schedule_in(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 6.0
+
+
+class TestRunControl:
+    def test_run_until_stops_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append("early"))
+        sim.schedule_at(50.0, lambda: fired.append("late"))
+        sim.run(until=10.0)
+        assert fired == ["early"]
+        assert sim.now == 10.0
+
+    def test_run_for_advances_relative_duration(self):
+        sim = Simulator()
+        sim.run_for(100.0)
+        assert sim.now == 100.0
+
+    def test_run_for_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().run_for(-1.0)
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+        fired = []
+        for index in range(10):
+            sim.schedule_at(float(index + 1), lambda i=index: fired.append(i))
+        processed = sim.run(max_events=3)
+        assert processed == 3
+        assert fired == [0, 1, 2]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for index in range(5):
+            sim.schedule_at(float(index), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+
+class TestDeterminism:
+    def test_same_seed_same_random_streams(self):
+        sim_a = Simulator(seed=7)
+        sim_b = Simulator(seed=7)
+        draws_a = [sim_a.random.randint("x", 0, 1000) for _ in range(10)]
+        draws_b = [sim_b.random.randint("x", 0, 1000) for _ in range(10)]
+        assert draws_a == draws_b
+
+    def test_different_seeds_differ(self):
+        sim_a = Simulator(seed=7)
+        sim_b = Simulator(seed=8)
+        draws_a = [sim_a.random.randint("x", 0, 10**9) for _ in range(5)]
+        draws_b = [sim_b.random.randint("x", 0, 10**9) for _ in range(5)]
+        assert draws_a != draws_b
+
+    def test_trace_log_records_with_timestamp(self):
+        sim = Simulator()
+        sim.schedule_in(3.0, lambda: sim.log("test", "fired"))
+        sim.run()
+        entry = sim.trace.last("test")
+        assert entry is not None
+        assert entry.timestamp == 3.0
+        assert entry.message == "fired"

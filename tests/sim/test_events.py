@@ -1,0 +1,83 @@
+"""Tests for events and the deterministic event queue."""
+
+from repro.sim.events import EventQueue
+
+
+class TestEventQueueOrdering:
+    def test_pops_in_timestamp_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append("c"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(2.0, lambda: fired.append("b"))
+        for event in queue.drain():
+            event.action()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_timestamp_preserves_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for label in "abcde":
+            queue.push(5.0, (lambda tag: (lambda: order.append(tag)))(label))
+        for event in queue.drain():
+            event.action()
+        assert order == list("abcde")
+
+    def test_priority_breaks_timestamp_ties(self):
+        queue = EventQueue()
+        order = []
+        queue.push(5.0, lambda: order.append("low"), priority=10)
+        queue.push(5.0, lambda: order.append("high"), priority=-10)
+        for event in queue.drain():
+            event.action()
+        assert order == ["high", "low"]
+
+    def test_peek_time_reports_next_event(self):
+        queue = EventQueue()
+        queue.push(7.0, lambda: None)
+        queue.push(4.0, lambda: None)
+        assert queue.peek_time() == 4.0
+
+    def test_peek_time_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestCancellation:
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        keep = queue.push(1.0, lambda: fired.append("keep"))
+        drop = queue.push(2.0, lambda: fired.append("drop"))
+        queue.cancel(drop)
+        for event in queue.drain():
+            event.action()
+        assert fired == ["keep"]
+        assert keep.cancelled is False
+
+    def test_len_reflects_live_events(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        queue.cancel(first)
+        assert len(queue) == 1
+
+    def test_double_cancel_does_not_underflow(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 0
+
+    def test_clear_empties_queue(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.clear()
+        assert not queue
+        assert queue.pop() is None
+
+    def test_bool_protocol(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, lambda: None)
+        assert queue

@@ -1,0 +1,98 @@
+"""Tests for metric collection."""
+
+import pytest
+
+from repro.sim.metrics import CounterSet, MetricRecorder, TimeSeries, summarize
+
+
+class TestTimeSeries:
+    def test_record_and_read_back(self):
+        series = TimeSeries("closeness")
+        series.record(0, 0.5)
+        series.record(100, 0.4)
+        assert series.xs() == [0.0, 100.0]
+        assert series.values() == [0.5, 0.4]
+        assert len(series) == 2
+
+    def test_last_and_empty(self):
+        series = TimeSeries("x")
+        assert series.last() is None
+        series.record(1, 2)
+        assert series.last() == (1.0, 2.0)
+
+    def test_mean_min_max(self):
+        series = TimeSeries("x")
+        for value in (1.0, 2.0, 3.0):
+            series.record(value, value)
+        assert series.mean() == pytest.approx(2.0)
+        assert series.min() == 1.0
+        assert series.max() == 3.0
+
+    def test_min_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x").min()
+
+    def test_mean_on_empty_is_zero(self):
+        assert TimeSeries("x").mean() == 0.0
+
+
+class TestCounterSet:
+    def test_increment_and_get(self):
+        counters = CounterSet()
+        assert counters.get("repairs") == 0
+        counters.increment("repairs")
+        counters.increment("repairs", 4)
+        assert counters.get("repairs") == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            CounterSet().increment("x", -1)
+
+    def test_contains_and_as_dict(self):
+        counters = CounterSet()
+        counters.increment("a", 2)
+        assert "a" in counters
+        assert "b" not in counters
+        assert counters.as_dict() == {"a": 2}
+
+
+class TestMetricRecorder:
+    def test_series_created_on_demand(self):
+        recorder = MetricRecorder()
+        recorder.record("closeness", 0, 1.0)
+        assert recorder.has_series("closeness")
+        assert recorder.series("closeness").values() == [1.0]
+
+    def test_series_names_sorted(self):
+        recorder = MetricRecorder()
+        recorder.record("b", 0, 1)
+        recorder.record("a", 0, 1)
+        assert recorder.series_names() == ["a", "b"]
+
+    def test_as_dict_snapshot(self):
+        recorder = MetricRecorder()
+        recorder.record("x", 1, 2)
+        assert recorder.as_dict() == {"x": [(1.0, 2.0)]}
+
+    def test_merge_with_prefix(self):
+        first = MetricRecorder()
+        first.record("x", 0, 1)
+        first.counters.increment("c", 3)
+        second = MetricRecorder()
+        second.merge(first, prefix="run1.")
+        assert second.series("run1.x").values() == [1.0]
+        assert second.counters.get("run1.c") == 3
+
+
+class TestSummarize:
+    def test_summary_statistics(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats["count"] == 3
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+
+    def test_summary_of_empty(self):
+        stats = summarize([])
+        assert stats["count"] == 0
+        assert stats["mean"] == 0.0

@@ -1,0 +1,73 @@
+"""Tests for periodic processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess, ProcessState
+
+
+class TestPeriodicProcess:
+    def test_ticks_at_regular_intervals(self):
+        sim = Simulator()
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now))
+        sim.run(until=35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_start_delay_overrides_first_tick(self):
+        sim = Simulator()
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now), start_delay=1.0)
+        sim.run(until=25.0)
+        assert times == [1.0, 11.0, 21.0]
+
+    def test_max_ticks_stops_process(self):
+        sim = Simulator()
+        count = []
+        process = sim.every(5.0, lambda: count.append(1), max_ticks=3)
+        sim.run(until=100.0)
+        assert len(count) == 3
+        assert process.state is ProcessState.STOPPED
+
+    def test_stop_cancels_future_ticks(self):
+        sim = Simulator()
+        count = []
+        process = sim.every(5.0, lambda: count.append(1))
+        sim.run(until=12.0)
+        process.stop()
+        sim.run(until=100.0)
+        assert len(count) == 2
+        assert not process.is_running
+
+    def test_invalid_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicProcess(sim, 0.0, lambda: None)
+
+    def test_invalid_jitter_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicProcess(sim, 10.0, lambda: None, jitter=10.0)
+
+    def test_jitter_displaces_ticks_but_keeps_count(self):
+        sim = Simulator(seed=3)
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now), jitter=2.0, name="jittery")
+        sim.run(until=55.0)
+        assert 4 <= len(times) <= 6
+        # Ticks should not be exactly on the multiples of 10 (with overwhelming
+        # probability given a 2-second jitter).
+        assert any(abs(time % 10.0) > 1e-9 for time in times)
+
+    def test_tick_counter(self):
+        sim = Simulator()
+        process = sim.every(1.0, lambda: None)
+        sim.run(until=5.5)
+        assert process.ticks == 5
+
+    def test_starting_twice_is_idempotent(self):
+        sim = Simulator()
+        process = sim.every(1.0, lambda: None)
+        assert process.start() is process
+        sim.run(until=3.0)
+        assert process.ticks == 3

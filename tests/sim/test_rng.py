@@ -1,0 +1,77 @@
+"""Tests for named random streams."""
+
+import pytest
+
+from repro.sim.rng import RandomStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_differs_by_name(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_differs_by_master(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+class TestRandomStreams:
+    def test_same_stream_returns_same_generator(self):
+        streams = RandomStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_streams_are_independent(self):
+        streams = RandomStreams(0)
+        # Drawing from one stream must not perturb another.
+        before = RandomStreams(0).stream("b").random()
+        streams.stream("a").random()
+        streams.stream("a").random()
+        after = streams.stream("b").random()
+        assert before == after
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(5).stream("overlay").randint(0, 10**9)
+        b = RandomStreams(5).stream("overlay").randint(0, 10**9)
+        assert a == b
+
+    def test_spawn_creates_independent_family(self):
+        parent = RandomStreams(1)
+        child_a = parent.spawn("rep-1")
+        child_b = parent.spawn("rep-2")
+        assert child_a.master_seed != child_b.master_seed
+        assert child_a.stream("x").random() != child_b.stream("x").random()
+
+    def test_choice_empty_population_raises(self):
+        with pytest.raises(IndexError):
+            RandomStreams(0).choice("s", [])
+
+    def test_sample_too_large_raises(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).sample("s", [1, 2, 3], 4)
+
+    def test_sample_returns_distinct_elements(self):
+        sample = RandomStreams(0).sample("s", range(100), 10)
+        assert len(sample) == len(set(sample)) == 10
+
+    def test_shuffled_preserves_multiset(self):
+        population = list(range(50))
+        shuffled = RandomStreams(0).shuffled("s", population)
+        assert sorted(shuffled) == population
+        assert shuffled != population  # overwhelmingly likely for 50 elements
+
+    def test_uniform_within_bounds(self):
+        streams = RandomStreams(0)
+        values = [streams.uniform("u", 2.0, 3.0) for _ in range(100)]
+        assert all(2.0 <= value <= 3.0 for value in values)
+
+    def test_randint_within_bounds(self):
+        streams = RandomStreams(0)
+        values = [streams.randint("i", 5, 9) for _ in range(100)]
+        assert all(5 <= value <= 9 for value in values)
+
+    def test_random_bytes_length_and_determinism(self):
+        a = RandomStreams(3).random_bytes("k", 32)
+        b = RandomStreams(3).random_bytes("k", 32)
+        assert len(a) == 32
+        assert a == b

@@ -1,0 +1,60 @@
+"""Tests for the structured trace log."""
+
+from repro.sim.trace import TraceLog
+
+
+class TestTraceLog:
+    def test_record_and_filter_by_category(self):
+        log = TraceLog()
+        log.record(1.0, "tor", "relay joined", nickname="relay1")
+        log.record(2.0, "botnet", "built")
+        assert log.count(category="tor") == 1
+        assert log.count(category="botnet") == 1
+        assert len(log) == 2
+
+    def test_filter_by_message_substring(self):
+        log = TraceLog()
+        log.record(1.0, "tor", "descriptor published")
+        log.record(2.0, "tor", "descriptor lookup failed")
+        assert log.count(message_contains="published") == 1
+
+    def test_filter_with_predicate(self):
+        log = TraceLog()
+        log.record(1.0, "x", "a", value=1)
+        log.record(2.0, "x", "b", value=2)
+        matches = log.filter(predicate=lambda entry: entry.details.get("value") == 2)
+        assert len(matches) == 1
+        assert matches[0].message == "b"
+
+    def test_last_with_and_without_category(self):
+        log = TraceLog()
+        log.record(1.0, "a", "first")
+        log.record(2.0, "b", "second")
+        assert log.last().message == "second"
+        assert log.last("a").message == "first"
+        assert log.last("missing") is None
+
+    def test_disabled_log_records_nothing(self):
+        log = TraceLog(enabled=False)
+        assert log.record(1.0, "x", "ignored") is None
+        assert len(log) == 0
+
+    def test_max_entries_discards_oldest(self):
+        log = TraceLog(max_entries=5)
+        for index in range(10):
+            log.record(float(index), "x", f"entry-{index}")
+        assert len(log) == 5
+        assert log.filter()[0].message == "entry-5"
+
+    def test_clear(self):
+        log = TraceLog()
+        log.record(1.0, "x", "a")
+        log.clear()
+        assert len(log) == 0
+
+    def test_entry_matches_helper(self):
+        log = TraceLog()
+        entry = log.record(1.0, "cat", "hello world")
+        assert entry.matches("cat", "hello")
+        assert not entry.matches("other", None)
+        assert not entry.matches(None, "absent")

@@ -1,0 +1,97 @@
+"""Tests for fixed-size cells."""
+
+import pytest
+
+from repro.tor.cells import (
+    CELL_SIZE,
+    HEADER_SIZE,
+    PAYLOAD_PER_CELL,
+    Cell,
+    CellError,
+    cells_required,
+    chunk_payload,
+    reassemble_cells,
+)
+
+
+class TestChunking:
+    def test_single_cell_payload(self):
+        cells = chunk_payload(1, b"short message")
+        assert len(cells) == 1
+        assert cells[0].payload_length == len(b"short message")
+
+    def test_empty_payload_still_emits_one_cell(self):
+        cells = chunk_payload(1, b"")
+        assert len(cells) == 1
+        assert cells[0].payload_length == 0
+
+    def test_multi_cell_payload(self):
+        payload = b"x" * (PAYLOAD_PER_CELL * 2 + 10)
+        cells = chunk_payload(1, payload)
+        assert len(cells) == 3
+        assert cells[-1].payload_length == 10
+
+    def test_all_cells_have_identical_wire_size(self):
+        payload = b"y" * (PAYLOAD_PER_CELL + 1)
+        cells = chunk_payload(1, payload)
+        assert {cell.size for cell in cells} == {CELL_SIZE}
+
+    def test_cell_size_constant(self):
+        assert CELL_SIZE == 512
+        assert PAYLOAD_PER_CELL == CELL_SIZE - HEADER_SIZE
+
+    def test_negative_circuit_id_rejected(self):
+        with pytest.raises(CellError):
+            chunk_payload(-1, b"data")
+
+    def test_sequence_numbers_are_consecutive(self):
+        cells = chunk_payload(7, b"z" * (PAYLOAD_PER_CELL * 3))
+        assert [cell.sequence for cell in cells] == [0, 1, 2]
+
+
+class TestReassembly:
+    def test_roundtrip(self):
+        payload = bytes(range(256)) * 7
+        cells = chunk_payload(3, payload)
+        assert reassemble_cells(cells) == payload
+
+    def test_roundtrip_exact_multiple(self):
+        payload = b"a" * (PAYLOAD_PER_CELL * 2)
+        assert reassemble_cells(chunk_payload(1, payload)) == payload
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(CellError):
+            reassemble_cells([])
+
+    def test_mixed_circuits_rejected(self):
+        cells = chunk_payload(1, b"abc") + chunk_payload(2, b"def")
+        with pytest.raises(CellError):
+            reassemble_cells(cells)
+
+    def test_out_of_order_rejected(self):
+        cells = chunk_payload(1, b"x" * (PAYLOAD_PER_CELL * 2))
+        with pytest.raises(CellError):
+            reassemble_cells(list(reversed(cells)))
+
+
+class TestCellValidation:
+    def test_unpadded_payload_rejected(self):
+        with pytest.raises(CellError):
+            Cell(circuit_id=1, sequence=0, payload=b"short", payload_length=5)
+
+    def test_invalid_payload_length_rejected(self):
+        with pytest.raises(CellError):
+            Cell(
+                circuit_id=1,
+                sequence=0,
+                payload=b"\x00" * PAYLOAD_PER_CELL,
+                payload_length=PAYLOAD_PER_CELL + 1,
+            )
+
+    def test_cells_required(self):
+        assert cells_required(0) == 1
+        assert cells_required(1) == 1
+        assert cells_required(PAYLOAD_PER_CELL) == 1
+        assert cells_required(PAYLOAD_PER_CELL + 1) == 2
+        with pytest.raises(CellError):
+            cells_required(-1)

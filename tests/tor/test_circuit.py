@@ -1,0 +1,87 @@
+"""Tests for circuits and path selection."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.tor.circuit import Circuit, CircuitPurpose, build_path, rendezvous_latency
+from repro.tor.consensus import DirectoryAuthority
+from repro.tor.relay import Relay
+
+
+def consensus_entries(count: int):
+    authority = DirectoryAuthority()
+    for index in range(count):
+        authority.register(
+            Relay(
+                nickname=f"c{index}",
+                keypair=KeyPair.from_seed(f"circuit-relay-{index}".encode()),
+                joined_at=-30 * 3600.0,
+            )
+        )
+    return authority.publish_consensus(now=0.0).entries
+
+
+class TestCircuit:
+    def test_requires_nonempty_path(self):
+        with pytest.raises(ValueError):
+            Circuit(path=[], purpose=CircuitPurpose.GENERAL, built_at=0.0)
+
+    def test_length_and_latency(self):
+        entries = consensus_entries(3)
+        circuit = Circuit(path=entries, purpose=CircuitPurpose.GENERAL, built_at=0.0)
+        assert circuit.length == 3
+        assert circuit.latency(per_hop=0.1) == pytest.approx(0.3)
+
+    def test_close_is_idempotent(self):
+        entries = consensus_entries(3)
+        circuit = Circuit(path=entries, purpose=CircuitPurpose.GENERAL, built_at=0.0)
+        circuit.close(5.0)
+        circuit.close(10.0)
+        assert circuit.closed_at == 5.0
+        assert not circuit.is_open
+
+    def test_record_cells(self):
+        entries = consensus_entries(3)
+        circuit = Circuit(path=entries, purpose=CircuitPurpose.GENERAL, built_at=0.0)
+        circuit.record_cells(4)
+        circuit.record_cells(2)
+        assert circuit.cells_sent == 6
+        with pytest.raises(ValueError):
+            circuit.record_cells(-1)
+
+    def test_contains_relay(self):
+        entries = consensus_entries(4)
+        circuit = Circuit(path=entries[:3], purpose=CircuitPurpose.GENERAL, built_at=0.0)
+        assert circuit.contains_relay(entries[0].fingerprint)
+        assert not circuit.contains_relay(entries[3].fingerprint)
+
+    def test_circuit_ids_are_unique(self):
+        entries = consensus_entries(3)
+        a = Circuit(path=entries, purpose=CircuitPurpose.GENERAL, built_at=0.0)
+        b = Circuit(path=entries, purpose=CircuitPurpose.GENERAL, built_at=0.0)
+        assert a.circuit_id != b.circuit_id
+
+
+class TestPathSelection:
+    def test_path_has_requested_length_and_distinct_relays(self):
+        entries = consensus_entries(10)
+        path = build_path(entries, 3, random.Random(0))
+        assert len(path) == 3
+        assert len({entry.fingerprint for entry in path}) == 3
+
+    def test_not_enough_relays_rejected(self):
+        entries = consensus_entries(2)
+        with pytest.raises(ValueError):
+            build_path(entries, 3, random.Random(0))
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            build_path(consensus_entries(5), 0, random.Random(0))
+
+    def test_rendezvous_latency_sums_both_circuits(self):
+        entries = consensus_entries(6)
+        client = Circuit(path=entries[:3], purpose=CircuitPurpose.RENDEZVOUS, built_at=0.0)
+        service = Circuit(path=entries[3:], purpose=CircuitPurpose.RENDEZVOUS, built_at=0.0)
+        assert rendezvous_latency(client, service, per_hop=0.1) == pytest.approx(0.6)

@@ -1,0 +1,105 @@
+"""Tests for the directory authority and consensus documents."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.tor.consensus import CONSENSUS_INTERVAL, DirectoryAuthority
+from repro.tor.relay import Relay, RelayFlag
+
+
+def make_relay(name: str, joined_at: float = 0.0, adversarial: bool = False) -> Relay:
+    return Relay(
+        nickname=name,
+        keypair=KeyPair.from_seed(name.encode()),
+        joined_at=joined_at,
+        is_adversarial=adversarial,
+    )
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        authority = DirectoryAuthority()
+        relay = make_relay("r1")
+        authority.register(relay)
+        assert authority.relay(relay.fingerprint) is relay
+        assert len(authority.relays()) == 1
+
+    def test_duplicate_registration_rejected(self):
+        authority = DirectoryAuthority()
+        relay = make_relay("r1")
+        authority.register(relay)
+        with pytest.raises(ValueError):
+            authority.register(make_relay("r1"))
+
+    def test_deregister(self):
+        authority = DirectoryAuthority()
+        relay = make_relay("r1")
+        authority.register(relay)
+        authority.deregister(relay.fingerprint)
+        assert authority.relay(relay.fingerprint) is None
+
+
+class TestConsensus:
+    def test_consensus_includes_online_relays_only(self):
+        authority = DirectoryAuthority()
+        online = make_relay("online")
+        offline = make_relay("offline")
+        offline.go_offline(now=10.0)
+        authority.register(online)
+        authority.register(offline)
+        consensus = authority.publish_consensus(now=100.0)
+        assert len(consensus) == 1
+        assert consensus.entries[0].nickname == "online"
+
+    def test_hsdir_flag_assigned_after_25_hours(self):
+        authority = DirectoryAuthority()
+        old = make_relay("old", joined_at=0.0)
+        fresh = make_relay("fresh", joined_at=26 * 3600.0 - 600.0)
+        authority.register(old)
+        authority.register(fresh)
+        consensus = authority.publish_consensus(now=26 * 3600.0)
+        hsdirs = {entry.nickname for entry in consensus.hsdirs()}
+        assert hsdirs == {"old"}
+
+    def test_stable_flag_after_8_hours(self):
+        authority = DirectoryAuthority()
+        authority.register(make_relay("r", joined_at=0.0))
+        consensus = authority.publish_consensus(now=9 * 3600.0)
+        assert consensus.entries[0].has_flag(RelayFlag.STABLE)
+
+    def test_hsdir_ring_sorted_by_fingerprint(self):
+        authority = DirectoryAuthority()
+        for index in range(10):
+            authority.register(make_relay(f"r{index}", joined_at=-30 * 3600.0))
+        consensus = authority.publish_consensus(now=0.0)
+        ring = consensus.hsdir_ring()
+        fingerprints = [entry.fingerprint for entry in ring]
+        assert fingerprints == sorted(fingerprints)
+        assert len(ring) == 10
+
+    def test_consensus_validity_window(self):
+        authority = DirectoryAuthority()
+        consensus = authority.publish_consensus(now=1000.0)
+        assert consensus.valid_until == 1000.0 + CONSENSUS_INTERVAL
+
+    def test_find_by_fingerprint(self):
+        authority = DirectoryAuthority()
+        relay = make_relay("r1")
+        authority.register(relay)
+        consensus = authority.publish_consensus(now=0.0)
+        assert consensus.find(relay.fingerprint).nickname == "r1"
+        assert consensus.find(b"\x00" * 20) is None
+
+    def test_latest_consensus_and_history(self):
+        authority = DirectoryAuthority()
+        authority.register(make_relay("r1"))
+        first = authority.publish_consensus(now=0.0)
+        second = authority.publish_consensus(now=3600.0)
+        assert authority.latest_consensus is second
+        assert authority.consensus_history == [first, second]
+
+    def test_adversarial_flag_carried_into_entries(self):
+        authority = DirectoryAuthority()
+        authority.register(make_relay("evil", adversarial=True))
+        consensus = authority.publish_consensus(now=0.0)
+        assert consensus.entries[0].is_adversarial

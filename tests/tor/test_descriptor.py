@@ -1,0 +1,78 @@
+"""Tests for hidden-service descriptors."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.tor.descriptor import DESCRIPTOR_LIFETIME, HiddenServiceDescriptor
+from repro.tor.onion_address import onion_address_from_public_key
+
+
+def make_descriptor(seed: bytes = b"svc", published_at: float = 0.0) -> HiddenServiceDescriptor:
+    keypair = KeyPair.from_seed(seed)
+    descriptor = HiddenServiceDescriptor(
+        service_key=keypair.public,
+        introduction_points=[b"ip-1" * 5, b"ip-2" * 5, b"ip-3" * 5],
+        published_at=published_at,
+    )
+    return descriptor.signed_by(keypair)
+
+
+class TestDescriptorIdentity:
+    def test_identifier_and_onion_address_derive_from_key(self):
+        keypair = KeyPair.from_seed(b"svc")
+        descriptor = make_descriptor(b"svc")
+        assert descriptor.onion_address == onion_address_from_public_key(keypair)
+        assert descriptor.identifier == descriptor.onion_address.identifier()
+
+    def test_freshness_window(self):
+        descriptor = make_descriptor(published_at=0.0)
+        assert descriptor.is_fresh(now=DESCRIPTOR_LIFETIME - 1)
+        assert not descriptor.is_fresh(now=DESCRIPTOR_LIFETIME + 1)
+
+    def test_custom_lifetime(self):
+        descriptor = make_descriptor(published_at=0.0)
+        assert not descriptor.is_fresh(now=100.0, lifetime=50.0)
+
+
+class TestDescriptorSigning:
+    def test_signed_descriptor_verifies(self):
+        assert make_descriptor().verify_signature()
+
+    def test_unsigned_descriptor_fails(self):
+        keypair = KeyPair.from_seed(b"svc")
+        descriptor = HiddenServiceDescriptor(
+            service_key=keypair.public,
+            introduction_points=[b"ip"],
+            published_at=0.0,
+        )
+        assert not descriptor.verify_signature()
+
+    def test_signing_with_foreign_key_rejected(self):
+        keypair = KeyPair.from_seed(b"svc")
+        other = KeyPair.from_seed(b"other")
+        descriptor = HiddenServiceDescriptor(
+            service_key=keypair.public,
+            introduction_points=[b"ip"],
+            published_at=0.0,
+        )
+        with pytest.raises(ValueError):
+            descriptor.signed_by(other)
+
+    def test_tampered_intro_points_fail_verification(self):
+        descriptor = make_descriptor()
+        descriptor.introduction_points.append(b"evil-intro-point")
+        assert not descriptor.verify_signature()
+
+    def test_signing_payload_is_order_insensitive_for_intro_points(self):
+        keypair = KeyPair.from_seed(b"svc")
+        a = HiddenServiceDescriptor(
+            service_key=keypair.public,
+            introduction_points=[b"ip-1", b"ip-2"],
+            published_at=0.0,
+        )
+        b = HiddenServiceDescriptor(
+            service_key=keypair.public,
+            introduction_points=[b"ip-2", b"ip-1"],
+            published_at=0.0,
+        )
+        assert a.signing_payload() == b.signing_payload()

@@ -1,0 +1,143 @@
+"""Tests for HSDir descriptor-ID arithmetic and ring placement."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.tor.consensus import DirectoryAuthority
+from repro.tor.hsdir import (
+    PERIOD_SECONDS,
+    REPLICAS,
+    SPREAD,
+    descriptor_id,
+    descriptor_ids,
+    position_for_interception,
+    responsible_hsdirs,
+    ring_successors,
+    secret_id_part,
+    time_period,
+)
+from repro.tor.onion_address import service_identifier
+from repro.tor.relay import Relay
+
+
+def build_consensus(n_relays: int = 20, now: float = 0.0):
+    authority = DirectoryAuthority()
+    for index in range(n_relays):
+        authority.register(
+            Relay(
+                nickname=f"r{index}",
+                keypair=KeyPair.from_seed(f"hsdir-relay-{index}".encode()),
+                joined_at=now - 30 * 3600.0,
+            )
+        )
+    return authority.publish_consensus(now=now)
+
+
+class TestTimePeriod:
+    def test_changes_daily(self):
+        assert time_period(0, 0) == 0
+        assert time_period(PERIOD_SECONDS, 0) == 1
+
+    def test_permanent_id_byte_staggers_rotation(self):
+        # Just before midnight, a high id-byte service has already rotated.
+        almost_midnight = PERIOD_SECONDS - 100
+        assert time_period(almost_midnight, 0) == 0
+        assert time_period(almost_midnight, 255) == 1
+
+    def test_invalid_byte_rejected(self):
+        with pytest.raises(ValueError):
+            time_period(0, 256)
+
+
+class TestDescriptorIds:
+    def test_descriptor_id_is_sha1_output(self):
+        identifier = service_identifier(KeyPair.from_seed(b"svc").public)
+        assert len(descriptor_id(identifier, 0.0, 0)) == hashlib.sha1().digest_size
+
+    def test_replicas_give_distinct_ids(self):
+        identifier = service_identifier(KeyPair.from_seed(b"svc").public)
+        ids = descriptor_ids(identifier, 0.0)
+        assert len(ids) == REPLICAS
+        assert len(set(ids)) == REPLICAS
+
+    def test_ids_change_across_periods(self):
+        identifier = service_identifier(KeyPair.from_seed(b"svc").public)
+        today = descriptor_id(identifier, 0.0, 0)
+        tomorrow = descriptor_id(identifier, float(PERIOD_SECONDS), 0)
+        assert today != tomorrow
+
+    def test_descriptor_cookie_changes_ids(self):
+        identifier = service_identifier(KeyPair.from_seed(b"svc").public)
+        without = descriptor_id(identifier, 0.0, 0)
+        with_cookie = descriptor_id(identifier, 0.0, 0, descriptor_cookie=b"secret")
+        assert without != with_cookie
+
+    def test_invalid_replica_rejected(self):
+        with pytest.raises(ValueError):
+            secret_id_part(0.0, 0, REPLICAS)
+
+    def test_empty_identifier_rejected(self):
+        with pytest.raises(ValueError):
+            descriptor_id(b"", 0.0, 0)
+
+
+class TestRingPlacement:
+    def test_ring_successors_wrap_around(self):
+        consensus = build_consensus(5)
+        ring = consensus.hsdir_ring()
+        # A point beyond the largest fingerprint wraps to the start of the ring.
+        beyond = b"\xff" * 20
+        successors = ring_successors(ring, beyond, 2)
+        assert successors[0] is ring[0]
+        assert successors[1] is ring[1]
+
+    def test_ring_successors_empty_ring(self):
+        assert ring_successors([], b"\x00" * 20, 3) == []
+
+    def test_responsible_hsdirs_count(self):
+        consensus = build_consensus(20)
+        identifier = service_identifier(KeyPair.from_seed(b"svc").public)
+        responsible = responsible_hsdirs(consensus, identifier, 0.0)
+        # 2 replicas x 3 spread = 6 (deduplicated, so can be slightly fewer).
+        assert 4 <= len(responsible) <= REPLICAS * SPREAD
+
+    def test_responsible_hsdirs_follow_descriptor_id(self):
+        consensus = build_consensus(20)
+        ring = consensus.hsdir_ring()
+        identifier = service_identifier(KeyPair.from_seed(b"svc").public)
+        point = descriptor_id(identifier, 0.0, 0)
+        responsible = responsible_hsdirs(consensus, identifier, 0.0)
+        expected_first = ring_successors(ring, point, 1)[0]
+        assert responsible[0].fingerprint == expected_first.fingerprint
+
+    def test_client_and_service_agree_on_hsdirs(self):
+        """Anyone who knows the onion address computes the same HSDir set."""
+        consensus = build_consensus(30)
+        identifier = service_identifier(KeyPair.from_seed(b"svc").public)
+        a = [entry.fingerprint for entry in responsible_hsdirs(consensus, identifier, 5000.0)]
+        b = [entry.fingerprint for entry in responsible_hsdirs(consensus, identifier, 5000.0)]
+        assert a == b
+
+    def test_small_ring_deduplicates(self):
+        consensus = build_consensus(2)
+        identifier = service_identifier(KeyPair.from_seed(b"svc").public)
+        responsible = responsible_hsdirs(consensus, identifier, 0.0)
+        fingerprints = [entry.fingerprint for entry in responsible]
+        assert len(fingerprints) == len(set(fingerprints)) <= 2
+
+
+class TestInterceptionPositioning:
+    def test_crafted_fingerprint_becomes_first_responsible(self):
+        consensus = build_consensus(20)
+        identifier = service_identifier(KeyPair.from_seed(b"victim").public)
+        crafted = position_for_interception(consensus, identifier, 0.0)
+        assert crafted is not None
+        point = descriptor_id(identifier, 0.0, 0)
+        assert point < crafted
+        # Inserting a relay at the crafted position would make it the
+        # immediate successor of the descriptor ID.
+        ring = consensus.hsdir_ring()
+        incumbent = ring_successors(ring, point, 1)[0]
+        assert crafted <= incumbent.fingerprint

@@ -1,0 +1,133 @@
+"""Tests for the integrated Tor network model."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.sim.engine import Simulator
+from repro.tor.hidden_service import ServiceUnreachable
+from repro.tor.network import TorNetwork, TorNetworkConfig
+from repro.tor.relay import RelayFlag
+
+
+def make_network(relays: int = 25, seed: int = 0) -> TorNetwork:
+    simulator = Simulator(seed=seed)
+    network = TorNetwork(simulator, TorNetworkConfig(num_relays=relays))
+    network.bootstrap()
+    return network
+
+
+def echo_handler(payload: bytes, _connection) -> bytes:
+    return b"echo:" + payload[:16]
+
+
+class TestBootstrap:
+    def test_bootstrap_creates_relays_and_consensus(self):
+        network = make_network(relays=20)
+        assert len(network.consensus) == 20
+
+    def test_bootstrapped_relays_are_hsdir_eligible(self):
+        network = make_network(relays=15)
+        assert len(network.consensus.hsdirs()) == 15
+
+    def test_hourly_consensus_process_runs(self):
+        network = make_network()
+        before = len(network.authority.consensus_history)
+        network.simulator.run_for(3 * 3600.0 + 10)
+        assert len(network.authority.consensus_history) >= before + 3
+
+    def test_new_relay_not_hsdir_until_25_hours(self):
+        network = make_network()
+        relay = network.add_relay(nickname="newcomer")
+        network.publish_consensus()
+        entry = network.consensus.find(relay.fingerprint)
+        assert entry is not None and not entry.has_flag(RelayFlag.HSDIR)
+        network.simulator.run_for(26 * 3600.0)
+        network.publish_consensus()
+        entry = network.consensus.find(relay.fingerprint)
+        assert entry.has_flag(RelayFlag.HSDIR)
+
+
+class TestHiddenServiceHosting:
+    def test_host_and_connect(self):
+        network = make_network()
+        host = network.host_service(KeyPair.from_seed(b"svc"), echo_handler)
+        reply = network.send_to("client", host.onion_address, b"hello")
+        assert reply == b"echo:hello"
+
+    def test_descriptor_stored_on_responsible_hsdirs(self):
+        network = make_network()
+        host = network.host_service(KeyPair.from_seed(b"svc"), echo_handler)
+        storing = network.hsdirs_storing(host.onion_address)
+        assert 1 <= len(storing) <= 6
+
+    def test_lookup_unknown_address_fails(self):
+        network = make_network()
+        unknown = KeyPair.from_seed(b"never-hosted")
+        from repro.tor.onion_address import onion_address_from_public_key
+
+        with pytest.raises(ServiceUnreachable):
+            network.lookup_descriptor(onion_address_from_public_key(unknown))
+
+    def test_retire_service_makes_it_unreachable(self):
+        network = make_network()
+        host = network.host_service(KeyPair.from_seed(b"svc"), echo_handler)
+        network.retire_service(host.onion_address)
+        with pytest.raises(ServiceUnreachable):
+            network.connect("client", host.onion_address)
+
+    def test_stale_descriptor_not_served(self):
+        network = make_network()
+        host = network.host_service(KeyPair.from_seed(b"svc"), echo_handler)
+        network.simulator.run_for(2 * 86400.0)
+        with pytest.raises(ServiceUnreachable):
+            network.lookup_descriptor(host.onion_address)
+        # Republishing restores reachability.
+        network.publish_descriptor(host)
+        assert network.lookup_descriptor(host.onion_address) is not None
+
+    def test_rotation_moves_service_to_new_address(self):
+        network = make_network()
+        host = network.host_service(KeyPair.from_seed(b"period-0"), echo_handler)
+        old_address = host.onion_address
+        new_address = network.rotate_service_key(host, KeyPair.from_seed(b"period-1"))
+        assert new_address != old_address
+        assert network.send_to("client", new_address, b"ping") == b"echo:ping"
+        with pytest.raises(ServiceUnreachable):
+            network.connect("client", old_address)
+
+    def test_censoring_hsdirs_deny_lookup(self):
+        network = make_network()
+        host = network.host_service(KeyPair.from_seed(b"svc"), echo_handler)
+        for fingerprint in network.hsdirs_storing(host.onion_address):
+            network.set_censoring(fingerprint)
+        with pytest.raises(ServiceUnreachable):
+            network.lookup_descriptor(host.onion_address)
+
+    def test_connection_records_cells(self):
+        network = make_network()
+        host = network.host_service(KeyPair.from_seed(b"svc"), echo_handler)
+        connection = network.connect("client", host.onion_address)
+        network.send(connection, b"x" * 2000)
+        assert connection.payloads_exchanged == 1
+        assert connection.client_circuit.cells_sent >= 4
+        connection.close(network.simulator.now)
+        with pytest.raises(ServiceUnreachable):
+            network.send(connection, b"more")
+
+    def test_counters_track_activity(self):
+        network = make_network()
+        host = network.host_service(KeyPair.from_seed(b"svc"), echo_handler)
+        network.send_to("client", host.onion_address, b"hello")
+        counters = network.simulator.metrics.counters
+        assert counters.get("tor.services_hosted") == 1
+        assert counters.get("tor.connects_ok") == 1
+        assert counters.get("tor.cells_relayed") >= 1
+
+    def test_mutual_anonymity_of_connection_object(self):
+        """The connection exposes onion addresses only, never registry handles."""
+        network = make_network()
+        host = network.host_service(KeyPair.from_seed(b"svc"), echo_handler)
+        connection = network.connect("client-label", host.onion_address)
+        assert connection.service_address == host.onion_address
+        assert not hasattr(connection, "service_host")
+        assert connection.client_label == "client-label"

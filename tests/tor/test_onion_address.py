@@ -1,0 +1,86 @@
+"""Tests for onion address derivation."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.tor.onion_address import (
+    IDENTIFIER_LENGTH,
+    OnionAddress,
+    is_valid_onion,
+    onion_address_from_identifier,
+    onion_address_from_public_key,
+    service_identifier,
+)
+
+
+class TestServiceIdentifier:
+    def test_identifier_is_first_10_bytes_of_sha1(self):
+        keypair = KeyPair.from_seed(b"service")
+        expected = hashlib.sha1(keypair.public.material).digest()[:IDENTIFIER_LENGTH]
+        assert service_identifier(keypair.public) == expected
+
+    def test_identifier_accepts_raw_bytes(self):
+        material = b"\x01" * 32
+        assert service_identifier(material) == hashlib.sha1(material).digest()[:10]
+
+    def test_identifier_length(self):
+        assert len(service_identifier(KeyPair.from_seed(b"x").public)) == 10
+
+
+class TestOnionAddress:
+    def test_address_has_16_char_label_and_suffix(self):
+        address = onion_address_from_public_key(KeyPair.from_seed(b"svc"))
+        assert str(address).endswith(".onion")
+        assert len(address.label) == 16
+
+    def test_address_roundtrips_identifier(self):
+        keypair = KeyPair.from_seed(b"svc")
+        address = onion_address_from_public_key(keypair)
+        assert address.identifier() == service_identifier(keypair.public)
+
+    def test_address_is_deterministic_per_key(self):
+        a = onion_address_from_public_key(KeyPair.from_seed(b"svc"))
+        b = onion_address_from_public_key(KeyPair.from_seed(b"svc"))
+        assert a == b
+
+    def test_different_keys_give_different_addresses(self):
+        a = onion_address_from_public_key(KeyPair.from_seed(b"svc-a"))
+        b = onion_address_from_public_key(KeyPair.from_seed(b"svc-b"))
+        assert a != b
+
+    def test_accepts_keypair_public_or_bytes(self):
+        keypair = KeyPair.from_seed(b"svc")
+        assert (
+            onion_address_from_public_key(keypair)
+            == onion_address_from_public_key(keypair.public)
+            == onion_address_from_public_key(keypair.public.material)
+        )
+
+    def test_label_is_lowercase_base32(self):
+        address = onion_address_from_public_key(KeyPair.from_seed(b"svc"))
+        assert address.label == address.label.lower()
+        assert set(address.label) <= set("abcdefghijklmnopqrstuvwxyz234567")
+
+    def test_invalid_suffix_rejected(self):
+        with pytest.raises(ValueError):
+            OnionAddress("abcdefghijklmnop.com")
+
+    def test_wrong_label_length_rejected(self):
+        with pytest.raises(ValueError):
+            OnionAddress("tooshort.onion")
+
+    def test_identifier_length_enforced(self):
+        with pytest.raises(ValueError):
+            onion_address_from_identifier(b"short")
+
+    def test_is_valid_onion_helper(self):
+        address = onion_address_from_public_key(KeyPair.from_seed(b"svc"))
+        assert is_valid_onion(str(address))
+        assert not is_valid_onion("not-an-onion")
+
+    def test_addresses_are_orderable(self):
+        a = onion_address_from_public_key(KeyPair.from_seed(b"a"))
+        b = onion_address_from_public_key(KeyPair.from_seed(b"b"))
+        assert sorted([b, a]) == sorted([a, b])

@@ -1,0 +1,63 @@
+"""Tests for relays and flag eligibility."""
+
+from repro.crypto.keys import KeyPair
+from repro.tor.relay import HSDIR_UPTIME_HOURS, Relay, RelayFlag
+
+
+def make_relay(joined_at: float = 0.0, **kwargs) -> Relay:
+    return Relay(
+        nickname="test-relay",
+        keypair=KeyPair.from_seed(b"relay-test"),
+        joined_at=joined_at,
+        **kwargs,
+    )
+
+
+class TestRelayIdentity:
+    def test_fingerprint_is_20_bytes(self):
+        assert len(make_relay().fingerprint) == 20
+
+    def test_fingerprint_hex(self):
+        relay = make_relay()
+        assert relay.fingerprint_hex == relay.fingerprint.hex()
+
+    def test_new_relay_is_online_and_running(self):
+        relay = make_relay()
+        assert relay.is_online
+        assert relay.has_flag(RelayFlag.RUNNING)
+
+
+class TestUptimeAndHsdir:
+    def test_uptime_hours(self):
+        relay = make_relay(joined_at=0.0)
+        assert relay.uptime_hours(now=7200.0) == 2.0
+
+    def test_hsdir_requires_25_hours(self):
+        relay = make_relay(joined_at=0.0)
+        just_under = (HSDIR_UPTIME_HOURS - 0.1) * 3600.0
+        just_over = (HSDIR_UPTIME_HOURS + 0.1) * 3600.0
+        assert not relay.qualifies_for_hsdir(just_under)
+        assert relay.qualifies_for_hsdir(just_over)
+
+    def test_offline_relay_never_qualifies(self):
+        relay = make_relay(joined_at=0.0)
+        relay.go_offline(now=30 * 3600.0)
+        assert not relay.qualifies_for_hsdir(100 * 3600.0)
+        assert relay.uptime_hours(100 * 3600.0) == 0.0
+
+    def test_go_offline_strips_flags(self):
+        relay = make_relay()
+        relay.flags.add(RelayFlag.HSDIR)
+        relay.go_offline(now=10.0)
+        assert not relay.is_online
+        assert not relay.has_flag(RelayFlag.RUNNING)
+        assert not relay.has_flag(RelayFlag.HSDIR)
+
+    def test_rejoin_resets_uptime(self):
+        relay = make_relay(joined_at=0.0)
+        relay.go_offline(now=30 * 3600.0)
+        relay.rejoin(now=40 * 3600.0)
+        assert relay.is_online
+        # Only 1 hour of uptime since rejoining: not HSDir-eligible yet.
+        assert not relay.qualifies_for_hsdir(41 * 3600.0)
+        assert relay.qualifies_for_hsdir((40 + HSDIR_UPTIME_HOURS + 1) * 3600.0)

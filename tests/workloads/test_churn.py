@@ -1,0 +1,39 @@
+"""Tests for the churn model."""
+
+import pytest
+
+from repro.workloads.churn import ChurnKind, ChurnModel
+
+
+class TestChurnModel:
+    def test_events_sorted_by_time(self):
+        events = ChurnModel(join_rate=5.0, leave_rate=5.0, seed=1).generate(duration_hours=10.0)
+        times = [event.time for event in events]
+        assert times == sorted(times)
+
+    def test_event_counts_near_expectation(self):
+        model = ChurnModel(join_rate=4.0, leave_rate=4.0, seed=2)
+        events = model.generate(duration_hours=50.0)
+        expected = model.expected_events(50.0)
+        assert 0.5 * expected < len(events) < 1.5 * expected
+
+    def test_join_events_have_unique_labels(self):
+        events = ChurnModel(join_rate=5.0, leave_rate=0.0, seed=3).generate(duration_hours=20.0)
+        labels = [event.label for event in events if event.kind is ChurnKind.JOIN]
+        assert len(labels) == len(set(labels))
+
+    def test_zero_rates_produce_no_events(self):
+        assert ChurnModel(join_rate=0.0, leave_rate=0.0).generate(10.0) == []
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnModel().generate(-1.0)
+
+    def test_reproducible_for_seed(self):
+        a = ChurnModel(seed=7).generate(10.0)
+        b = ChurnModel(seed=7).generate(10.0)
+        assert [(e.time, e.kind) for e in a] == [(e.time, e.kind) for e in b]
+
+    def test_times_within_duration(self):
+        events = ChurnModel(join_rate=10.0, leave_rate=10.0, seed=4).generate(duration_hours=5.0)
+        assert all(0.0 <= event.time <= 5.0 * 3600.0 for event in events)

@@ -1,0 +1,32 @@
+"""Tests for the benign command workload generator."""
+
+from repro.workloads.commands import BENIGN_COMMANDS, CommandWorkload
+
+
+class TestCommandWorkload:
+    def test_schedule_size(self):
+        workload = CommandWorkload(commands_per_day=4.0, duration_days=3.0, seed=1)
+        assert len(workload) == 12
+
+    def test_times_sorted_and_within_horizon(self):
+        workload = CommandWorkload(commands_per_day=10.0, duration_days=2.0, seed=2)
+        times = [time for time, _, _ in workload]
+        assert times == sorted(times)
+        assert all(0.0 <= time <= 2.0 * 86400.0 for time in times)
+
+    def test_only_benign_verbs_are_used(self):
+        workload = CommandWorkload(commands_per_day=20.0, duration_days=1.0, seed=3)
+        assert all(verb in BENIGN_COMMANDS for _, verb, _ in workload)
+
+    def test_sequence_argument_is_monotone(self):
+        workload = CommandWorkload(commands_per_day=5.0, duration_days=1.0, seed=4)
+        sequences = [int(args["sequence"]) for _, _, args in workload]
+        assert sequences == list(range(len(sequences)))
+
+    def test_reproducible_for_seed(self):
+        a = list(CommandWorkload(seed=5))
+        b = list(CommandWorkload(seed=5))
+        assert a == b
+
+    def test_zero_rate_produces_empty_schedule(self):
+        assert len(CommandWorkload(commands_per_day=0.0)) == 0

@@ -1,0 +1,55 @@
+"""Tests for deletion schedules."""
+
+import pytest
+
+from repro.workloads.deletion import DeletionSchedule, fraction_checkpoints
+
+
+class TestFractionCheckpoints:
+    def test_paper_checkpoints(self):
+        assert fraction_checkpoints(5000, [0.1, 0.2, 0.3]) == [500, 1000, 1500]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            fraction_checkpoints(100, [1.1])
+
+
+class TestDeletionSchedule:
+    def test_random_schedule_size_and_membership(self):
+        nodes = list(range(100))
+        schedule = DeletionSchedule.random(nodes, 0.25, seed=1)
+        assert len(schedule) == 25
+        assert set(schedule.victims) <= set(nodes)
+
+    def test_random_schedule_reproducible(self):
+        nodes = list(range(50))
+        assert DeletionSchedule.random(nodes, 0.5, seed=3).victims == DeletionSchedule.random(
+            nodes, 0.5, seed=3
+        ).victims
+
+    def test_full_population_covers_everyone(self):
+        nodes = list(range(30))
+        schedule = DeletionSchedule.full_population(nodes, seed=1)
+        assert sorted(schedule.victims) == nodes
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            DeletionSchedule.random([1, 2, 3], 2.0)
+
+    def test_batches(self):
+        schedule = DeletionSchedule(victims=list(range(10)))
+        batches = list(schedule.batches(3))
+        assert [len(batch) for batch in batches] == [3, 3, 3, 1]
+        assert [victim for batch in batches for victim in batch] == list(range(10))
+
+    def test_batches_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(DeletionSchedule(victims=[1]).batches(0))
+
+    def test_prefix(self):
+        schedule = DeletionSchedule(victims=list(range(10)))
+        assert schedule.prefix(3) == [0, 1, 2]
+
+    def test_iteration(self):
+        schedule = DeletionSchedule(victims=[5, 6])
+        assert list(schedule) == [5, 6]
