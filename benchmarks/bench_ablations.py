@@ -9,6 +9,14 @@ design decisions quantitatively:
   degree -- implemented by pre-wiring clones together so their graph degree
   is high, which makes them the pruning victims and stalls the attack);
 * DDSR vs a Kademlia-style structured overlay under mass takedown.
+
+The repair-policy and pruning-policy ablations run through the
+:mod:`repro.runner` subsystem (registered ``ablation-*`` scenarios swept via
+:func:`repro.analysis.sweep.sweep_scenario`), so the same grid can be
+re-executed from the CLI -- e.g.::
+
+    python -m repro.runner sweep ablation-repair-policy \
+        --grid policy=clique,ring,single-edge,none --trials 5 --workers 4
 """
 
 from __future__ import annotations
@@ -18,35 +26,26 @@ import random
 from conftest import emit
 
 from repro.analysis.reporting import render_result_rows
+from repro.analysis.sweep import sweep_scenario
 from repro.baselines.kademlia import KademliaOverlay
-from repro.core.ddsr import DDSRConfig, DDSROverlay, PruningPolicy, RepairPolicy
-from repro.graphs.metrics import largest_component_fraction, number_connected_components
+from repro.core.ddsr import DDSROverlay
+from repro.graphs.metrics import number_connected_components
 
 
 def test_ablation_repair_policy(benchmark):
     """Clique repair keeps the overlay whole; weaker policies fragment sooner."""
 
     def run():
-        rows = []
-        for policy in (RepairPolicy.CLIQUE, RepairPolicy.RING, RepairPolicy.SINGLE_EDGE, RepairPolicy.NONE):
-            overlay = DDSROverlay.k_regular(
-                300, 10, config=DDSRConfig(d_min=5, d_max=15, repair_policy=policy), seed=100
-            )
-            overlay.remove_fraction(0.7, rng=random.Random(7))
-            rows.append(
-                {
-                    "repair_policy": policy.value,
-                    "components": number_connected_components(overlay.graph),
-                    "largest_component_fraction": round(largest_component_fraction(overlay.graph), 3),
-                    "repair_edges_added": overlay.stats.repair_edges_added,
-                    "max_degree": overlay.max_degree(),
-                }
-            )
-        return rows
+        return sweep_scenario(
+            "ablation-repair-policy",
+            {"policy": ["clique", "ring", "single-edge", "none"]},
+            params={"n": 300, "k": 10, "fraction": 0.7},
+            seed=100,
+        ).rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     emit("Ablation — repair policy under 70% gradual deletions", render_result_rows(rows))
-    by_policy = {row["repair_policy"]: row for row in rows}
+    by_policy = {row["policy"]: row for row in rows}
     assert by_policy["clique"]["components"] == 1
     assert by_policy["none"]["components"] > by_policy["clique"]["components"]
     assert by_policy["clique"]["largest_component_fraction"] >= by_policy["single-edge"]["largest_component_fraction"]
@@ -56,28 +55,18 @@ def test_ablation_pruning_policy(benchmark):
     """Dropping the highest-degree peer preserves reachability best."""
 
     def run():
-        rows = []
-        for policy in (PruningPolicy.HIGHEST_DEGREE, PruningPolicy.RANDOM, PruningPolicy.LOWEST_DEGREE):
-            overlay = DDSROverlay.k_regular(
-                300, 10, config=DDSRConfig(d_min=5, d_max=15, pruning_policy=policy), seed=101
-            )
-            overlay.remove_fraction(0.5, rng=random.Random(8))
-            rows.append(
-                {
-                    "pruning_policy": policy.value,
-                    "components": number_connected_components(overlay.graph),
-                    "largest_component_fraction": round(largest_component_fraction(overlay.graph), 3),
-                    "prune_operations": overlay.stats.prune_operations,
-                    "max_degree": overlay.max_degree(),
-                }
-            )
-        return rows
+        return sweep_scenario(
+            "ablation-pruning-policy",
+            {"policy": ["highest-degree", "random", "lowest-degree"]},
+            params={"n": 300, "k": 10, "fraction": 0.5},
+            seed=101,
+        ).rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     emit("Ablation — pruning victim selection under 50% deletions", render_result_rows(rows))
     assert all(row["max_degree"] <= 15 for row in rows)
     best = max(rows, key=lambda row: row["largest_component_fraction"])
-    assert best["pruning_policy"] in ("highest-degree", "random")
+    assert best["policy"] in ("highest-degree", "random")
 
 
 def test_ablation_soap_clone_degree_announcement(benchmark):

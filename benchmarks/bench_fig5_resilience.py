@@ -12,16 +12,19 @@ centrality stays slightly above the normal graph's (bounded by pruning); the
 DDSR diameter *decreases* as the network shrinks while the normal graph's
 diameter grows until it partitions.
 
-The benchmark regenerates both "columns" at reduced sizes (600 and 1200 nodes
-by default) -- the qualitative comparison is identical.
+Both "columns" (600 and 1200 nodes by default; qualitatively identical to
+the paper's sizes) run through the :mod:`repro.runner` subsystem as a grid
+over ``n`` -- the same sweep the CLI exposes::
+
+    python -m repro.runner sweep fig5-resilience --grid n=600,1200 --workers 2
 """
 
 from __future__ import annotations
 
 from conftest import emit
 
-from repro.analysis.experiments import run_fig5_resilience
-from repro.analysis.reporting import format_series
+from repro.analysis.experiments import run_fig5_resilience_sweep
+from repro.analysis.reporting import render_result_rows
 
 SMALL_N = 600
 LARGE_N = 1200
@@ -29,55 +32,54 @@ CHECKPOINTS = 10
 DIAMETER_SAMPLE = 24
 
 
-def _render(result):
-    return "\n".join(
-        [
-            format_series("DDSR components", result.deletions, result.ddsr_components),
-            format_series("Normal components", result.deletions, result.normal_components),
-            format_series("DDSR degree centrality", result.deletions, result.ddsr_degree_centrality),
-            format_series("Normal degree centrality", result.deletions, result.normal_degree_centrality),
-            format_series("DDSR diameter", result.deletions, result.ddsr_diameter),
-            format_series("Normal diameter", result.deletions, result.normal_diameter),
-        ]
-    )
-
-
-def _check_shapes(result):
+def _check_shapes(row):
     # 5a/5b: DDSR stays connected essentially to the end; the normal graph
     # fragments into many components.
-    assert result.ddsr_stays_connected_until() >= 0.75
-    assert max(result.normal_components) > 3 * max(result.ddsr_components)
+    assert row["ddsr_stays_connected_until"] >= 0.75
+    assert row["max_normal_components"] > 3 * row["max_ddsr_components"]
     # 5c/5d: DDSR degree centrality stays bounded but slightly above normal.
-    assert result.ddsr_degree_centrality[-2] >= result.normal_degree_centrality[-2]
+    assert row["ddsr_final_degree_centrality"] >= row["normal_final_degree_centrality"]
     # 5e/5f: the DDSR diameter at the end is no larger than it was initially,
     # while the normal graph's diameter (largest component) grew or the graph
     # disintegrated into tiny fragments.
-    assert result.ddsr_diameter[-2] <= result.ddsr_diameter[0] + 1
+    assert row["ddsr_late_diameter"] <= row["ddsr_initial_diameter"] + 1
 
 
-def test_fig5_left_column_small_network(benchmark):
-    """Figures 5a/5c/5e: the 'small botnet' column (paper: n=5000)."""
-    result = benchmark.pedantic(
-        lambda: run_fig5_resilience(
-            n=SMALL_N, k=10, checkpoints=CHECKPOINTS, diameter_sample=DIAMETER_SAMPLE,
-            max_fraction=0.95, seed=50,
+def test_fig5_both_columns_via_runner(benchmark):
+    """Figures 5a-5f: both network-size columns as one runner sweep."""
+    rows = benchmark.pedantic(
+        lambda: run_fig5_resilience_sweep(
+            sizes=(SMALL_N, LARGE_N),
+            k=10,
+            checkpoints=CHECKPOINTS,
+            diameter_sample=DIAMETER_SAMPLE,
+            max_fraction=0.95,
+            seed=50,
         ),
         rounds=1,
         iterations=1,
     )
-    emit(f"Figure 5a/5c/5e — DDSR vs normal graph (n={SMALL_N}, k=10)", _render(result))
-    _check_shapes(result)
+    emit(
+        f"Figure 5 — DDSR vs normal graph (n={SMALL_N} and n={LARGE_N}, k=10)",
+        render_result_rows(rows),
+    )
+    assert [row["n"] for row in rows] == [SMALL_N, LARGE_N]
+    for row in rows:
+        _check_shapes(row)
 
 
-def test_fig5_right_column_medium_network(benchmark):
-    """Figures 5b/5d/5f: the 'medium botnet' column (paper: n=15000)."""
-    result = benchmark.pedantic(
-        lambda: run_fig5_resilience(
-            n=LARGE_N, k=10, checkpoints=CHECKPOINTS, diameter_sample=DIAMETER_SAMPLE,
-            max_fraction=0.95, seed=51,
+def test_fig5_parallel_matches_serial(benchmark):
+    """The sharded executor reproduces the serial sweep bit-for-bit."""
+    serial = run_fig5_resilience_sweep(
+        sizes=(SMALL_N, LARGE_N), k=10, checkpoints=CHECKPOINTS,
+        diameter_sample=DIAMETER_SAMPLE, max_fraction=0.95, seed=50, workers=1,
+    )
+    parallel = benchmark.pedantic(
+        lambda: run_fig5_resilience_sweep(
+            sizes=(SMALL_N, LARGE_N), k=10, checkpoints=CHECKPOINTS,
+            diameter_sample=DIAMETER_SAMPLE, max_fraction=0.95, seed=50, workers=2,
         ),
         rounds=1,
         iterations=1,
     )
-    emit(f"Figure 5b/5d/5f — DDSR vs normal graph (n={LARGE_N}, k=10)", _render(result))
-    _check_shapes(result)
+    assert parallel == serial

@@ -23,6 +23,7 @@ from repro.analysis.experiments import (
     run_fig3_walkthrough,
     run_fig4_centrality,
     run_fig5_resilience,
+    run_fig5_resilience_sweep,
     run_fig6_partition_threshold,
     run_hsdir_interception,
     run_pow_tradeoff,
@@ -38,7 +39,7 @@ from repro.analysis.export import (
     write_series_csv,
 )
 from repro.analysis.reporting import format_series, format_table, render_result_rows
-from repro.analysis.sweep import SweepResult, parameter_sweep
+from repro.analysis.sweep import SweepResult, parameter_sweep, sweep_scenario
 from repro.analysis.table1 import build_table1
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "run_fig3_walkthrough",
     "run_fig4_centrality",
     "run_fig5_resilience",
+    "run_fig5_resilience_sweep",
     "run_fig6_partition_threshold",
     "run_soap_campaign",
     "run_hsdir_interception",
@@ -62,6 +64,7 @@ __all__ = [
     "format_series",
     "render_result_rows",
     "parameter_sweep",
+    "sweep_scenario",
     "SweepResult",
     "write_json",
     "write_series_csv",

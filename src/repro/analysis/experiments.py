@@ -228,6 +228,46 @@ def run_fig5_resilience(
     return result
 
 
+def run_fig5_resilience_sweep(
+    *,
+    sizes: Sequence[int] = (600, 1200),
+    k: int = 10,
+    max_fraction: float = 0.95,
+    checkpoints: int = 12,
+    diameter_sample: int = 24,
+    trials: int = 1,
+    seed: int = 0,
+    workers: int = 1,
+    cache=None,
+) -> List[Dict[str, float]]:
+    """Both Figure 5 "columns" (and more) through the :mod:`repro.runner`.
+
+    Executes the registered ``fig5-resilience`` scenario over a grid of
+    network sizes -- sharded across ``workers`` processes, optionally served
+    from a :class:`repro.runner.cache.ResultCache` -- and returns one
+    aggregate row per size (scalar summary metrics; see
+    :func:`repro.runner.scenarios.fig5_summary`).  Results are bit-identical
+    for any worker count.
+    """
+    from repro.runner.executor import run_scenario
+
+    result = run_scenario(
+        "fig5-resilience",
+        params={
+            "k": k,
+            "max_fraction": max_fraction,
+            "checkpoints": checkpoints,
+            "diameter_sample": diameter_sample,
+        },
+        grid={"n": [int(size) for size in sizes]},
+        trials=trials,
+        seed=seed,
+        workers=workers,
+        cache=cache,
+    )
+    return result.rows()
+
+
 # ----------------------------------------------------------------------
 # Figure 6 -- simultaneous-takedown partition threshold vs network size
 # ----------------------------------------------------------------------
@@ -254,6 +294,8 @@ def run_fig6_partition_threshold(
     seed: int = 0,
     resolution: float = 0.05,
     trials_per_fraction: int = 2,
+    workers: int = 1,
+    cache=None,
 ) -> Fig6Result:
     """Reproduce Figure 6: nodes that must be removed *at once* to partition.
 
@@ -262,23 +304,31 @@ def run_fig6_partition_threshold(
     split.  The paper sweeps n = 1000 ... 15000 and finds the threshold to sit
     at roughly 40 % of the nodes; pass ``sizes=range(1000, 15001, 1000)`` to
     match it exactly.
-    """
-    from repro.graphs.generators import k_regular_graph
-    from repro.graphs.partition import minimum_partition_fraction
 
+    The per-size computations run through the :mod:`repro.runner` executor
+    (the ``fig6-partition-threshold`` scenario), so ``workers > 1`` shards
+    sizes across processes -- the paper-scale sweep is embarrassingly
+    parallel -- and passing a :class:`repro.runner.cache.ResultCache` makes
+    re-runs and extended sweeps incremental.  Output is independent of the
+    worker count.
+    """
+    from repro.runner.executor import run_scenario
+
+    sizes = [int(size) for size in sizes]
+    run = run_scenario(
+        "fig6-partition-threshold",
+        params={"k": k, "resolution": resolution, "trials_per_fraction": trials_per_fraction},
+        grid={"size": sizes},
+        seed=seed,
+        workers=workers,
+        cache=cache,
+    )
     result = Fig6Result(k=k)
-    for size in sizes:
-        rng = random.Random(seed + size)
-        graph = k_regular_graph(size, k, rng=rng)
-        fraction = minimum_partition_fraction(
-            graph,
-            rng=rng,
-            resolution=resolution,
-            trials_per_fraction=trials_per_fraction,
-        )
+    # With trials=1 the unit schedule order is exactly the grid (sizes) order.
+    for size, metrics in zip(sizes, run.unit_metrics):
         result.sizes.append(size)
-        result.fractions.append(fraction)
-        result.nodes_to_partition.append(int(round(fraction * size)))
+        result.fractions.append(metrics["fraction"])
+        result.nodes_to_partition.append(int(metrics["nodes_to_partition"]))
     return result
 
 

@@ -1,10 +1,22 @@
-"""A minimal parameter-sweep helper used by ablation benchmarks."""
+"""Parameter sweeps, executed through the :mod:`repro.runner` subsystem.
+
+Historically this module carried its own Cartesian-product loop; it is now a
+thin facade over the runner: grid expansion comes from
+:func:`repro.runner.grid.expand_grid`, and :func:`sweep_scenario` runs any
+*registered* scenario through the sharded, cached executor (parallel workers,
+per-unit deterministic seeding, streaming aggregation) while returning the
+same row-oriented :class:`SweepResult` the ablation benchmarks consume.
+
+:func:`parameter_sweep` remains for ad-hoc callables that are not registered
+scenarios; it runs in-process and uncached.
+"""
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.runner.grid import expand_grid
 
 
 @dataclass
@@ -38,10 +50,41 @@ def parameter_sweep(
     """
     names = list(grid)
     result = SweepResult(parameter_names=names)
-    for values in itertools.product(*(grid[name] for name in names)):
-        point = dict(zip(names, values))
+    for point in expand_grid(grid):
         outcome = runner(**point)
         row = dict(point)
         row.update(outcome)
         result.rows.append(row)
     return result
+
+
+def sweep_scenario(
+    name: str,
+    grid: Mapping[str, Sequence[Any]],
+    *,
+    params: Optional[Mapping[str, Any]] = None,
+    trials: int = 1,
+    seed: int = 0,
+    workers: int = 1,
+    cache: Optional[Any] = None,
+) -> SweepResult:
+    """Sweep a *registered* scenario through the parallel, cached executor.
+
+    Returns one row per grid point: the point's parameters plus the
+    aggregated metrics (plain metric name for single-trial sweeps,
+    ``<metric>_mean`` / ``_std`` / ``_ci95`` with ``trials > 1``).
+    """
+    from repro.runner.executor import run_scenario
+
+    result = run_scenario(
+        name,
+        params=params,
+        grid=grid,
+        trials=trials,
+        seed=seed,
+        workers=workers,
+        cache=cache,
+    )
+    sweep = SweepResult(parameter_names=list(grid))
+    sweep.rows = result.rows()
+    return sweep

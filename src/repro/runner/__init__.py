@@ -1,0 +1,66 @@
+"""Declarative scenario registry with parallel, cached experiment orchestration.
+
+The runner is the execution layer for every evaluation artifact in this
+reproduction:
+
+* :mod:`~repro.runner.registry` -- ``@scenario`` decorator and name lookup;
+* :mod:`~repro.runner.spec` -- :class:`ScenarioSpec` (params x grid x trials
+  x seed) expanded into deterministic work units;
+* :mod:`~repro.runner.executor` -- serial or process-parallel execution with
+  bit-identical results either way;
+* :mod:`~repro.runner.cache` -- per-unit on-disk JSON cache keyed by a stable
+  hash of the unit's full identity;
+* :mod:`~repro.runner.stats` -- streaming Welford aggregation with
+  confidence intervals;
+* :mod:`~repro.runner.scenarios` -- built-in scenarios: paper-figure wrappers
+  plus composed attack/defense/workload studies;
+* :mod:`~repro.runner.cli` -- ``python -m repro.runner list|run|sweep``.
+
+Quickstart::
+
+    from repro.runner import run_scenario
+
+    result = run_scenario(
+        "soap-under-churn",
+        grid={"join_rate": [1.0, 3.0]},
+        trials=5,
+        seed=7,
+        workers=4,
+    )
+    for row in result.rows():
+        print(row)
+"""
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.executor import RunResult, execute, run_scenario
+from repro.runner.grid import expand_grid
+from repro.runner.registry import (
+    Scenario,
+    ScenarioError,
+    all_scenarios,
+    get_scenario,
+    scenario,
+    scenario_names,
+)
+from repro.runner.spec import ScenarioSpec, WorkUnit
+from repro.runner.stats import MetricAggregator, StreamingStat, summarize_trials
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "MetricAggregator",
+    "ResultCache",
+    "RunResult",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioSpec",
+    "StreamingStat",
+    "WorkUnit",
+    "all_scenarios",
+    "execute",
+    "expand_grid",
+    "get_scenario",
+    "run_scenario",
+    "scenario",
+    "scenario_names",
+    "summarize_trials",
+]

@@ -1,0 +1,113 @@
+"""On-disk JSON result cache for work units.
+
+Every finished work unit is stored as one small JSON file under
+``<root>/<scenario>/<key>.json`` where ``key`` is the SHA-256 hash of the
+unit's full identity (scenario name *and version*, canonical parameters,
+trial index, derived seed).  Because the key covers everything that can
+change the output, a cache hit is always safe to serve, repeated runs are
+near-instant, and a partially-cached sweep only computes the missing units.
+Writes are atomic (temp file + ``os.replace``) so parallel workers and
+concurrent sweeps never observe torn files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.runner.spec import WorkUnit
+
+#: Default cache location, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """Filesystem-backed unit-result cache."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _dir_for(self, scenario: str) -> Path:
+        """The (sanitized) per-scenario cache directory."""
+        safe = "".join(ch if ch.isalnum() or ch in "-._" else "_" for ch in scenario)
+        if safe in ("", ".", ".."):
+            safe = safe.replace(".", "_") or "_"
+        return self.root / safe
+
+    def path_for(self, unit: WorkUnit, version: str) -> Path:
+        """Where the given unit's result lives on disk."""
+        return self._dir_for(unit.scenario) / f"{unit.cache_key(version)}.json"
+
+    def get(self, unit: WorkUnit, version: str) -> Optional[Dict[str, float]]:
+        """Cached metrics for ``unit``, or ``None`` on a miss/corrupt entry."""
+        path = self.path_for(unit, version)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        metrics = payload.get("metrics")
+        try:
+            result = {str(key): float(value) for key, value in metrics.items()}
+        except (AttributeError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, unit: WorkUnit, version: str, metrics: Dict[str, float]) -> Path:
+        """Atomically persist one unit result."""
+        path = self.path_for(unit, version)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload: Dict[str, Any] = {
+            "scenario": unit.scenario,
+            "version": version,
+            "params": dict(unit.params),
+            "trial": unit.trial,
+            "seed": unit.seed,
+            "metrics": metrics,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def clear(self, scenario: Optional[str] = None) -> int:
+        """Delete cached entries (for one scenario, or everything)."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        directories = (
+            [self._dir_for(scenario)] if scenario is not None else list(self.root.iterdir())
+        )
+        for directory in directories:
+            if not directory.is_dir():
+                continue
+            for entry in directory.glob("*.json"):
+                entry.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def entry_count(self) -> int:
+        """Number of cached unit results on disk."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,172 @@
+"""Command-line entry point: ``python -m repro.runner list|run|sweep``.
+
+Examples::
+
+    python -m repro.runner list
+    python -m repro.runner run soap-campaign --set n=200 --trials 4 --workers 4
+    python -m repro.runner sweep fig6-partition-threshold \
+        --grid size=200,500,1000 --trials 2 --workers 4 --csv fig6.csv
+
+``run`` executes one scenario at its defaults plus ``--set`` overrides;
+``sweep`` additionally crosses ``--grid`` axes.  Both cache per-unit results
+under ``--cache-dir`` (default ``.repro-cache``), so a repeated invocation is
+served from disk; pass ``--no-cache`` to force recomputation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.executor import execute
+from repro.runner.grid import parse_grid_axis, parse_grid_value
+from repro.runner.registry import ScenarioError, all_scenarios, get_scenario
+from repro.runner.spec import ScenarioSpec
+
+
+def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("scenario", help="registered scenario name (see `list`)")
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override one scenario parameter (repeatable)",
+    )
+    parser.add_argument("--trials", type=int, default=1, help="trials per grid point")
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, help="result cache directory"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="do not read or write the cache"
+    )
+    parser.add_argument("--json", dest="json_out", help="write aggregate rows as JSON")
+    parser.add_argument("--csv", dest="csv_out", help="write aggregate rows as CSV")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-unit progress lines"
+    )
+
+
+def _parse_overrides(items: Sequence[str]) -> Dict[str, Any]:
+    overrides: Dict[str, Any] = {}
+    for item in items:
+        if "=" not in item:
+            raise SystemExit(f"--set expects KEY=VALUE, got {item!r}")
+        key, _, value = item.partition("=")
+        overrides[key.strip()] = parse_grid_value(value)
+    return overrides
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Declarative, parallel, cached experiment orchestration.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list", help="list registered scenarios")
+    list_parser.add_argument(
+        "--composed", action="store_true", help="only composed (multi-subsystem) scenarios"
+    )
+
+    run_parser = sub.add_parser("run", help="run one scenario (no grid)")
+    _add_common_run_args(run_parser)
+
+    sweep_parser = sub.add_parser("sweep", help="run a scenario over a parameter grid")
+    _add_common_run_args(sweep_parser)
+    sweep_parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help="one grid axis (repeatable; crossed as a Cartesian product)",
+    )
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_table
+
+    rows = []
+    for sc in all_scenarios():
+        if args.composed and not sc.composed:
+            continue
+        defaults = ", ".join(f"{key}={value}" for key, value in sc.defaults.items())
+        rows.append(
+            [sc.name, "composed" if sc.composed else "wrapper", sc.description, defaults]
+        )
+    print(format_table(["scenario", "kind", "description", "defaults"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, grid_args: Sequence[str]) -> int:
+    try:
+        sc = get_scenario(args.scenario)
+    except ScenarioError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = None if args.quiet else lambda line: print(line, file=sys.stderr)
+    try:
+        grid: Dict[str, List[Any]] = {}
+        for axis in grid_args:
+            name, values = parse_grid_axis(axis)
+            grid[name] = values
+        spec = ScenarioSpec(
+            name=sc.name,
+            params=_parse_overrides(args.overrides),
+            grid=grid,
+            trials=args.trials,
+            seed=args.seed,
+        )
+        result = execute(spec, workers=args.workers, cache=cache, progress=progress)
+    except (TypeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    from repro.analysis.reporting import render_result_rows
+
+    rows = result.rows()
+    print(render_result_rows(rows))
+    print(
+        f"\n{len(result.unit_metrics)} unit(s) "
+        f"[{result.cache_hits} cached, {result.cache_misses} computed] "
+        f"in {result.elapsed_seconds:.2f}s with {result.workers} worker(s); "
+        f"spec hash {spec.spec_hash()}"
+    )
+    if args.json_out:
+        from repro.analysis.export import write_json
+
+        write_json(args.json_out, {"spec_hash": spec.spec_hash(), "rows": rows})
+        print(f"wrote {args.json_out}")
+    if args.csv_out:
+        from repro.analysis.export import write_rows_csv
+
+        write_rows_csv(args.csv_out, rows)
+        print(f"wrote {args.csv_out}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args, grid_args=[])
+    if args.command == "sweep":
+        return _cmd_run(args, grid_args=args.grid)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,254 @@
+"""Sharded execution of scenario specs: serial, process-parallel, cached.
+
+The executor turns a :class:`~repro.runner.spec.ScenarioSpec` into its flat
+work-unit schedule, serves whatever it can from the
+:class:`~repro.runner.cache.ResultCache`, and computes the remainder either
+in-process or on a ``ProcessPoolExecutor``.  Three properties hold by
+construction:
+
+* **determinism** -- every unit's seed is derived from the spec alone, and
+  results are re-ordered by unit index before aggregation, so ``workers=N``
+  is bit-identical to ``workers=1``;
+* **incrementality** -- the cache is keyed per unit, so enlarging a grid or
+  adding trials only computes the new units;
+* **streaming aggregation** -- per-point Welford accumulators are fed as
+  results arrive; memory is O(grid points x metrics), not O(trials).
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.runner.cache import ResultCache
+from repro.runner.registry import get_scenario, resolve_for_worker
+from repro.runner.spec import ScenarioSpec, WorkUnit
+from repro.runner.stats import MetricAggregator
+
+ProgressFn = Callable[[str], None]
+
+#: Work units handed to each pool submission; batching amortises pickling and
+#: process round-trips for sweeps with many tiny units.
+DEFAULT_SHARD_SIZE = 8
+
+
+# ----------------------------------------------------------------------
+# Worker-side entry points (top-level so they pickle under any start method)
+# ----------------------------------------------------------------------
+def _worker_init(src_path: str, module: str) -> None:
+    """Pool initializer: make ``repro`` importable and load the scenario home.
+
+    Warming the registry here (instead of in every unit) costs one import per
+    worker process, not one per shard.
+    """
+    if src_path and src_path not in sys.path:
+        sys.path.insert(0, src_path)
+    from repro.runner import registry
+
+    registry._ensure_builtins()
+    if module and module != "__main__":
+        try:
+            importlib.import_module(module)
+        except ImportError:
+            pass
+
+
+def run_unit(scenario_name: str, module: str, params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    """Execute one work unit and return its flat metrics."""
+    sc = resolve_for_worker(scenario_name, module)
+    return sc.call(seed=seed, **params)
+
+
+def _run_shard(
+    scenario_name: str,
+    module: str,
+    shard: Sequence[Tuple[int, Mapping[str, Any], int]],
+) -> List[Tuple[int, Dict[str, float]]]:
+    """Execute a batch of ``(index, params, seed)`` units in one worker call."""
+    return [
+        (index, run_unit(scenario_name, module, params, seed))
+        for index, params, seed in shard
+    ]
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class RunResult:
+    """Everything one executed spec produced."""
+
+    spec: ScenarioSpec
+    #: One flat metric mapping per work unit, in unit (schedule) order.
+    unit_metrics: List[Dict[str, float]] = field(default_factory=list)
+    #: One aggregator per grid point, in grid order.
+    aggregates: List[MetricAggregator] = field(default_factory=list)
+    points: List[Dict[str, Any]] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+    elapsed_seconds: float = 0.0
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """One reporting/export row per grid point: params + aggregate metrics.
+
+        The shape plugs directly into
+        :func:`repro.analysis.reporting.render_result_rows` and
+        :func:`repro.analysis.export.write_rows_csv`.
+        """
+        rows: List[Dict[str, Any]] = []
+        for point, aggregate in zip(self.points, self.aggregates):
+            row: Dict[str, Any] = dict(point)
+            row["trials"] = aggregate.trials()
+            row.update(aggregate.row())
+            rows.append(row)
+        return rows
+
+    def metrics_for(self, **conditions: Any) -> List[Dict[str, float]]:
+        """Per-trial metrics of every unit whose params match ``conditions``."""
+        units = self.spec.work_units()
+        return [
+            self.unit_metrics[unit.index]
+            for unit in units
+            if all(unit.params.get(key) == value for key, value in conditions.items())
+        ]
+
+    def scalar(self, metric: str, **conditions: Any) -> float:
+        """Mean of one metric over the matching grid points' trials."""
+        matched = self.metrics_for(**conditions)
+        if not matched:
+            raise KeyError(f"no units match {conditions!r}")
+        values = [metrics[metric] for metrics in matched]
+        return sum(values) / len(values)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _repro_src_path() -> str:
+    """The directory that must be on ``sys.path`` for ``import repro``."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _shards(
+    pending: List[WorkUnit], shard_size: int
+) -> List[List[Tuple[int, Mapping[str, Any], int]]]:
+    """Chunk pending units into pickling-friendly ``(index, params, seed)`` shards."""
+    flat = [(unit.index, dict(unit.params), unit.seed) for unit in pending]
+    return [flat[start : start + shard_size] for start in range(0, len(flat), shard_size)]
+
+
+def execute(
+    spec: ScenarioSpec,
+    *,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressFn] = None,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+) -> RunResult:
+    """Run every (grid point x trial) unit of ``spec`` and aggregate.
+
+    ``workers=1`` runs in-process; ``workers>1`` shards the cache-miss units
+    across a :class:`~concurrent.futures.ProcessPoolExecutor`.  Pass a
+    :class:`ResultCache` to serve repeats from disk and persist fresh results.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    sc = get_scenario(spec.name)
+    sc.check_params(set(spec.params) | set(spec.grid))
+    spec = spec.resolved(sc.defaults)
+    units = spec.work_units()
+    started = time.perf_counter()
+
+    results: Dict[int, Dict[str, float]] = {}
+    pending: List[WorkUnit] = []
+    hits_before = cache.hits if cache else 0
+    for unit in units:
+        cached = cache.get(unit, sc.version) if cache else None
+        if cached is not None:
+            results[unit.index] = cached
+        else:
+            pending.append(unit)
+    cache_hits = (cache.hits - hits_before) if cache else 0
+
+    def finish_unit(unit_index: int, metrics: Dict[str, float]) -> None:
+        results[unit_index] = metrics
+        if cache is not None:
+            cache.put(units[unit_index], sc.version, metrics)
+        if progress is not None:
+            progress(
+                f"[{spec.name}] unit {unit_index + 1}/{len(units)} done "
+                f"({len(results)}/{len(units)} complete)"
+            )
+
+    if pending and workers == 1:
+        for unit in pending:
+            finish_unit(unit.index, sc.call(seed=unit.seed, **unit.params))
+    elif pending:
+        shards = _shards(pending, shard_size)
+        max_workers = min(workers, len(shards))
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_worker_init,
+            initargs=(_repro_src_path(), sc.module),
+        ) as pool:
+            futures = {
+                pool.submit(_run_shard, spec.name, sc.module, shard)
+                for shard in shards
+            }
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    for unit_index, metrics in future.result():
+                        finish_unit(unit_index, metrics)
+
+    # Deterministic aggregation order: unit schedule order, never completion
+    # order -- this is half of the parallel==serial guarantee (the other half
+    # is spec-derived unit seeds).
+    points = spec.points()
+    aggregates = [MetricAggregator() for _ in points]
+    ordered = [results[unit.index] for unit in units]
+    for unit in units:
+        aggregates[unit.point_index].push(results[unit.index])
+
+    return RunResult(
+        spec=spec,
+        unit_metrics=ordered,
+        aggregates=aggregates,
+        points=points,
+        cache_hits=cache_hits,
+        cache_misses=len(pending),
+        workers=workers,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def run_scenario(
+    name: str,
+    *,
+    params: Optional[Mapping[str, Any]] = None,
+    grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    trials: int = 1,
+    seed: int = 0,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressFn] = None,
+) -> RunResult:
+    """Convenience wrapper: build the spec and execute it in one call."""
+    spec = ScenarioSpec(
+        name=name,
+        params=dict(params or {}),
+        grid={key: list(values) for key, values in (grid or {}).items()},
+        trials=trials,
+        seed=seed,
+    )
+    return execute(spec, workers=workers, cache=cache, progress=progress)

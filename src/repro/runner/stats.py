@@ -1,0 +1,152 @@
+"""Streaming aggregation of per-trial metrics.
+
+The executor feeds each finished work unit's metrics straight into a
+:class:`MetricAggregator`, so a sweep with thousands of trials never has to
+hold more than one row per (grid point, metric) in memory.  Variance uses
+Welford's online algorithm; independent shards can be combined with
+:meth:`StreamingStat.merge` (Chan et al.'s parallel update), which the
+determinism tests exercise against the serial path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping
+
+#: Two-sided 97.5 % normal quantile, for 95 % confidence intervals.
+_Z95 = 1.959963984540054
+
+
+@dataclass
+class StreamingStat:
+    """Welford mean/variance accumulator for one metric."""
+
+    count: int = 0
+    mean: float = 0.0
+    #: Sum of squared deviations from the running mean (``M2`` in Welford).
+    m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def push(self, value: float) -> None:
+        """Fold one observation into the running moments."""
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def merge(self, other: "StreamingStat") -> None:
+        """Fold another accumulator in (parallel Welford update)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self.m2 = other.count, other.mean, other.m2
+            self.minimum, self.maximum = other.minimum, other.maximum
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self.m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count < 1:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    @property
+    def ci95(self) -> float:
+        """Half-width of the normal-approximation 95 % confidence interval."""
+        return _Z95 * self.stderr
+
+    def as_dict(self) -> Dict[str, float]:
+        """Summary row fragment for reporting/export."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "std": self.std,
+            "ci95": self.ci95,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+        }
+
+
+class MetricAggregator:
+    """Per-metric streaming stats for one grid point."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, StreamingStat] = {}
+        self._order: List[str] = []
+
+    def push(self, metrics: Mapping[str, float]) -> None:
+        """Fold one trial's flat metric mapping in."""
+        for name, value in metrics.items():
+            if name not in self._stats:
+                self._stats[name] = StreamingStat()
+                self._order.append(name)
+            self._stats[name].push(float(value))
+
+    def merge(self, other: "MetricAggregator") -> None:
+        """Fold another aggregator (e.g. a shard's) in."""
+        for name in other._order:
+            if name not in self._stats:
+                self._stats[name] = StreamingStat()
+                self._order.append(name)
+            self._stats[name].merge(other._stats[name])
+
+    def metric_names(self) -> List[str]:
+        """Metric names in first-seen order."""
+        return list(self._order)
+
+    def stat(self, name: str) -> StreamingStat:
+        """The accumulator for one metric."""
+        return self._stats[name]
+
+    def trials(self) -> int:
+        """Number of observations folded in (max across metrics)."""
+        return max((stat.count for stat in self._stats.values()), default=0)
+
+    def row(self, *, prefix_sep: str = "_") -> Dict[str, float]:
+        """Flatten to ``{metric}_mean`` / ``{metric}_std`` / ... columns.
+
+        With a single observation per metric only the mean column is emitted
+        (a lone trial has no spread worth reporting).
+        """
+        flat: Dict[str, float] = {}
+        for name in self._order:
+            stat = self._stats[name]
+            if stat.count <= 1:
+                flat[name] = stat.mean
+            else:
+                flat[f"{name}{prefix_sep}mean"] = stat.mean
+                flat[f"{name}{prefix_sep}std"] = stat.std
+                flat[f"{name}{prefix_sep}ci95"] = stat.ci95
+        return flat
+
+
+def summarize_trials(rows: Iterable[Mapping[str, float]]) -> MetricAggregator:
+    """Aggregate an iterable of flat metric mappings."""
+    aggregator = MetricAggregator()
+    for row in rows:
+        aggregator.push(row)
+    return aggregator

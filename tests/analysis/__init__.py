@@ -1,0 +1,1 @@
+"""Test package (prevents basename clashes across test directories)."""

@@ -1,0 +1,97 @@
+"""Tests for the on-disk unit-result cache and its keying."""
+
+from repro.runner.cache import ResultCache
+from repro.runner.spec import ScenarioSpec
+
+
+def unit_of(spec: ScenarioSpec, index: int = 0):
+    return spec.work_units()[index]
+
+
+class TestCacheKeying:
+    def test_key_is_stable_across_spec_rebuilds(self):
+        a = unit_of(ScenarioSpec(name="s", params={"n": 10}, trials=2, seed=5))
+        b = unit_of(ScenarioSpec(name="s", params={"n": 10}, trials=2, seed=5))
+        assert a.cache_key("1") == b.cache_key("1")
+
+    def test_key_changes_with_every_spec_ingredient(self):
+        base = ScenarioSpec(name="s", params={"n": 10}, trials=1, seed=5)
+        key = unit_of(base).cache_key("1")
+        variants = [
+            ScenarioSpec(name="other", params={"n": 10}, trials=1, seed=5),
+            ScenarioSpec(name="s", params={"n": 11}, trials=1, seed=5),
+            ScenarioSpec(name="s", params={"n": 10, "k": 3}, trials=1, seed=5),
+            ScenarioSpec(name="s", params={"n": 10}, trials=1, seed=6),
+        ]
+        for variant in variants:
+            assert unit_of(variant).cache_key("1") != key
+        # A scenario-version bump also invalidates.
+        assert unit_of(base).cache_key("2") != key
+        # Trial index distinguishes units of the same point.
+        multi = ScenarioSpec(name="s", params={"n": 10}, trials=2, seed=5)
+        assert multi.work_units()[0].cache_key("1") != multi.work_units()[1].cache_key("1")
+
+    def test_spec_hash_covers_grid(self):
+        a = ScenarioSpec(name="s", grid={"n": [1, 2]}).spec_hash()
+        b = ScenarioSpec(name="s", grid={"n": [1, 3]}).spec_hash()
+        assert a != b
+
+
+class TestCacheStorage:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unit = unit_of(ScenarioSpec(name="s", params={"n": 10}))
+        assert cache.get(unit, "1") is None
+        assert cache.misses == 1
+        cache.put(unit, "1", {"metric": 1.5})
+        assert cache.get(unit, "1") == {"metric": 1.5}
+        assert cache.hits == 1
+        assert cache.entry_count() == 1
+
+    def test_version_bump_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unit = unit_of(ScenarioSpec(name="s", params={"n": 10}))
+        cache.put(unit, "1", {"metric": 1.0})
+        assert cache.get(unit, "2") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unit = unit_of(ScenarioSpec(name="s", params={"n": 10}))
+        path = cache.put(unit, "1", {"metric": 1.0})
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(unit, "1") is None
+
+    def test_non_numeric_metric_value_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unit = unit_of(ScenarioSpec(name="s", params={"n": 10}))
+        path = cache.put(unit, "1", {"metric": 1.0})
+        path.write_text(
+            path.read_text(encoding="utf-8").replace("1.0", "null"), encoding="utf-8"
+        )
+        assert cache.get(unit, "1") is None
+
+    def test_clear_by_scenario(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(unit_of(ScenarioSpec(name="a")), "1", {"m": 1.0})
+        cache.put(unit_of(ScenarioSpec(name="b")), "1", {"m": 2.0})
+        assert cache.clear("a") == 1
+        assert cache.entry_count() == 1
+        assert cache.clear() == 1
+        assert cache.entry_count() == 0
+
+    def test_clear_uses_same_sanitized_directory_as_put(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        unit = unit_of(ScenarioSpec(name="weird/name .."))
+        path = cache.put(unit, "1", {"m": 1.0})
+        assert (tmp_path / "cache") in path.parents
+        assert cache.clear("weird/name ..") == 1
+        assert cache.get(unit, "1") is None
+
+    def test_dotty_scenario_name_cannot_escape_cache_root(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        (tmp_path / "outside.json").write_text("{}", encoding="utf-8")
+        unit = unit_of(ScenarioSpec(name=".."))
+        path = cache.put(unit, "1", {"m": 1.0})
+        assert (tmp_path / "cache") in path.parents
+        cache.clear("..")
+        assert (tmp_path / "outside.json").exists()

@@ -1,0 +1,78 @@
+"""Smoke tests for the ``python -m repro.runner`` CLI."""
+
+import json
+
+from repro.runner.cli import main
+
+
+class TestList:
+    def test_lists_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "soap-campaign" in out
+        assert "soap-under-churn" in out
+
+    def test_composed_only(self, capsys):
+        assert main(["list", "--composed"]) == 0
+        out = capsys.readouterr().out
+        assert "soap-under-churn" in out
+        assert "fig5-resilience" not in out
+
+
+class TestRun:
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["run", "nope", "--no-cache"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_with_overrides_and_outputs(self, tmp_path, capsys):
+        json_out = tmp_path / "out.json"
+        csv_out = tmp_path / "out.csv"
+        code = main(
+            [
+                "run",
+                "fig3-walkthrough",
+                "--set", "n=12", "--set", "deletions=4",
+                "--trials", "2",
+                "--seed", "5",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--quiet",
+                "--json", str(json_out),
+                "--csv", str(csv_out),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final_connected" in out
+        assert "2 unit(s)" in out
+        payload = json.loads(json_out.read_text())
+        assert payload["rows"][0]["trials"] == 2
+        assert csv_out.read_text().startswith("n,")
+
+    def test_second_invocation_is_cached(self, tmp_path, capsys):
+        args = [
+            "run", "fig3-walkthrough", "--seed", "5", "--quiet",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "[1 cached, 0 computed]" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_sweep_grid_axes(self, tmp_path, capsys):
+        code = main(
+            [
+                "sweep",
+                "ablation-repair-policy",
+                "--grid", "policy=clique,none",
+                "--set", "n=60", "--set", "k=6",
+                "--seed", "3",
+                "--no-cache",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clique" in out and "none" in out
+        assert "2 unit(s)" in out

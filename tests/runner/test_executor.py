@@ -1,0 +1,159 @@
+"""Tests for the sharded executor: determinism, caching, aggregation."""
+
+import pytest
+
+from repro.runner.cache import ResultCache
+from repro.runner.executor import execute, run_scenario
+from repro.runner.registry import scenario, unregister
+from repro.runner.spec import ScenarioSpec
+
+#: A fast scenario exercised throughout: ablation on a small overlay.
+FAST = dict(params={"n": 60, "k": 6, "fraction": 0.5}, seed=9)
+
+
+class TestSerialExecution:
+    def test_grid_times_trials_units_in_schedule_order(self):
+        result = run_scenario(
+            "ablation-repair-policy",
+            grid={"policy": ["clique", "none"]},
+            trials=3,
+            **FAST,
+        )
+        assert len(result.unit_metrics) == 6
+        assert len(result.points) == 2
+        assert [point["policy"] for point in result.points] == ["clique", "none"]
+        assert all(aggregate.trials() == 3 for aggregate in result.aggregates)
+
+    def test_rows_merge_params_and_aggregate_metrics(self):
+        result = run_scenario(
+            "ablation-repair-policy", grid={"policy": ["clique"]}, trials=2, **FAST
+        )
+        row = result.rows()[0]
+        assert row["policy"] == "clique"
+        assert row["trials"] == 2
+        assert "components_mean" in row and "components_ci95" in row
+
+    def test_scalar_lookup(self):
+        result = run_scenario(
+            "ablation-repair-policy", grid={"policy": ["clique", "none"]}, **FAST
+        )
+        clique = result.scalar("components", policy="clique")
+        none = result.scalar("components", policy="none")
+        assert none >= clique
+        with pytest.raises(KeyError):
+            result.scalar("components", policy="missing")
+
+    def test_seed_changes_results_worker_count_does_not(self):
+        a = run_scenario("ablation-repair-policy", grid={"policy": ["none"]},
+                         params=FAST["params"], seed=1)
+        b = run_scenario("ablation-repair-policy", grid={"policy": ["none"]},
+                         params=FAST["params"], seed=2)
+        assert a.unit_metrics != b.unit_metrics
+
+
+class TestParallelDeterminism:
+    def test_parallel_results_bit_identical_to_serial(self):
+        spec = ScenarioSpec(
+            name="ablation-repair-policy",
+            params=FAST["params"],
+            grid={"policy": ["clique", "ring", "none"]},
+            trials=2,
+            seed=FAST["seed"],
+        )
+        serial = execute(spec, workers=1)
+        parallel = execute(spec, workers=3, shard_size=1)
+        assert parallel.unit_metrics == serial.unit_metrics
+        assert parallel.rows() == serial.rows()
+
+    def test_composed_scenario_parallel_matches_serial(self):
+        kwargs = dict(
+            grid={"join_rate": [1.0, 4.0]},
+            params={"n": 60, "k": 6, "hours": 3.0},
+            trials=2,
+            seed=21,
+        )
+        serial = run_scenario("soap-under-churn", workers=1, **kwargs)
+        parallel = run_scenario("soap-under-churn", workers=4, **kwargs)
+        assert parallel.unit_metrics == serial.unit_metrics
+
+
+class TestCaching:
+    def test_second_run_served_entirely_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_scenario(
+            "ablation-repair-policy", grid={"policy": ["clique", "none"]},
+            trials=2, cache=cache, **FAST,
+        )
+        second = run_scenario(
+            "ablation-repair-policy", grid={"policy": ["clique", "none"]},
+            trials=2, cache=cache, **FAST,
+        )
+        assert first.cache_misses == 4 and first.cache_hits == 0
+        assert second.cache_hits == 4 and second.cache_misses == 0
+        assert second.unit_metrics == first.unit_metrics
+
+    def test_extended_sweep_only_computes_new_units(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_scenario("ablation-repair-policy", grid={"policy": ["clique"]},
+                     cache=cache, **FAST)
+        extended = run_scenario(
+            "ablation-repair-policy", grid={"policy": ["clique", "ring"]},
+            cache=cache, **FAST,
+        )
+        assert extended.cache_hits == 1
+        assert extended.cache_misses == 1
+
+    def test_explicit_default_value_hits_same_entry_as_omitted(self, tmp_path):
+        # Cache keys are derived from the *resolved* parameter set, so
+        # passing a parameter at its registered default is the same run.
+        cache = ResultCache(tmp_path)
+        run_scenario("fig3-walkthrough", seed=4, cache=cache)
+        explicit = run_scenario("fig3-walkthrough", params={"n": 12}, seed=4, cache=cache)
+        assert explicit.cache_hits == 1 and explicit.cache_misses == 0
+
+    def test_param_change_misses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_scenario("ablation-repair-policy", grid={"policy": ["clique"]},
+                     cache=cache, **FAST)
+        changed = run_scenario(
+            "ablation-repair-policy", grid={"policy": ["clique"]},
+            params={"n": 70, "k": 6, "fraction": 0.5}, seed=FAST["seed"], cache=cache,
+        )
+        assert changed.cache_hits == 0 and changed.cache_misses == 1
+
+
+class TestValidation:
+    def test_rejects_bad_worker_count(self):
+        spec = ScenarioSpec(name="ablation-repair-policy")
+        with pytest.raises(ValueError, match="workers"):
+            execute(spec, workers=0)
+
+    def test_rejects_param_grid_overlap(self):
+        with pytest.raises(ValueError, match="both params and grid"):
+            ScenarioSpec(name="s", params={"n": 1}, grid={"n": [1, 2]})
+
+    def test_rejects_non_primitive_params(self):
+        with pytest.raises(TypeError, match="JSON primitive"):
+            ScenarioSpec(name="s", params={"policy": object()})
+
+    def test_one_shot_iterable_sizes_accepted_by_fig6(self):
+        from repro.analysis.experiments import run_fig6_partition_threshold
+
+        result = run_fig6_partition_threshold(
+            sizes=(s for s in (60, 80)), k=6, seed=3, trials_per_fraction=1
+        )
+        assert result.sizes == [60, 80]
+        assert len(result.fractions) == 2
+
+    def test_registered_scenario_runs_through_executor(self):
+        @scenario(name="test-exec-inline", defaults={"bias": 10})
+        def inline(*, seed: int, bias: int):
+            return {"value": float(seed % 1000 + bias)}
+
+        try:
+            result = run_scenario("test-exec-inline", trials=2, seed=3)
+            assert len(result.unit_metrics) == 2
+            # Distinct trials get distinct derived seeds.
+            assert result.unit_metrics[0] != result.unit_metrics[1]
+        finally:
+            unregister("test-exec-inline")

@@ -1,0 +1,99 @@
+"""Tests for the scenario registry: registration round-trip and built-ins."""
+
+import pytest
+
+from repro.runner.registry import (
+    ScenarioError,
+    get_scenario,
+    scenario,
+    scenario_names,
+    unregister,
+)
+
+
+class TestRegistrationRoundTrip:
+    def test_register_lookup_and_call(self):
+        @scenario(name="test-reg-roundtrip", description="noop", defaults={"a": 2})
+        def fn(*, seed: int, a: int):
+            return {"value": seed + a, "flag": True}
+
+        try:
+            sc = get_scenario("test-reg-roundtrip")
+            assert sc.name == "test-reg-roundtrip"
+            assert sc.description == "noop"
+            metrics = sc.call(seed=10)
+            assert metrics == {"value": 12.0, "flag": 1.0}
+            # Explicit params override the registered defaults.
+            assert sc.call(seed=10, a=5)["value"] == 15.0
+        finally:
+            unregister("test-reg-roundtrip")
+
+    def test_duplicate_name_rejected(self):
+        @scenario(name="test-reg-dup")
+        def fn(*, seed: int):
+            return {}
+
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+
+                @scenario(name="test-reg-dup")
+                def fn2(*, seed: int):
+                    return {}
+
+        finally:
+            unregister("test-reg-dup")
+
+    def test_unknown_scenario_names_known_ones(self):
+        with pytest.raises(ScenarioError, match="soap-campaign"):
+            get_scenario("no-such-scenario")
+
+    def test_non_numeric_metric_rejected(self):
+        @scenario(name="test-reg-bad-metric")
+        def fn(*, seed: int):
+            return {"oops": "text"}
+
+        try:
+            with pytest.raises(TypeError, match="numeric"):
+                get_scenario("test-reg-bad-metric").call(seed=0)
+        finally:
+            unregister("test-reg-bad-metric")
+
+    def test_docstring_first_line_becomes_description(self):
+        @scenario(name="test-reg-doc")
+        def fn(*, seed: int):
+            """First line wins.
+
+            Not this one.
+            """
+            return {}
+
+        try:
+            assert get_scenario("test-reg-doc").description == "First line wins."
+        finally:
+            unregister("test-reg-doc")
+
+
+class TestBuiltins:
+    def test_paper_figure_wrappers_registered(self):
+        names = scenario_names()
+        for expected in (
+            "fig3-walkthrough",
+            "fig4-centrality",
+            "fig5-resilience",
+            "fig6-partition-threshold",
+            "soap-campaign",
+            "hsdir-interception",
+            "superonion-vs-soap",
+            "pow-tradeoff",
+            "integrated-botnet",
+        ):
+            assert expected in names
+
+    def test_at_least_three_composed_scenarios(self):
+        composed = scenario_names(composed_only=True)
+        assert len(composed) >= 3
+        assert {
+            "soap-under-churn",
+            "takedown-superonion",
+            "hsdir-growth-interception",
+        } <= set(composed)

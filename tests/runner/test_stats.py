@@ -1,0 +1,87 @@
+"""Tests for streaming (Welford) aggregation."""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.runner.stats import MetricAggregator, StreamingStat, summarize_trials
+
+
+class TestStreamingStat:
+    def test_matches_batch_statistics(self):
+        rng = random.Random(0)
+        values = [rng.uniform(-50, 50) for _ in range(500)]
+        stat = StreamingStat()
+        for value in values:
+            stat.push(value)
+        assert stat.count == 500
+        assert stat.mean == pytest.approx(statistics.fmean(values))
+        assert stat.variance == pytest.approx(statistics.variance(values))
+        assert stat.std == pytest.approx(statistics.stdev(values))
+        assert stat.minimum == min(values)
+        assert stat.maximum == max(values)
+
+    def test_single_observation_has_zero_spread(self):
+        stat = StreamingStat()
+        stat.push(3.5)
+        assert stat.variance == 0.0
+        assert stat.std == 0.0
+        assert stat.ci95 == 0.0
+
+    def test_ci95_shrinks_with_sample_size(self):
+        small, large = StreamingStat(), StreamingStat()
+        rng = random.Random(1)
+        draws = [rng.gauss(0, 1) for _ in range(400)]
+        for value in draws[:20]:
+            small.push(value)
+        for value in draws:
+            large.push(value)
+        assert large.ci95 < small.ci95
+
+    def test_merge_equals_serial(self):
+        rng = random.Random(2)
+        values = [rng.uniform(0, 10) for _ in range(301)]
+        serial = StreamingStat()
+        for value in values:
+            serial.push(value)
+        left, right = StreamingStat(), StreamingStat()
+        for value in values[:97]:
+            left.push(value)
+        for value in values[97:]:
+            right.push(value)
+        left.merge(right)
+        assert left.count == serial.count
+        assert left.mean == pytest.approx(serial.mean)
+        assert left.variance == pytest.approx(serial.variance)
+        assert left.minimum == serial.minimum
+        assert left.maximum == serial.maximum
+
+    def test_merge_into_empty(self):
+        empty, other = StreamingStat(), StreamingStat()
+        other.push(1.0)
+        other.push(2.0)
+        empty.merge(other)
+        assert empty.count == 2
+        assert empty.mean == pytest.approx(1.5)
+
+
+class TestMetricAggregator:
+    def test_row_single_trial_uses_plain_names(self):
+        aggregator = summarize_trials([{"metric": 4.0}])
+        assert aggregator.row() == {"metric": 4.0}
+
+    def test_row_multi_trial_emits_mean_std_ci(self):
+        aggregator = summarize_trials([{"m": 1.0}, {"m": 3.0}])
+        row = aggregator.row()
+        assert row["m_mean"] == pytest.approx(2.0)
+        assert row["m_std"] == pytest.approx(math.sqrt(2.0))
+        assert row["m_ci95"] > 0.0
+
+    def test_metric_order_is_first_seen(self):
+        aggregator = MetricAggregator()
+        aggregator.push({"b": 1.0, "a": 2.0})
+        aggregator.push({"a": 3.0, "c": 4.0})
+        assert aggregator.metric_names() == ["b", "a", "c"]
+        assert aggregator.trials() == 2
