@@ -1,0 +1,165 @@
+"""Graph-kernel backend benchmark: pure-Python BFS vs vectorized CSR.
+
+Times the two hot kernels of every resilience sweep -- connected components
+and the sampled diameter estimator -- on k-regular graphs at n in {1k, 5k,
+20k, 100k} under both backends, and writes the measurements to
+``BENCH_graph_kernels.json`` at the repository root (the first entry of the
+kernel-benchmark trajectory; future PRs append runs to compare against).
+
+The fast timings are measured *cold*: the CSR cache is dropped before each
+repetition, so the reported numbers include the UndirectedGraph -> CSR
+conversion that a real checkpoint pays after a batch of deletions.
+
+Asserted contract (the PR's acceptance bar): at n=20k the fast backend is at
+least 10x faster on the combined connected-components + sampled-diameter
+workload.
+
+Run directly for a quick smoke with a wall-clock bound (used by CI)::
+
+    python benchmarks/bench_graph_kernels.py --sizes 1000 --max-seconds 60
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+SIZES = (1_000, 5_000, 20_000, 100_000)
+K = 10
+DIAMETER_SAMPLE = 32
+#: Repetitions per (size, backend); the minimum is reported.
+REPEATS = {1_000: 3, 5_000: 3, 20_000: 2, 100_000: 1}
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_graph_kernels.json"
+
+SPEEDUP_FLOOR_AT_20K = 10.0
+
+
+def _workload(module, graph, *, connected_components=True, diameter=True):
+    """The benchmarked kernel pair, via one backend module."""
+    results = {}
+    if connected_components:
+        results["components"] = module.number_connected_components(graph)
+    if diameter:
+        results["diameter"] = module.diameter(
+            graph, sample_size=DIAMETER_SAMPLE, rng=random.Random(0)
+        )
+    return results
+
+
+def _time_backend(module, graph, repeats: int, *, drop_csr_cache: bool = False):
+    """``(best_seconds, workload_result)`` over ``repeats`` repetitions."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        if drop_csr_cache and hasattr(graph, "_csr_cache"):
+            delattr(graph, "_csr_cache")
+        started = time.perf_counter()
+        result = _workload(module, graph)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def run_benchmark(sizes=SIZES, *, emit=print) -> dict:
+    """Measure both backends at every size and return the report dict."""
+    from repro.graphs import fast, metrics
+    from repro.graphs.generators import k_regular_graph
+
+    rows = []
+    for n in sizes:
+        repeats = REPEATS.get(n, 1)
+        graph = k_regular_graph(n, K, seed=1000 + n)
+        python_seconds, python_result = _time_backend(metrics, graph, repeats)
+        fast_seconds, fast_result = _time_backend(fast, graph, repeats, drop_csr_cache=True)
+        # Sanity: both backends agree on the benchmarked graph.
+        assert python_result == fast_result
+        speedup = python_seconds / fast_seconds if fast_seconds else float("inf")
+        rows.append(
+            {
+                "n": n,
+                "k": K,
+                "edges": graph.number_of_edges(),
+                "diameter_sample": DIAMETER_SAMPLE,
+                "repeats": repeats,
+                "python_seconds": round(python_seconds, 6),
+                "fast_seconds": round(fast_seconds, 6),
+                "speedup": round(speedup, 2),
+            }
+        )
+        emit(
+            f"n={n:>7,}  python={python_seconds:8.3f}s  "
+            f"fast={fast_seconds:8.4f}s  speedup={speedup:7.1f}x"
+        )
+    return {
+        "benchmark": "graph_kernels",
+        "workload": "connected_components + sampled diameter "
+        f"(sample={DIAMETER_SAMPLE}) on k-regular graphs (k={K})",
+        "timing": "best-of-repeats wall clock; fast timings include the "
+        "UndirectedGraph->CSR conversion (cold cache)",
+        "rows": rows,
+    }
+
+
+def write_report(report: dict, path: Path = OUTPUT) -> None:
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def test_graph_kernel_speedup(benchmark):
+    """Fast backend >= 10x at n=20k on CC + sampled diameter; emit the JSON."""
+    from conftest import emit
+
+    report = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    write_report(report)
+    emit(
+        "Graph-kernel backends — python vs fast (CSR)",
+        json.dumps(report["rows"], indent=2) + f"\nwritten to {OUTPUT}",
+    )
+    at_20k = next(row for row in report["rows"] if row["n"] == 20_000)
+    assert at_20k["speedup"] >= SPEEDUP_FLOOR_AT_20K, (
+        f"fast backend only {at_20k['speedup']}x at n=20k "
+        f"(floor {SPEEDUP_FLOOR_AT_20K}x)"
+    )
+    # Every size must still benefit, even where fixed numpy costs loom larger.
+    assert all(row["speedup"] > 1.0 for row in report["rows"])
+
+
+def main(argv=None) -> int:
+    """CLI smoke mode: bounded sizes and a wall-clock sanity ceiling."""
+    import argparse
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", default="1000", help="comma-separated graph sizes (default: 1000)"
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="fail when the whole run exceeds this wall-clock bound",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="also write BENCH_graph_kernels.json"
+    )
+    args = parser.parse_args(argv)
+    sizes = tuple(int(size) for size in args.sizes.split(","))
+
+    started = time.perf_counter()
+    report = run_benchmark(sizes)
+    elapsed = time.perf_counter() - started
+    if args.json:
+        write_report(report)
+        print(f"written: {OUTPUT}")
+    print(f"total: {elapsed:.2f}s")
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(f"FAIL: exceeded --max-seconds {args.max_seconds}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

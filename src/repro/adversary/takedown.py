@@ -22,7 +22,6 @@ from dataclasses import dataclass, field
 from typing import Hashable, List, Optional, Sequence
 
 from repro.core.ddsr import DDSROverlay
-from repro.graphs.metrics import largest_component_fraction, number_connected_components
 
 NodeId = Hashable
 
@@ -51,14 +50,14 @@ class TakedownResult:
 
 
 def _summarize(strategy: str, overlay: DDSROverlay, victims: List[NodeId]) -> TakedownResult:
-    graph = overlay.graph
+    components, largest_fraction = overlay.connectivity_summary()
     return TakedownResult(
         strategy=strategy,
         victims=victims,
-        surviving_nodes=graph.number_of_nodes(),
-        connected_components=number_connected_components(graph) if len(graph) else 0,
-        largest_component_fraction=largest_component_fraction(graph),
-        max_degree=graph.max_degree(),
+        surviving_nodes=overlay.graph.number_of_nodes(),
+        connected_components=components,
+        largest_component_fraction=largest_fraction,
+        max_degree=overlay.max_degree(),
         repairs_performed=overlay.stats.repairs_performed,
     )
 

@@ -21,7 +21,7 @@ from repro.core.ddsr import DDSRConfig, DDSROverlay, PruningPolicy, RepairPolicy
 from repro.defenses.hsdir_takeover import HsdirInterception, InterceptionResult
 from repro.defenses.pow import PowAdmission, PowParameters
 from repro.defenses.superonion import SuperOnionNetwork, SuperOnionSurvivalResult
-from repro.graphs.metrics import (
+from repro.graphs.backend import (
     average_closeness_centrality,
     average_degree_centrality,
     diameter,
@@ -208,15 +208,29 @@ def run_fig5_resilience(
 
     def record(deleted: int) -> None:
         result.deletions.append(deleted)
-        result.ddsr_components.append(number_connected_components(ddsr.graph))
-        result.normal_components.append(number_connected_components(normal.graph))
+        ddsr_components = number_connected_components(ddsr.graph)
+        normal_components = number_connected_components(normal.graph)
+        result.ddsr_components.append(ddsr_components)
+        result.normal_components.append(normal_components)
         result.ddsr_degree_centrality.append(average_degree_centrality(ddsr.graph))
         result.normal_degree_centrality.append(average_degree_centrality(normal.graph))
+        # The component counts were just computed, so the diameter calls can
+        # skip their own component scan when the graph is still connected.
         result.ddsr_diameter.append(
-            diameter(ddsr.graph, sample_size=diameter_sample, rng=metric_rng)
+            diameter(
+                ddsr.graph,
+                sample_size=diameter_sample,
+                rng=metric_rng,
+                connected=ddsr_components == 1,
+            )
         )
         result.normal_diameter.append(
-            diameter(normal.graph, sample_size=diameter_sample, rng=metric_rng)
+            diameter(
+                normal.graph,
+                sample_size=diameter_sample,
+                rng=metric_rng,
+                connected=normal_components == 1,
+            )
         )
 
     record(0)

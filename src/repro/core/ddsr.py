@@ -388,6 +388,21 @@ class DDSROverlay:
         """Largest degree among surviving nodes."""
         return self.graph.max_degree()
 
+    def connectivity_summary(self) -> "tuple[int, float]":
+        """``(component_count, largest_component_fraction)`` of the overlay.
+
+        Routed through :mod:`repro.graphs.backend`, so paper-scale sweeps get
+        the vectorized CSR kernels while small overlays keep the pure-Python
+        reference path.
+        """
+        from repro.graphs.backend import component_summary
+
+        n = self.graph.number_of_nodes()
+        if n == 0:
+            return 0, 0.0
+        components, largest = component_summary(self.graph)
+        return components, largest / n
+
     def snapshot(self) -> UndirectedGraph:
         """A deep copy of the current overlay graph (for offline analysis)."""
         return self.graph.copy()

@@ -13,9 +13,16 @@ to node deletions.  This package provides:
 * :mod:`~repro.graphs.metrics` -- our own BFS-based implementations of every
   metric the paper reports (cross-checked against ``networkx`` in the tests),
   including sampled estimators that make 5000--15000-node sweeps tractable.
+* :mod:`~repro.graphs.fast` -- vectorized CSR (numpy) twins of every metric
+  kernel, differential-tested to return results identical to ``metrics``.
+* :mod:`~repro.graphs.backend` -- backend selection (``python`` / ``fast`` /
+  ``auto`` by graph size, ``REPRO_GRAPH_BACKEND``) and the dispatchers the
+  overlay, adversary and experiment layers call.
 * :mod:`~repro.graphs.partition` -- connected-component and partition-threshold
   analysis used by Figure 6.
 """
+
+from repro.graphs import backend
 
 from repro.graphs.adjacency import GraphError, UndirectedGraph
 from repro.graphs.generators import (
@@ -42,6 +49,7 @@ from repro.graphs.partition import PartitionReport, analyze_partition, is_partit
 __all__ = [
     "UndirectedGraph",
     "GraphError",
+    "backend",
     "k_regular_graph",
     "erdos_renyi_graph",
     "barabasi_albert_graph",

@@ -26,10 +26,18 @@ class UndirectedGraph:
 
     def __init__(self, nodes: Iterable[NodeId] = (), edges: Iterable[Tuple[NodeId, NodeId]] = ()) -> None:
         self._adjacency: Dict[NodeId, Set[NodeId]] = {}
+        #: Incremented on every structural change; derived representations
+        #: (e.g. the fast backend's cached CSR arrays) key their caches on it.
+        self._mutations: int = 0
         for node in nodes:
             self.add_node(node)
         for u, v in edges:
             self.add_edge(u, v)
+
+    @property
+    def mutation_stamp(self) -> int:
+        """Counter of structural changes (nodes/edges added or removed)."""
+        return self._mutations
 
     # ------------------------------------------------------------------
     # Basic structure
@@ -38,6 +46,7 @@ class UndirectedGraph:
         """Add ``node`` (no-op if already present)."""
         if node not in self._adjacency:
             self._adjacency[node] = set()
+            self._mutations += 1
 
     def add_edge(self, u: NodeId, v: NodeId) -> bool:
         """Add the undirected edge ``(u, v)``.
@@ -53,6 +62,7 @@ class UndirectedGraph:
             return False
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
+        self._mutations += 1
         return True
 
     def remove_edge(self, u: NodeId, v: NodeId) -> bool:
@@ -63,6 +73,7 @@ class UndirectedGraph:
             return False
         self._adjacency[u].discard(v)
         self._adjacency[v].discard(u)
+        self._mutations += 1
         return True
 
     def remove_node(self, node: NodeId) -> List[NodeId]:
@@ -77,6 +88,7 @@ class UndirectedGraph:
         for neighbor in neighbors:
             self._adjacency[neighbor].discard(node)
         del self._adjacency[node]
+        self._mutations += 1
         return neighbors
 
     # ------------------------------------------------------------------
@@ -177,15 +189,20 @@ class UndirectedGraph:
         return clone
 
     def subgraph(self, nodes: Iterable[NodeId]) -> "UndirectedGraph":
-        """The induced subgraph on ``nodes``."""
+        """The induced subgraph on ``nodes``.
+
+        Node insertion order follows *this* graph's order, not the iteration
+        order of ``nodes``: the sampled metric estimators draw sources from
+        ``nodes()``, so the subgraph must be canonical for a given membership
+        set no matter how the caller assembled it (e.g. both graph backends
+        computing the same largest component by different algorithms).
+        """
         keep = set(nodes)
         sub = UndirectedGraph()
-        for node in keep:
-            if node in self._adjacency:
+        for node in self._adjacency:
+            if node in keep:
                 sub.add_node(node)
-        for node in keep:
-            if node not in self._adjacency:
-                continue
+        for node in sub._adjacency:
             for neighbor in self._adjacency[node]:
                 if neighbor in keep:
                     sub.add_edge(node, neighbor)

@@ -1,0 +1,287 @@
+"""Graph-metric backend selection: pure-Python reference vs vectorized CSR.
+
+Two interchangeable kernel sets compute the paper's graph metrics:
+
+* ``"python"`` -- the readable BFS reference in :mod:`repro.graphs.metrics`
+  (the oracle the differential tests trust);
+* ``"fast"`` -- the vectorized CSR kernels in :mod:`repro.graphs.fast`
+  (numpy), ~10-100x faster at the 20k--100k-node scales the large runner
+  scenarios sweep.
+
+Both return identical results (enforced by
+``tests/graphs/test_backend_equivalence.py``), so call sites route through
+the dispatchers below and pick up whichever backend is active:
+
+    from repro.graphs import backend
+
+    backend.use("fast")                    # force, process-wide
+    with backend.using("python"):          # force, scoped
+        ...
+    backend.use("auto")                    # default: fast iff the graph is
+                                           # large enough and numpy imports
+
+The ``REPRO_GRAPH_BACKEND`` environment variable (``python`` / ``fast`` /
+``auto``) supplies the initial policy; :func:`use` overrides it at runtime.
+Under ``auto`` the choice is made per call from the graph's size, so small
+graphs keep the zero-overhead reference path while resilience sweeps at
+paper scale and beyond get the CSR kernels transparently.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from contextlib import contextmanager
+from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
+
+from repro.graphs import metrics
+from repro.graphs.adjacency import UndirectedGraph
+
+NodeId = Hashable
+
+ENV_VAR = "REPRO_GRAPH_BACKEND"
+BACKENDS = ("python", "fast", "auto")
+
+#: Under ``auto``, graphs with at least this many nodes use the fast backend.
+#: Below it the numpy fixed costs rival the pure-Python BFS runtime.
+AUTO_THRESHOLD = 2048
+
+_forced: Optional[str] = None
+
+
+class BackendError(RuntimeError):
+    """Raised for unknown backend names or unavailable backends."""
+
+
+def _validate(name: str) -> str:
+    if name not in BACKENDS:
+        raise BackendError(
+            f"unknown graph backend {name!r}; expected one of {BACKENDS}"
+        )
+    return name
+
+
+def fast_available() -> bool:
+    """Whether the vectorized backend can be used (numpy imports)."""
+    try:
+        import repro.graphs.fast  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def use(name: Optional[str]) -> Optional[str]:
+    """Force a backend policy process-wide; returns the previous forced value.
+
+    ``None`` clears the override, falling back to ``REPRO_GRAPH_BACKEND``
+    (default ``auto``).
+    """
+    global _forced
+    previous = _forced
+    _forced = _validate(name) if name is not None else None
+    return previous
+
+
+@contextmanager
+def using(name: str) -> Iterator[None]:
+    """Context manager scoping a forced backend policy."""
+    previous = use(name)
+    try:
+        yield
+    finally:
+        use(previous)
+
+
+def policy() -> str:
+    """The active selection policy: forced > environment > ``auto``."""
+    if _forced is not None:
+        return _forced
+    env = os.environ.get(ENV_VAR, "").strip().lower()
+    if env:
+        return _validate(env)
+    return "auto"
+
+
+def resolve_for(graph: UndirectedGraph) -> str:
+    """The backend a metric call on ``graph`` will use right now."""
+    active = policy()
+    if active == "python":
+        return "python"
+    if active == "fast":
+        if not fast_available():
+            raise BackendError(
+                "graph backend forced to 'fast' but numpy is not importable"
+            )
+        return "fast"
+    if graph.number_of_nodes() >= AUTO_THRESHOLD and fast_available():
+        return "fast"
+    return "python"
+
+
+def _impl(graph: UndirectedGraph):
+    if resolve_for(graph) == "fast":
+        from repro.graphs import fast
+
+        return fast
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# Dispatchers (signatures mirror repro.graphs.metrics)
+# ----------------------------------------------------------------------
+def shortest_path_lengths_from(graph: UndirectedGraph, source: NodeId) -> Dict[NodeId, int]:
+    """BFS distances from ``source`` (active backend)."""
+    return _impl(graph).shortest_path_lengths_from(graph, source)
+
+
+def closeness_centrality(graph: UndirectedGraph, node: NodeId) -> float:
+    """Normalised closeness centrality of ``node`` (active backend)."""
+    return _impl(graph).closeness_centrality(graph, node)
+
+
+def average_closeness_centrality(
+    graph: UndirectedGraph,
+    *,
+    sample_size: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Mean closeness centrality (active backend)."""
+    return _impl(graph).average_closeness_centrality(
+        graph, sample_size=sample_size, rng=rng
+    )
+
+
+def degree_centrality(graph: UndirectedGraph, node: NodeId) -> float:
+    """Degree centrality of ``node`` (active backend)."""
+    return _impl(graph).degree_centrality(graph, node)
+
+
+def average_degree_centrality(graph: UndirectedGraph) -> float:
+    """Mean degree centrality (active backend)."""
+    return _impl(graph).average_degree_centrality(graph)
+
+
+def connected_components(graph: UndirectedGraph) -> List[Set[NodeId]]:
+    """Connected components, largest first (active backend)."""
+    return _impl(graph).connected_components(graph)
+
+
+def number_connected_components(graph: UndirectedGraph) -> int:
+    """Count of connected components (active backend)."""
+    return _impl(graph).number_connected_components(graph)
+
+
+def largest_component_fraction(graph: UndirectedGraph) -> float:
+    """Fraction of nodes in the largest component (active backend)."""
+    return _impl(graph).largest_component_fraction(graph)
+
+
+def component_summary(graph: UndirectedGraph) -> Tuple[int, int]:
+    """``(component_count, largest_component_size)`` in one pass.
+
+    Cheaper than materialising every component when only the counts matter
+    (takedown summaries, checkpoint records).
+    """
+    if resolve_for(graph) == "fast":
+        from repro.graphs import fast
+
+        return fast.component_summary(graph)
+    components = metrics.connected_components(graph)
+    if not components:
+        return 0, 0
+    return len(components), len(components[0])
+
+
+def largest_component_subgraph(graph: UndirectedGraph) -> UndirectedGraph:
+    """``graph`` when connected, else the induced largest-component subgraph.
+
+    Lets callers that need several path metrics on a disconnected graph
+    extract the component once and pass ``connected=True`` to each metric,
+    instead of every metric re-deriving it.  ``UndirectedGraph.subgraph``
+    orders nodes canonically, so both backends return the same subgraph.
+    """
+    if resolve_for(graph) == "fast":
+        from repro.graphs import fast
+
+        return fast.largest_component_subgraph(graph)
+    if graph.number_of_nodes() == 0:
+        return graph
+    components = metrics.connected_components(graph)
+    return graph if len(components) == 1 else graph.subgraph(components[0])
+
+
+def eccentricity(graph: UndirectedGraph, node: NodeId) -> int:
+    """Largest BFS distance from ``node`` (active backend)."""
+    return _impl(graph).eccentricity(graph, node)
+
+
+def diameter(
+    graph: UndirectedGraph,
+    *,
+    sample_size: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    largest_component_only: bool = True,
+    connected: Optional[bool] = None,
+) -> float:
+    """Graph diameter, optionally sampled (active backend).
+
+    Pass ``connected=True`` when the caller has just established the graph is
+    connected (e.g. from :func:`component_summary`) to skip the redundant
+    component scan on both backends.
+    """
+    return _impl(graph).diameter(
+        graph,
+        sample_size=sample_size,
+        rng=rng,
+        largest_component_only=largest_component_only,
+        connected=connected,
+    )
+
+
+def average_shortest_path_length(
+    graph: UndirectedGraph,
+    *,
+    sample_size: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    connected: Optional[bool] = None,
+) -> float:
+    """Mean pairwise distance, optionally sampled (active backend)."""
+    return _impl(graph).average_shortest_path_length(
+        graph, sample_size=sample_size, rng=rng, connected=connected
+    )
+
+
+def degree_histogram(graph: UndirectedGraph) -> Dict[int, int]:
+    """Degree -> node-count histogram (active backend)."""
+    return _impl(graph).degree_histogram(graph)
+
+
+def partition_summary_after_removal(
+    graph: UndirectedGraph, victims
+) -> Tuple[int, int, int, int]:
+    """``(surviving, components, largest, isolated)`` after a mass removal.
+
+    The fast backend computes this on a masked CSR without building the
+    survivor subgraph; the reference path materialises the subgraph exactly
+    like :func:`repro.graphs.partition.simultaneous_deletion_survivors`.
+    """
+    if resolve_for(graph) == "fast":
+        from repro.graphs import fast
+
+        return fast.partition_summary_after_removal(graph, list(victims))
+    victim_set = set(victims)
+    if victim_set:
+        survivors = [node for node in graph.nodes() if node not in victim_set]
+        subgraph = graph.subgraph(survivors)
+    else:
+        subgraph = graph
+    components = metrics.connected_components(subgraph)
+    if not components:
+        return 0, 0, 0, 0
+    isolated = sum(1 for component in components if len(component) == 1)
+    return (
+        subgraph.number_of_nodes(),
+        len(components),
+        len(components[0]),
+        isolated,
+    )

@@ -132,6 +132,7 @@ def diameter(
     sample_size: Optional[int] = None,
     rng: Optional[random.Random] = None,
     largest_component_only: bool = True,
+    connected: Optional[bool] = None,
 ) -> float:
     """Diameter (longest shortest path) of the graph.
 
@@ -144,14 +145,21 @@ def diameter(
 
     With ``sample_size`` the result is a lower-bound estimate obtained from a
     deterministic sample of BFS sources (sufficient to reproduce the trends).
+
+    ``connected=True`` asserts the caller already knows the graph has a
+    single component (the DDSR sweeps compute the component count right
+    before the diameter at every checkpoint), skipping the redundant
+    component scan without changing the result.
     """
     if graph.number_of_nodes() == 0:
         return 0.0
-    components = connected_components(graph)
-    if len(components) > 1 and not largest_component_only:
-        return float("inf")
-    component = components[0]
-    working = graph if len(components) == 1 else graph.subgraph(component)
+    if connected:
+        working = graph
+    else:
+        components = connected_components(graph)
+        if len(components) > 1 and not largest_component_only:
+            return float("inf")
+        working = graph if len(components) == 1 else graph.subgraph(components[0])
     nodes = _select_nodes(working, sample_size, rng)
     best = 0
     for node in nodes:
@@ -164,12 +172,20 @@ def average_shortest_path_length(
     *,
     sample_size: Optional[int] = None,
     rng: Optional[random.Random] = None,
+    connected: Optional[bool] = None,
 ) -> float:
-    """Mean pairwise distance inside the largest component (sampled sources)."""
+    """Mean pairwise distance inside the largest component (sampled sources).
+
+    ``connected=True`` skips the component scan when the caller has already
+    established connectivity (see :func:`diameter`).
+    """
     if graph.number_of_nodes() <= 1:
         return 0.0
-    components = connected_components(graph)
-    working = graph if len(components) == 1 else graph.subgraph(components[0])
+    if connected:
+        working = graph
+    else:
+        components = connected_components(graph)
+        working = graph if len(components) == 1 else graph.subgraph(components[0])
     nodes = _select_nodes(working, sample_size, rng)
     total = 0
     pairs = 0

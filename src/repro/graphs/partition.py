@@ -14,8 +14,8 @@ import random
 from dataclasses import dataclass
 from typing import Hashable, Iterable, List, Optional, Sequence
 
+from repro.graphs import backend
 from repro.graphs.adjacency import UndirectedGraph
-from repro.graphs.metrics import connected_components
 
 NodeId = Hashable
 
@@ -44,14 +44,23 @@ class PartitionReport:
 
 def analyze_partition(graph: UndirectedGraph) -> PartitionReport:
     """Compute a :class:`PartitionReport` for ``graph``."""
-    components = connected_components(graph)
-    if not components:
-        return PartitionReport(0, 0, 0, 0)
-    isolated = sum(1 for component in components if len(component) == 1)
+    return _report_after_removal(graph, ())
+
+
+def _report_after_removal(graph: UndirectedGraph, victims: Iterable[NodeId]) -> PartitionReport:
+    """Partition report of the survivors after a simultaneous mass removal.
+
+    Routed through the active graph backend: the fast path computes component
+    counts on a masked CSR without ever materialising the survivor subgraph,
+    which is what makes the 100k-node threshold sweeps tractable.
+    """
+    surviving, components, largest, isolated = backend.partition_summary_after_removal(
+        graph, victims
+    )
     return PartitionReport(
-        surviving_nodes=graph.number_of_nodes(),
-        component_count=len(components),
-        largest_component=len(components[0]),
+        surviving_nodes=surviving,
+        component_count=components,
+        largest_component=largest,
         isolated_nodes=isolated,
     )
 
@@ -104,8 +113,8 @@ def minimum_partition_fraction(
             break
         for _ in range(trials_per_fraction):
             victims = rng.sample(nodes, count)
-            survivors = simultaneous_deletion_survivors(graph, victims)
-            if survivors.number_of_nodes() > 1 and is_partitioned(survivors):
+            report = _report_after_removal(graph, victims)
+            if report.surviving_nodes > 1 and report.is_partitioned:
                 return fraction
         fraction = round(fraction + resolution, 10)
     return 1.0
@@ -124,5 +133,4 @@ def partition_after_fraction(
     nodes: Sequence[NodeId] = graph.nodes()
     count = int(round(fraction * len(nodes)))
     victims = rng.sample(list(nodes), count) if count else []
-    survivors = simultaneous_deletion_survivors(graph, victims)
-    return analyze_partition(survivors)
+    return _report_after_removal(graph, victims)

@@ -295,7 +295,7 @@ def ablation_repair_policy(
     *, seed: int, policy: str, n: int, k: int, fraction: float
 ) -> Dict[str, float]:
     from repro.core.ddsr import DDSRConfig, DDSROverlay, RepairPolicy
-    from repro.graphs.metrics import largest_component_fraction, number_connected_components
+    from repro.graphs.backend import largest_component_fraction, number_connected_components
 
     config = DDSRConfig(d_min=5, d_max=15, repair_policy=RepairPolicy(policy))
     overlay = DDSROverlay.k_regular(n, k, config=config, seed=derive_seed(seed, "wiring"))
@@ -317,7 +317,7 @@ def ablation_pruning_policy(
     *, seed: int, policy: str, n: int, k: int, fraction: float
 ) -> Dict[str, float]:
     from repro.core.ddsr import DDSRConfig, DDSROverlay, PruningPolicy
-    from repro.graphs.metrics import largest_component_fraction, number_connected_components
+    from repro.graphs.backend import largest_component_fraction, number_connected_components
 
     config = DDSRConfig(d_min=5, d_max=15, pruning_policy=PruningPolicy(policy))
     overlay = DDSROverlay.k_regular(n, k, config=config, seed=derive_seed(seed, "wiring"))
@@ -327,6 +327,133 @@ def ablation_pruning_policy(
         "largest_component_fraction": largest_component_fraction(overlay.graph),
         "prune_operations": float(overlay.stats.prune_operations),
         "max_degree": float(overlay.max_degree()),
+    }
+
+
+# ======================================================================
+# At-scale scenarios (vectorized CSR graph backend; 100k+ nodes)
+# ======================================================================
+@scenario(
+    name="resilience-at-scale",
+    description="Fig-5-style gradual takedown resilience sweep at 100k nodes",
+    defaults={
+        "n": 100_000,
+        "k": 10,
+        "max_fraction": 0.5,
+        "checkpoints": 5,
+        "metric_sample": 32,
+    },
+)
+def resilience_at_scale(
+    *, seed: int, n: int, k: int, max_fraction: float, checkpoints: int, metric_sample: int
+) -> Dict[str, float]:
+    """Figure 5's gradual-takedown sweep at sizes the paper could not reach.
+
+    A k-regular DDSR overlay loses ``max_fraction`` of its nodes one at a
+    time (repair after every deletion); components, degree centrality and the
+    sampled diameter / average-shortest-path estimators are recorded at every
+    checkpoint through :mod:`repro.graphs.backend`, whose CSR kernels keep
+    the 100k-node default tractable (the pure-Python reference needs hours).
+    """
+    from repro.core.ddsr import DDSROverlay
+    from repro.graphs import backend
+    from repro.workloads.deletion import DeletionSchedule
+
+    overlay = DDSROverlay.k_regular(n, k, seed=derive_seed(seed, "wiring"))
+    schedule = DeletionSchedule.random(
+        overlay.nodes(), max_fraction, seed=derive_seed(seed, "victims")
+    )
+    metric_rng = random.Random(derive_seed(seed, "metrics"))
+    batch = max(1, len(schedule) // checkpoints) if len(schedule) else 1
+
+    def measure() -> Dict[str, float]:
+        components, largest = backend.component_summary(overlay.graph)
+        survivors = overlay.graph.number_of_nodes()
+        # Extract the largest component once; both path metrics then skip
+        # their own component scan (and agree with the un-extracted call).
+        working = (
+            overlay.graph
+            if components == 1
+            else backend.largest_component_subgraph(overlay.graph)
+        )
+        return {
+            "components": float(components),
+            "largest_fraction": largest / survivors if survivors else 0.0,
+            "diameter": backend.diameter(
+                working, sample_size=metric_sample, rng=metric_rng, connected=True
+            ),
+            "avg_path_length": backend.average_shortest_path_length(
+                working, sample_size=metric_sample, rng=metric_rng, connected=True
+            ),
+            "degree_centrality": backend.average_degree_centrality(overlay.graph),
+        }
+
+    initial = measure()
+    deleted = 0
+    connected_until = 0
+    still_connected = initial["components"] == 1.0
+    final = initial
+    for victims in schedule.batches(batch):
+        deleted += overlay.remove_nodes(victims)
+        final = measure()
+        # Only advance while the overlay has never split: repairs can
+        # re-join a partitioned overlay at a later checkpoint, which must
+        # not retroactively count as uninterrupted connectivity.
+        if still_connected and final["components"] == 1.0:
+            connected_until = deleted
+        else:
+            still_connected = False
+    return {
+        "n": float(n),
+        "deleted": float(deleted),
+        "survivors": float(len(overlay)),
+        "stayed_connected_until_fraction": connected_until / n if n else 0.0,
+        "final_components": final["components"],
+        "final_largest_fraction": final["largest_fraction"],
+        "initial_diameter": initial["diameter"],
+        "final_diameter": final["diameter"],
+        "initial_avg_path_length": initial["avg_path_length"],
+        "final_avg_path_length": final["avg_path_length"],
+        "final_degree_centrality": final["degree_centrality"],
+        "repair_edges_added": float(overlay.stats.repair_edges_added),
+        "max_degree": float(overlay.max_degree()),
+    }
+
+
+@scenario(
+    name="partition-threshold-at-scale",
+    description="Fig-6 simultaneous-takedown partition threshold at 100k nodes",
+    defaults={"size": 100_000, "k": 10, "resolution": 0.05, "trials_per_fraction": 1},
+)
+def partition_threshold_at_scale(
+    *, seed: int, size: int, k: int, resolution: float, trials_per_fraction: int
+) -> Dict[str, float]:
+    """Figure 6's partition-threshold search at 100k nodes.
+
+    Identical search to ``fig6-partition-threshold`` -- random victim sets of
+    increasing size removed simultaneously until the survivors split -- but
+    each trial's component check runs on a masked CSR (no survivor-subgraph
+    construction), extending the sweep an order of magnitude past the paper's
+    largest network.  Also reports the component structure at the threshold.
+    """
+    from repro.graphs.generators import k_regular_graph
+    from repro.graphs.partition import minimum_partition_fraction, partition_after_fraction
+
+    rng = random.Random(seed)
+    graph = k_regular_graph(size, k, rng=rng)
+    fraction = minimum_partition_fraction(
+        graph, rng=rng, resolution=resolution, trials_per_fraction=trials_per_fraction
+    )
+    report = partition_after_fraction(
+        graph, fraction, rng=random.Random(derive_seed(seed, "report"))
+    )
+    return {
+        "fraction": fraction,
+        "nodes_to_partition": float(int(round(fraction * size))),
+        "surviving_at_threshold": float(report.surviving_nodes),
+        "components_at_threshold": float(report.component_count),
+        "largest_fraction_at_threshold": report.largest_fraction,
+        "isolated_at_threshold": float(report.isolated_nodes),
     }
 
 
