@@ -1,26 +1,36 @@
 """Graph-kernel backend benchmark: pure-Python BFS vs vectorized CSR.
 
-Times the two hot kernels of every resilience sweep -- connected components
-and the sampled diameter estimator -- on k-regular graphs at n in {1k, 5k,
-20k, 100k} under both backends, and writes the measurements to
-``BENCH_graph_kernels.json`` at the repository root (the first entry of the
-kernel-benchmark trajectory; future PRs append runs to compare against).
+Three workloads, written as one per-PR entry in the ``runs`` trajectory of
+``BENCH_graph_kernels.json`` at the repository root:
+
+* ``kernels`` -- connected components + sampled diameter on k-regular graphs
+  at n in {1k, 5k, 20k, 100k}, python reference vs CSR backend (the PR-2
+  workload, re-measured every PR to grow the trajectory);
+* ``batched_bfs`` -- the sampled-diameter estimator run as one BFS kernel
+  per source (the pre-batching fast path) vs the bit-packed multi-source
+  wave that now backs diameter/ASPL/closeness;
+* ``soap`` -- a full SOAP containment campaign plus benign-subgraph summary,
+  original implementation (``ReferenceSoapAttack``, pure-Python metrics) vs
+  the vectorized campaign over the CSR backend.
 
 The fast timings are measured *cold*: the CSR cache is dropped before each
 repetition, so the reported numbers include the UndirectedGraph -> CSR
-conversion that a real checkpoint pays after a batch of deletions.
+conversion that a real checkpoint pays after a batch of deletions.  The SOAP
+timings disable the cyclic GC inside the timed region (both sides equally;
+the campaign's allocation burst otherwise dominates run-to-run noise).
 
-Asserted contract (the PR's acceptance bar): at n=20k the fast backend is at
-least 10x faster on the combined connected-components + sampled-diameter
-workload.
+Asserted contracts (the PR acceptance bars): fast >= 10x at n=20k on the
+kernel pair, batched multi-source BFS >= 3x over the per-source loop at
+n=100k, and the vectorized SOAP campaign >= 5x at n=20k.
 
 Run directly for a quick smoke with a wall-clock bound (used by CI)::
 
-    python benchmarks/bench_graph_kernels.py --sizes 1000 --max-seconds 60
+    python benchmarks/bench_graph_kernels.py --sizes 1000 --soap-n 2000 --max-seconds 120
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import random
 import time
@@ -32,9 +42,18 @@ DIAMETER_SAMPLE = 32
 #: Repetitions per (size, backend); the minimum is reported.
 REPEATS = {1_000: 3, 5_000: 3, 20_000: 2, 100_000: 1}
 
+BATCHED_SIZES = (20_000, 100_000)
+SOAP_N = 20_000
+SOAP_REPEATS = 3
+
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_graph_kernels.json"
 
 SPEEDUP_FLOOR_AT_20K = 10.0
+BATCHED_SPEEDUP_FLOOR_AT_100K = 3.0
+SOAP_SPEEDUP_FLOOR = 5.0
+
+#: Ordinal of this PR's entry in the ``runs`` trajectory.
+PR_LABEL = "PR 3"
 
 
 def _workload(module, graph, *, connected_components=True, diameter=True):
@@ -62,8 +81,8 @@ def _time_backend(module, graph, repeats: int, *, drop_csr_cache: bool = False):
     return best, result
 
 
-def run_benchmark(sizes=SIZES, *, emit=print) -> dict:
-    """Measure both backends at every size and return the report dict."""
+def run_kernel_benchmark(sizes=SIZES, *, emit=print) -> list:
+    """Measure both backends at every size and return the report rows."""
     from repro.graphs import fast, metrics
     from repro.graphs.generators import k_regular_graph
 
@@ -89,40 +108,180 @@ def run_benchmark(sizes=SIZES, *, emit=print) -> dict:
             }
         )
         emit(
-            f"n={n:>7,}  python={python_seconds:8.3f}s  "
+            f"kernels  n={n:>7,}  python={python_seconds:8.3f}s  "
             f"fast={fast_seconds:8.4f}s  speedup={speedup:7.1f}x"
         )
+    return rows
+
+
+def _per_source_diameter(csr, node_indices) -> float:
+    """The pre-batching fast path: one BFS kernel launch per sampled source."""
+    from repro.graphs import fast
+
+    best = 0
+    for index in node_indices:
+        distances = fast.bfs_distances(csr, index)
+        best = max(best, int(distances.max()))
+    return float(best)
+
+
+def run_batched_bfs_benchmark(sizes=BATCHED_SIZES, *, emit=print) -> list:
+    """Per-source BFS loop vs the bit-packed multi-source wave (same sources)."""
+    from repro.graphs import fast
+    from repro.graphs.generators import k_regular_graph
+    from repro.graphs.metrics import _select_nodes
+
+    rows = []
+    for n in sizes:
+        graph = k_regular_graph(n, K, seed=2000 + n)
+        csr = fast.csr_of(graph)
+        nodes = _select_nodes(graph, DIAMETER_SAMPLE, random.Random(0))
+        indices = [csr.index_of[node] for node in nodes]
+
+        per_source_seconds = float("inf")
+        batched_seconds = float("inf")
+        for _ in range(2):
+            started = time.perf_counter()
+            per_source = _per_source_diameter(csr, indices)
+            per_source_seconds = min(per_source_seconds, time.perf_counter() - started)
+            started = time.perf_counter()
+            batched = fast.diameter(
+                graph, sample_size=DIAMETER_SAMPLE, rng=random.Random(0), connected=True
+            )
+            batched_seconds = min(batched_seconds, time.perf_counter() - started)
+            assert batched == per_source
+        speedup = per_source_seconds / batched_seconds if batched_seconds else float("inf")
+        rows.append(
+            {
+                "n": n,
+                "k": K,
+                "sources": len(indices),
+                "per_source_seconds": round(per_source_seconds, 6),
+                "batched_seconds": round(batched_seconds, 6),
+                "speedup": round(speedup, 2),
+            }
+        )
+        emit(
+            f"batched  n={n:>7,}  per-source={per_source_seconds:8.4f}s  "
+            f"batched={batched_seconds:8.4f}s  speedup={speedup:7.1f}x"
+        )
+    return rows
+
+
+def _soap_campaign_once(attack_cls, backend_name: str, n: int, seed: int = 3) -> float:
+    """One timed SOAP campaign + benign summary on a fresh overlay."""
+    from repro.core.ddsr import DDSROverlay
+    from repro.graphs import backend
+
+    with backend.using(backend_name):
+        overlay = DDSROverlay.k_regular(n, K, seed=seed)
+        chooser = random.Random(seed + 13)
+        compromised = chooser.sample(overlay.nodes(), 1)
+        attack = attack_cls(rng=random.Random(seed + 17))
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            result = attack.run_campaign(overlay, compromised)
+            summary = attack_cls.benign_subgraph_components(overlay)
+            elapsed = time.perf_counter() - started
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            gc.collect()
+    assert result.neutralized and summary["nontrivial_components"] == 0
+    return elapsed
+
+
+def run_soap_benchmark(n=SOAP_N, *, repeats=SOAP_REPEATS, emit=print) -> dict:
+    """Original SOAP implementation vs the vectorized campaign, full run."""
+    from repro.adversary.soap import ReferenceSoapAttack, SoapAttack
+
+    reference_seconds = min(
+        _soap_campaign_once(ReferenceSoapAttack, "python", n) for _ in range(repeats)
+    )
+    fast_seconds = min(
+        _soap_campaign_once(SoapAttack, "fast", n) for _ in range(repeats)
+    )
+    speedup = reference_seconds / fast_seconds if fast_seconds else float("inf")
+    row = {
+        "n": n,
+        "k": K,
+        "repeats": repeats,
+        "workload": "full containment campaign + benign-subgraph summary "
+        "(overlay construction excluded; identical on both sides)",
+        "reference_seconds": round(reference_seconds, 6),
+        "fast_seconds": round(fast_seconds, 6),
+        "speedup": round(speedup, 2),
+    }
+    emit(
+        f"soap     n={n:>7,}  reference={reference_seconds:8.3f}s  "
+        f"fast={fast_seconds:8.4f}s  speedup={speedup:7.1f}x"
+    )
+    return row
+
+
+def run_benchmark(sizes=SIZES, *, emit=print) -> dict:
+    """All three workloads; returns this PR's trajectory entry."""
     return {
-        "benchmark": "graph_kernels",
+        "pr": PR_LABEL,
         "workload": "connected_components + sampled diameter "
-        f"(sample={DIAMETER_SAMPLE}) on k-regular graphs (k={K})",
+        f"(sample={DIAMETER_SAMPLE}) on k-regular graphs (k={K}); "
+        "batched multi-source BFS; SOAP campaign",
         "timing": "best-of-repeats wall clock; fast timings include the "
-        "UndirectedGraph->CSR conversion (cold cache)",
-        "rows": rows,
+        "UndirectedGraph->CSR conversion (cold cache); SOAP timed with GC off",
+        "rows": run_kernel_benchmark(sizes, emit=emit),
+        "batched_bfs": run_batched_bfs_benchmark(emit=emit),
+        "soap_campaign": run_soap_benchmark(emit=emit),
     }
 
 
-def write_report(report: dict, path: Path = OUTPUT) -> None:
+def write_report(entry: dict, path: Path = OUTPUT) -> None:
+    """Append this PR's entry to the benchmark trajectory (migrating v1)."""
+    runs = []
+    if path.exists():
+        previous = json.loads(path.read_text())
+        if "runs" in previous:
+            runs = previous["runs"]
+        else:  # v1 layout: a single flat report from PR 2
+            previous.pop("benchmark", None)
+            previous["pr"] = "PR 2"
+            runs = [previous]
+    runs = [run for run in runs if run.get("pr") != entry.get("pr")]
+    runs.append(entry)
+    report = {"benchmark": "graph_kernels", "runs": runs}
     path.write_text(json.dumps(report, indent=2) + "\n")
 
 
 def test_graph_kernel_speedup(benchmark):
-    """Fast backend >= 10x at n=20k on CC + sampled diameter; emit the JSON."""
+    """All three speedup floors hold; append the trajectory entry."""
     from conftest import emit
 
-    report = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
-    write_report(report)
+    entry = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    write_report(entry)
     emit(
-        "Graph-kernel backends — python vs fast (CSR)",
-        json.dumps(report["rows"], indent=2) + f"\nwritten to {OUTPUT}",
+        "Graph-kernel backends — python vs fast (CSR), batched BFS, SOAP",
+        json.dumps(entry, indent=2) + f"\nappended to {OUTPUT}",
     )
-    at_20k = next(row for row in report["rows"] if row["n"] == 20_000)
+    at_20k = next(row for row in entry["rows"] if row["n"] == 20_000)
     assert at_20k["speedup"] >= SPEEDUP_FLOOR_AT_20K, (
         f"fast backend only {at_20k['speedup']}x at n=20k "
         f"(floor {SPEEDUP_FLOOR_AT_20K}x)"
     )
     # Every size must still benefit, even where fixed numpy costs loom larger.
-    assert all(row["speedup"] > 1.0 for row in report["rows"])
+    assert all(row["speedup"] > 1.0 for row in entry["rows"])
+    batched_at_100k = next(
+        row for row in entry["batched_bfs"] if row["n"] == 100_000
+    )
+    assert batched_at_100k["speedup"] >= BATCHED_SPEEDUP_FLOOR_AT_100K, (
+        f"batched BFS only {batched_at_100k['speedup']}x at n=100k "
+        f"(floor {BATCHED_SPEEDUP_FLOOR_AT_100K}x)"
+    )
+    soap = entry["soap_campaign"]
+    assert soap["speedup"] >= SOAP_SPEEDUP_FLOOR, (
+        f"vectorized SOAP campaign only {soap['speedup']}x at n={soap['n']} "
+        f"(floor {SOAP_SPEEDUP_FLOOR}x)"
+    )
 
 
 def main(argv=None) -> int:
@@ -137,23 +296,43 @@ def main(argv=None) -> int:
         "--sizes", default="1000", help="comma-separated graph sizes (default: 1000)"
     )
     parser.add_argument(
+        "--soap-n",
+        type=int,
+        default=None,
+        help="also smoke the SOAP-campaign workload at this size",
+    )
+    parser.add_argument(
+        "--skip-batched",
+        action="store_true",
+        help="skip the batched multi-source BFS workload",
+    )
+    parser.add_argument(
         "--max-seconds",
         type=float,
         default=None,
         help="fail when the whole run exceeds this wall-clock bound",
     )
     parser.add_argument(
-        "--json", action="store_true", help="also write BENCH_graph_kernels.json"
+        "--json", action="store_true", help="also append to BENCH_graph_kernels.json"
     )
     args = parser.parse_args(argv)
     sizes = tuple(int(size) for size in args.sizes.split(","))
 
     started = time.perf_counter()
-    report = run_benchmark(sizes)
+    # CLI runs are smoke-sized; label them so --json can never replace the
+    # canonical full-scale entry the pytest benchmark appends for this PR.
+    entry = {
+        "pr": f"{PR_LABEL} (cli smoke)",
+        "rows": run_kernel_benchmark(sizes),
+    }
+    if not args.skip_batched:
+        entry["batched_bfs"] = run_batched_bfs_benchmark(sizes=sizes)
+    if args.soap_n:
+        entry["soap_campaign"] = run_soap_benchmark(args.soap_n, repeats=1)
     elapsed = time.perf_counter() - started
     if args.json:
-        write_report(report)
-        print(f"written: {OUTPUT}")
+        write_report(entry)
+        print(f"appended: {OUTPUT}")
     print(f"total: {elapsed:.2f}s")
     if args.max_seconds is not None and elapsed > args.max_seconds:
         print(f"FAIL: exceeded --max-seconds {args.max_seconds}")

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import itertools
 import random
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
@@ -34,8 +35,20 @@ from repro.core.ddsr import DDSROverlay
 
 NodeId = Hashable
 
+try:  # numpy is optional repo-wide; the campaign only uses flat flag arrays.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
 #: Prefix of every clone identifier created by the attack.
 CLONE_PREFIX = "soap-clone-"
+
+
+def _flag_array(size: int):
+    """A zeroed id-indexed flag array (numpy bool when available)."""
+    if _np is not None:
+        return _np.zeros(size, dtype=bool)
+    return bytearray(size)
 
 
 @dataclass(frozen=True)
@@ -147,6 +160,11 @@ class SoapAttack:
         self._clone_counter = itertools.count(1)
         self.work_spent = 0.0
         self.time_spent = 0.0
+        #: Memoised clone-ness per node id seen by this attack.  Campaigns
+        #: test clone-ness on every peer of every target (millions of string
+        #: prefix checks at 20k+ nodes); ids never change kind, so one dict
+        #: lookup replaces the ``startswith`` scan after the first sighting.
+        self._clone_cache: Dict[NodeId, bool] = {}
 
     # ------------------------------------------------------------------
     # Per-node containment (Figure 7 steps 2-9)
@@ -154,8 +172,24 @@ class SoapAttack:
     def _new_clone(self) -> str:
         return f"{CLONE_PREFIX}{next(self._clone_counter):06d}"
 
+    def _is_clone(self, node: NodeId) -> bool:
+        cached = self._clone_cache.get(node)
+        if cached is None:
+            cached = is_clone(node)
+            self._clone_cache[node] = cached
+        return cached
+
     def _benign_peers(self, overlay: DDSROverlay, node: NodeId) -> Set[NodeId]:
-        return {peer for peer in overlay.peers(node) if not is_clone(peer)}
+        cache = self._clone_cache
+        result = set()
+        for peer in overlay.peers(node):
+            flag = cache.get(peer)
+            if flag is None:
+                flag = is_clone(peer)
+                cache[peer] = flag
+            if not flag:
+                result.add(peer)
+        return result
 
     def _budget_exhausted(self) -> bool:
         if self.work_budget is not None and self.work_spent >= self.work_budget:
@@ -165,7 +199,17 @@ class SoapAttack:
         return False
 
     def contain_node(self, overlay: DDSROverlay, target: NodeId) -> SoapNodeResult:
-        """Surround one bot with clones until it has no benign peers left."""
+        """Surround one bot with clones until it has no benign peers left.
+
+        The loop keeps an incremental view of the target's benign peer set:
+        the only events that can shrink it are the pruning victims reported
+        by :meth:`~repro.core.ddsr.DDSROverlay.enforce_degree_bound_collect`,
+        so the per-clone full peer-list rescans of the straightforward
+        implementation (see :class:`ReferenceSoapAttack`) are unnecessary.  A
+        mutation-stamp check guards against exotic admission policies that
+        mutate the overlay; results and rng consumption are bit-identical to
+        the reference either way.
+        """
         if target not in overlay.graph:
             return SoapNodeResult(
                 target=target,
@@ -177,7 +221,10 @@ class SoapAttack:
                 work_spent=0.0,
                 time_spent=0.0,
             )
-        learned = self._benign_peers(overlay, target)
+        from repro.core.ddsr import PruningPolicy
+
+        graph = overlay.graph
+        adjacency = graph._adjacency
         clones_used = 0
         requests = 0
         rejected = 0
@@ -189,32 +236,151 @@ class SoapAttack:
         # the work budget, rate limits above the patience threshold) stall the
         # attack on this node rather than letting it retry forever.
         max_requests = self.max_clones_per_node * 2
+        admission = self.admission
+        # The basic OnionBot's open admission accepts everything for free and
+        # never touches the overlay, so the whole decision/accounting/stamp
+        # dance reduces to nothing (adding 0.0 work is an identity).
+        open_policy = admission is open_admission
+        budgeted = self.work_budget is not None or self.time_budget is not None
+        config = overlay.config
+        stats = overlay.stats
+        pruning_policy = config.pruning_policy
+        # For the degree-driven pruning policies the victim can be selected
+        # from degree buckets built once per target: during one containment
+        # the only degree changes in the target's neighbourhood are the clone
+        # insertions (always degree 1) and the prunes themselves (the victim
+        # leaves the peer set), so every real peer's degree is frozen while
+        # it remains a peer.  Tie-breaks are repr-sorted before the rng draw,
+        # so candidate collection order is irrelevant -- decisions, stats and
+        # rng consumption match the DDSR pruner's exactly.  The
+        # order-sensitive RANDOM policy keeps the general path.
+        inline_prune = pruning_policy in (
+            PruningPolicy.HIGHEST_DEGREE,
+            PruningPolicy.LOWEST_DEGREE,
+        )
+        highest = pruning_policy is PruningPolicy.HIGHEST_DEGREE
+        d_max = config.d_max
+        buckets: Dict[int, List[NodeId]] = {}
+        peer_count = 0
+        low = high = 0
 
-        while self._benign_peers(overlay, target) and clones_used < self.max_clones_per_node:
-            if self._budget_exhausted() or requests >= max_requests:
+        def build_buckets() -> None:
+            nonlocal peer_count, low, high
+            buckets.clear()
+            peer_count = 0
+            for peer in adjacency[target]:
+                peer_count += 1
+                degree = len(adjacency[peer])
+                bucket = buckets.get(degree)
+                if bucket is None:
+                    buckets[degree] = [peer]
+                else:
+                    bucket.append(peer)
+            low = min(buckets) if buckets else 0
+            high = max(buckets) if buckets else 0
+
+        # One pass over the (order-defining) peer-list copy builds both the
+        # benign view and, when the pruning policy allows it, the degree
+        # buckets -- bucket order is irrelevant (ties are repr-sorted), so
+        # sharing the iteration with the reference's copy scan is safe.
+        clone_cache = self._clone_cache
+        learned: Set[NodeId] = set()
+        for peer in overlay.peers(target):
+            flag = clone_cache.get(peer)
+            if flag is None:
+                flag = is_clone(peer)
+                clone_cache[peer] = flag
+            if not flag:
+                learned.add(peer)
+            if inline_prune:
+                peer_count += 1
+                degree = len(adjacency[peer])
+                bucket = buckets.get(degree)
+                if bucket is None:
+                    buckets[degree] = [peer]
+                else:
+                    bucket.append(peer)
+        if inline_prune and buckets:
+            low = min(buckets)
+            high = max(buckets)
+        benign = set(learned)
+
+        clone_counter = self._clone_counter
+        forgetting = config.forgetting_enabled
+        rng_choice = overlay.rng.choice
+        max_clones = self.max_clones_per_node
+
+        while benign and clones_used < max_clones:
+            if (budgeted and self._budget_exhausted()) or requests >= max_requests:
                 break
-            clone = self._new_clone()
+            # Inline of ``self._new_clone()`` -- a per-clone method call is
+            # measurable at campaign scale.  Must stay in lockstep with
+            # ``_new_clone``; ``test_inline_clone_minting_matches_new_clone``
+            # pins the two formats together.
+            clone = f"{CLONE_PREFIX}{next(clone_counter):06d}"
             requests += 1
-            decision = self.admission(target, clone, overlay)
-            node_work += decision.work_required
-            node_time += decision.delay_seconds
-            self.work_spent += decision.work_required
-            self.time_spent += decision.delay_seconds
-            if not decision.accepted:
-                rejected += 1
-                continue
-            benign_before = len(self._benign_peers(overlay, target))
-            overlay.graph.add_node(clone)
-            overlay.graph.add_edge(clone, target)
+            if not open_policy:
+                stamp = graph.mutation_stamp
+                decision = admission(target, clone, overlay)
+                node_work += decision.work_required
+                node_time += decision.delay_seconds
+                self.work_spent += decision.work_required
+                self.time_spent += decision.delay_seconds
+                if graph.mutation_stamp != stamp:
+                    benign = self._benign_peers(overlay, target)
+                    if inline_prune:
+                        build_buckets()
+                if not decision.accepted:
+                    rejected += 1
+                    continue
+            graph.add_leaf(clone, target)
             clones_used += 1
             # The target applies its normal DDSR pruning once over its bound;
             # the clone's (graph) degree of 1 matches its small announced
             # degree, so pruning evicts a real, higher-degree peer instead.
-            overlay.enforce_degree_bound(target)
-            benign_after = len(self._benign_peers(overlay, target))
-            displaced += max(0, benign_before - benign_after)
+            if inline_prune:
+                bucket = buckets.get(1)
+                if bucket is None:
+                    buckets[1] = [clone]
+                else:
+                    bucket.append(clone)
+                peer_count += 1
+                low = 1 if peer_count == 1 or low > 1 else low
+                high = 1 if high < 1 else high
+                while peer_count > d_max:
+                    # Walk the degree buckets toward the policy's extreme.
+                    if highest:
+                        while not buckets.get(high):
+                            high -= 1
+                        extreme = high
+                    else:
+                        while not buckets.get(low):
+                            low += 1
+                        extreme = low
+                    candidates = buckets[extreme]
+                    if len(candidates) == 1:
+                        victim = candidates[0]
+                        del buckets[extreme]
+                    else:
+                        victim = rng_choice(sorted(candidates, key=repr))
+                        candidates.remove(victim)
+                    graph.remove_edge(target, victim)
+                    peer_count -= 1
+                    stats.prune_operations += 1
+                    stats.prune_edges_removed += 1
+                    if forgetting:
+                        stats.addresses_forgotten += 1
+                    if victim in benign:
+                        benign.discard(victim)
+                        displaced += 1
+            else:
+                pruned = overlay.enforce_degree_bound_collect(target)
+                for victim in pruned:
+                    if victim in benign:
+                        benign.discard(victim)
+                        displaced += 1
 
-        contained = not self._benign_peers(overlay, target) and target in overlay.graph
+        contained = not benign and target in overlay.graph
         return SoapNodeResult(
             target=target,
             contained=contained,
@@ -242,10 +408,280 @@ class SoapAttack:
         ``initial_compromised`` are bots the defender already controls (via
         honeypots or host cleanup); their peer lists seed the list of known
         addresses.  The campaign processes known-but-uncontained bots in FIFO
-        order, learning new addresses from each target's peer list as it is
-        attacked, until no reachable benign bot remains (or the optional
-        ``max_targets`` / work / time budgets run out).
+        order (a deque, not a list -- popping the head of a list is O(n) and
+        turns long campaigns quadratic), learning new addresses from each
+        target's peer list as it is attacked, until no reachable benign bot
+        remains (or the optional ``max_targets`` / work / time budgets run
+        out).
+
+        Per-target bookkeeping is batched over the benign population: node
+        ids are interned to dense integer indices once, and the contained /
+        known sets become flat id-indexed flag arrays instead of hashed sets
+        of arbitrary ids.  The result object is bit-identical to
+        :class:`ReferenceSoapAttack`'s.
         """
+        is_clone_memo = self._is_clone
+        benign_population = [node for node in overlay.nodes() if not is_clone_memo(node)]
+        total_benign = len(benign_population)
+        position = {node: index for index, node in enumerate(benign_population)}
+        contained_flags = _flag_array(total_benign)
+        known_flags = _flag_array(total_benign)
+        contained_count = 0
+        # Nodes outside the campaign-start population (possible only if an
+        # admission policy grows the overlay mid-run) fall back to sets.
+        extra_contained: Set[NodeId] = set()
+        extra_known: Set[NodeId] = set()
+
+        queue: "deque[NodeId]" = deque()
+        results: List[SoapNodeResult] = []
+        timeline: List[Tuple[int, float]] = []
+        clones_created = 0
+        requests = 0
+        rejected = 0
+
+        def mark_contained(node: NodeId) -> bool:
+            nonlocal contained_count
+            index = position.get(node)
+            if index is not None:
+                if contained_flags[index]:
+                    return False
+                contained_flags[index] = True
+            else:
+                if node in extra_contained:
+                    return False
+                extra_contained.add(node)
+            contained_count += 1
+            return True
+
+        def learn(node: NodeId) -> None:
+            index = position.get(node)
+            if index is not None:
+                if not known_flags[index]:
+                    known_flags[index] = True
+                    queue.append(node)
+            elif node not in extra_known and not is_clone_memo(node):
+                extra_known.add(node)
+                queue.append(node)
+
+        for compromised in initial_compromised:
+            if compromised not in overlay.graph or is_clone_memo(compromised):
+                continue
+            # A compromised bot is already under defender control: count it as
+            # contained and learn its peers.
+            mark_contained(compromised)
+            index = position.get(compromised)
+            if index is not None:
+                known_flags[index] = True
+            else:
+                extra_known.add(compromised)
+            for peer in self._benign_peers(overlay, compromised):
+                learn(peer)
+
+        processed = 0
+        position_get = position.get
+        graph = overlay.graph
+        while queue:
+            if max_targets is not None and processed >= max_targets:
+                break
+            if self._budget_exhausted():
+                break
+            target = queue.popleft()
+            index = position_get(target)
+            if index is not None:
+                if contained_flags[index]:
+                    continue
+            elif target in extra_contained:
+                continue
+            if target not in graph:
+                continue
+            result = self.contain_node(overlay, target)
+            processed += 1
+            results.append(result)
+            clones_created += result.clones_used
+            requests += result.peering_requests
+            rejected += result.requests_rejected
+            if result.contained:
+                mark_contained(target)
+            for peer in result.learned_addresses:
+                learn(peer)
+            fraction = contained_count / total_benign if total_benign else 0.0
+            timeline.append((processed, fraction))
+
+        contained = {
+            node
+            for index, node in enumerate(benign_population)
+            if contained_flags[index]
+        }
+        contained |= extra_contained
+        return SoapCampaignResult(
+            total_benign=total_benign,
+            contained=contained,
+            clones_created=clones_created,
+            peering_requests=requests,
+            requests_rejected=rejected,
+            work_spent=self.work_spent,
+            time_spent=self.time_spent,
+            timeline=timeline,
+            per_node=results,
+        )
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def benign_subgraph_components(overlay: DDSROverlay) -> Dict[str, int]:
+        """Component structure of the benign-to-benign communication graph.
+
+        Contained bots can only talk to clones, so once the campaign is done
+        the benign subgraph induced on *uncontained* communication paths tells
+        the defender whether the botnet is still able to coordinate.
+
+        Routed through :func:`repro.graphs.backend.induced_component_summary`:
+        on the fast backend a compact CSR is built directly on the benign
+        node set -- a post-campaign overlay holds several clones per bot, so
+        materialising the benign subgraph (or even a CSR of the full graph)
+        would be an order of magnitude more work than the answer needs --
+        while the reference path keeps the original subgraph-plus-BFS
+        computation.  Both return identical counts.
+        """
+        from repro.graphs.backend import induced_component_summary
+
+        benign_nodes = [node for node in overlay.nodes() if not is_clone(node)]
+        surviving, components, largest, isolated = induced_component_summary(
+            overlay.graph, benign_nodes
+        )
+        return {
+            "benign_nodes": surviving,
+            "components": components,
+            "nontrivial_components": components - isolated,
+            "largest_component": largest,
+        }
+
+
+class ReferenceSoapAttack(SoapAttack):
+    """The straightforward SOAP implementation, kept as a differential oracle.
+
+    ``SoapAttack`` batches its bookkeeping (incremental benign-peer views fed
+    by pruning victims, a deque FIFO, id-indexed flag arrays); this subclass
+    preserves the original readable loops end to end -- full peer-list
+    rescans around every clone, Python sets, ``list.pop(0)``, and the
+    dict-materialising pruning-victim selection -- so tests can assert the
+    two produce **identical** :class:`SoapCampaignResult` objects (same rng
+    consumption included) and benchmarks can quantify the speedup.  Do not
+    use it for large campaigns: the FIFO alone is O(n^2).
+    """
+
+    def _benign_peers(self, overlay: DDSROverlay, node: NodeId) -> Set[NodeId]:
+        return {peer for peer in overlay.peers(node) if not is_clone(peer)}
+
+    @staticmethod
+    def _enforce_degree_bound_original(overlay: DDSROverlay, node: NodeId) -> int:
+        """The pre-optimization pruning loop, decision-for-decision.
+
+        Consumes ``overlay.rng`` and updates ``overlay.stats`` exactly like
+        :meth:`DDSROverlay.enforce_degree_bound` -- the selection logic is the
+        original dict-building one, which reaches the same victims (ties are
+        normalised by the ``repr`` sort before the rng draw).
+        """
+        from repro.core.ddsr import PruningPolicy
+
+        graph = overlay.graph
+        config = overlay.config
+        if config.pruning_policy is PruningPolicy.NONE:
+            return 0
+        removed = 0
+        while graph.degree(node) > config.d_max:
+            peers = list(graph.neighbors(node))
+            if not peers:
+                break
+            policy = config.pruning_policy
+            if policy is PruningPolicy.RANDOM:
+                victim = overlay.rng.choice(peers)
+            else:
+                degrees = {peer: graph.degree(peer) for peer in peers}
+                if policy is PruningPolicy.HIGHEST_DEGREE:
+                    extreme = max(degrees.values())
+                else:  # LOWEST_DEGREE
+                    extreme = min(degrees.values())
+                candidates = [
+                    peer for peer, degree in degrees.items() if degree == extreme
+                ]
+                if len(candidates) == 1:
+                    victim = candidates[0]
+                else:
+                    victim = overlay.rng.choice(sorted(candidates, key=repr))
+            graph.remove_edge(node, victim)
+            removed += 1
+            overlay.stats.prune_operations += 1
+            overlay.stats.prune_edges_removed += 1
+            if config.forgetting_enabled:
+                overlay.stats.addresses_forgotten += 1
+        return removed
+
+    def contain_node(self, overlay: DDSROverlay, target: NodeId) -> SoapNodeResult:
+        """Original per-node containment: rescan benign peers every step."""
+        if target not in overlay.graph:
+            return SoapNodeResult(
+                target=target,
+                contained=False,
+                clones_used=0,
+                peering_requests=0,
+                requests_rejected=0,
+                benign_peers_displaced=0,
+                work_spent=0.0,
+                time_spent=0.0,
+            )
+        learned = self._benign_peers(overlay, target)
+        clones_used = 0
+        requests = 0
+        rejected = 0
+        displaced = 0
+        node_work = 0.0
+        node_time = 0.0
+        max_requests = self.max_clones_per_node * 2
+
+        while self._benign_peers(overlay, target) and clones_used < self.max_clones_per_node:
+            if self._budget_exhausted() or requests >= max_requests:
+                break
+            clone = self._new_clone()
+            requests += 1
+            decision = self.admission(target, clone, overlay)
+            node_work += decision.work_required
+            node_time += decision.delay_seconds
+            self.work_spent += decision.work_required
+            self.time_spent += decision.delay_seconds
+            if not decision.accepted:
+                rejected += 1
+                continue
+            benign_before = len(self._benign_peers(overlay, target))
+            overlay.graph.add_node(clone)
+            overlay.graph.add_edge(clone, target)
+            clones_used += 1
+            self._enforce_degree_bound_original(overlay, target)
+            benign_after = len(self._benign_peers(overlay, target))
+            displaced += max(0, benign_before - benign_after)
+
+        contained = not self._benign_peers(overlay, target) and target in overlay.graph
+        return SoapNodeResult(
+            target=target,
+            contained=contained,
+            clones_used=clones_used,
+            peering_requests=requests,
+            requests_rejected=rejected,
+            benign_peers_displaced=displaced,
+            work_spent=node_work,
+            time_spent=node_time,
+            learned_addresses=learned,
+        )
+
+    def run_campaign(
+        self,
+        overlay: DDSROverlay,
+        initial_compromised: Iterable[NodeId],
+        *,
+        max_targets: Optional[int] = None,
+    ) -> SoapCampaignResult:
+        """Original campaign loop: Python sets and a list-based FIFO."""
         benign_population = {node for node in overlay.nodes() if not is_clone(node)}
         total_benign = len(benign_population)
 
@@ -261,8 +697,6 @@ class SoapAttack:
         for compromised in initial_compromised:
             if compromised not in overlay.graph or is_clone(compromised):
                 continue
-            # A compromised bot is already under defender control: count it as
-            # contained and learn its peers.
             contained.add(compromised)
             known.add(compromised)
             for peer in self._benign_peers(overlay, compromised):
@@ -305,27 +739,3 @@ class SoapAttack:
             timeline=timeline,
             per_node=results,
         )
-
-    # ------------------------------------------------------------------
-    # Analysis helpers
-    # ------------------------------------------------------------------
-    @staticmethod
-    def benign_subgraph_components(overlay: DDSROverlay) -> Dict[str, int]:
-        """Component structure of the benign-to-benign communication graph.
-
-        Contained bots can only talk to clones, so once the campaign is done
-        the benign subgraph induced on *uncontained* communication paths tells
-        the defender whether the botnet is still able to coordinate.
-        """
-        from repro.graphs.metrics import connected_components
-
-        benign_nodes = [node for node in overlay.nodes() if not is_clone(node)]
-        subgraph = overlay.graph.subgraph(benign_nodes)
-        components = connected_components(subgraph)
-        nontrivial = [component for component in components if len(component) > 1]
-        return {
-            "benign_nodes": len(benign_nodes),
-            "components": len(components),
-            "nontrivial_components": len(nontrivial),
-            "largest_component": len(components[0]) if components else 0,
-        }

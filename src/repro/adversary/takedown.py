@@ -84,23 +84,28 @@ class RandomTakedown:
 
 @dataclass
 class TargetedDegreeTakedown:
-    """Always remove the current highest-degree node (hub-targeted cleanup)."""
+    """Always remove the current highest-degree node (hub-targeted cleanup).
+
+    The per-victim candidate search runs through
+    :func:`repro.graphs.backend.top_degree_nodes`: at paper scale that is a
+    masked argmax over the CSR degree array, kept fresh between victims by
+    the incremental delta patching instead of a full mirror rebuild.  The
+    candidate list (and therefore the rng draw) is identical on both
+    backends.
+    """
 
     count: int
     rng: random.Random = field(default_factory=lambda: random.Random(0))
 
     def execute(self, overlay: DDSROverlay) -> TakedownResult:
         """Run the campaign against ``overlay`` (mutating it)."""
+        from repro.graphs.backend import top_degree_nodes
+
         victims: List[NodeId] = []
         for _ in range(self.count):
-            nodes = overlay.nodes()
-            if not nodes:
+            candidates = top_degree_nodes(overlay.graph)
+            if not candidates:
                 break
-            degrees = {node: overlay.degree(node) for node in nodes}
-            top = max(degrees.values())
-            candidates = sorted(
-                (node for node, degree in degrees.items() if degree == top), key=repr
-            )
             victim = self.rng.choice(candidates)
             overlay.remove_node(victim)
             victims.append(victim)

@@ -33,7 +33,7 @@ from repro.core.node import OnionBotNode
 from repro.crypto.kdf import kdf
 from repro.crypto.keys import KeyPair
 from repro.graphs.generators import k_regular_graph
-from repro.graphs.metrics import diameter, number_connected_components
+from repro.graphs.backend import diameter, number_connected_components
 from repro.sim.engine import Simulator
 from repro.tor.hidden_service import HiddenServiceHost, ServiceUnreachable
 from repro.tor.network import TorNetwork, TorNetworkConfig

@@ -308,10 +308,17 @@ class DDSROverlay:
             removed += self._prune_node(node)
         return removed
 
-    def _prune_node(self, node: NodeId) -> int:
-        """Prune ``node``'s peer list until its degree is at most ``d_max``."""
+    def _prune_node(self, node: NodeId, victims: Optional[List[NodeId]] = None) -> int:
+        """Prune ``node``'s peer list until its degree is at most ``d_max``.
+
+        When ``victims`` is given, every pruned peer is appended to it (used
+        by the SOAP attack to track benign-peer displacement without
+        rescanning the peer list after every clone insertion).
+        """
         removed = 0
-        while self.graph.degree(node) > self.config.d_max:
+        adjacency = self.graph._adjacency
+        d_max = self.config.d_max
+        while len(adjacency[node]) > d_max:
             victim = self._select_prune_victim(node)
             if victim is None:
                 break
@@ -320,6 +327,8 @@ class DDSROverlay:
             # degree-of-victim driven, so this only reorders tie-breaks.
             self.graph.remove_edge(node, victim)
             removed += 1
+            if victims is not None:
+                victims.append(victim)
             self.stats.prune_operations += 1
             self.stats.prune_edges_removed += 1
             if self.config.forgetting_enabled:
@@ -328,19 +337,35 @@ class DDSROverlay:
         return removed
 
     def _select_prune_victim(self, node: NodeId) -> Optional[NodeId]:
-        """Pick which peer ``node`` drops, according to the pruning policy."""
-        peers = list(self.graph.neighbors(node))
-        if not peers:
-            return None
+        """Pick which peer ``node`` drops, according to the pruning policy.
+
+        The degree-driven policies single-pass the (uncopied) adjacency set
+        instead of materialising a peer->degree dict: pruning runs once per
+        SOAP clone insertion, so this is one of the campaign's hottest lines.
+        The rng tie-break is unchanged -- candidates are sorted by ``repr``
+        before the draw, so candidate collection order cannot matter.
+        """
+        adjacency = self.graph._adjacency
         policy = self.config.pruning_policy
         if policy is PruningPolicy.RANDOM:
+            peers = list(self.graph.neighbors(node))
+            if not peers:
+                return None
             return self.rng.choice(peers)
-        degrees = {peer: self.graph.degree(peer) for peer in peers}
-        if policy is PruningPolicy.HIGHEST_DEGREE:
-            extreme = max(degrees.values())
-        else:  # LOWEST_DEGREE
-            extreme = min(degrees.values())
-        candidates = [peer for peer, degree in degrees.items() if degree == extreme]
+        highest = policy is PruningPolicy.HIGHEST_DEGREE
+        extreme: Optional[int] = None
+        candidates: List[NodeId] = []
+        for peer in adjacency[node]:
+            degree = len(adjacency[peer])
+            if not highest:
+                degree = -degree
+            if extreme is None or degree > extreme:
+                extreme = degree
+                candidates = [peer]
+            elif degree == extreme:
+                candidates.append(peer)
+        if not candidates:
+            return None
         if len(candidates) == 1:
             return candidates[0]
         return self.rng.choice(sorted(candidates, key=repr))
@@ -359,6 +384,21 @@ class DDSROverlay:
         if self.config.pruning_policy is PruningPolicy.NONE:
             return 0
         return self._prune_node(node)
+
+    def enforce_degree_bound_collect(self, node: NodeId) -> List[NodeId]:
+        """:meth:`enforce_degree_bound`, but returning the pruned peers.
+
+        Same pruning decisions and rng consumption; only the bookkeeping
+        differs.  The SOAP containment loop uses the victim list to update
+        its benign-peer view incrementally instead of rescanning the
+        target's peer list after every accepted clone.
+        """
+        if node not in self.graph:
+            raise OverlayError(f"node {node!r} not in overlay")
+        victims: List[NodeId] = []
+        if self.config.pruning_policy is not PruningPolicy.NONE:
+            self._prune_node(node, victims)
+        return victims
 
     def repair_after_mass_removal(self, former_neighbor_sets: Iterable[Sequence[NodeId]]) -> int:
         """Run repair+prune for a batch of deletions that happened at once."""

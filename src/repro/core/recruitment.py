@@ -164,7 +164,7 @@ class RecruitmentCampaign:
         Used by the growth benchmark: returns one row per wave with the active
         population, maximum degree, diameter and broadcast coverage.
         """
-        from repro.graphs.metrics import diameter as graph_diameter
+        from repro.graphs.backend import diameter as graph_diameter
 
         rows: List[Dict[str, float]] = []
         for wave in range(1, waves + 1):

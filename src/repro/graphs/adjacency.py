@@ -9,9 +9,16 @@ layer uses ``.onion`` address strings, the experiment harness uses integers.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 NodeId = Hashable
+
+#: Capacity of the per-graph mutation delta log.  Derived representations
+#: (the fast backend's CSR mirror) replay the log to *patch* their cached
+#: arrays instead of rebuilding from scratch; once more than this many
+#: primitive mutations accumulate between two synchronisation points the log
+#: overflows and the next consumer falls back to a full rebuild.
+DELTA_LOG_LIMIT = 8192
 
 
 class GraphError(ValueError):
@@ -29,6 +36,12 @@ class UndirectedGraph:
         #: Incremented on every structural change; derived representations
         #: (e.g. the fast backend's cached CSR arrays) key their caches on it.
         self._mutations: int = 0
+        #: Bounded log of primitive mutations since the last
+        #: :meth:`reset_delta_log`; ``None`` while disarmed (no consumer has
+        #: synchronised yet -- the common case for graphs that never touch
+        #: the fast backend, which then pay nothing) or after an overflow.
+        self._delta_log: Optional[List[Tuple]] = None
+        self._delta_base: int = 0
         for node in nodes:
             self.add_node(node)
         for u, v in edges:
@@ -40,6 +53,43 @@ class UndirectedGraph:
         return self._mutations
 
     # ------------------------------------------------------------------
+    # Mutation delta log (incremental CSR maintenance)
+    # ------------------------------------------------------------------
+    def delta_since(self, stamp: int) -> Optional[List[Tuple]]:
+        """The primitive mutations applied since ``stamp``, if fully logged.
+
+        Returns ``None`` when the log cannot reconstruct the interval: it is
+        disarmed (no :meth:`reset_delta_log` yet), it has overflowed
+        :data:`DELTA_LOG_LIMIT`, or it was last reset at a different stamp
+        than the caller's snapshot.  Entries are ``("+n", node)``,
+        ``("-n", node)``, ``("+e", u, v)`` and ``("-e", u, v)``, in
+        application order (a node removal appears as its incident ``"-e"``
+        entries followed by one ``"-n"``).
+        """
+        if self._delta_log is None or self._delta_base != stamp:
+            return None
+        return self._delta_log
+
+    def reset_delta_log(self) -> None:
+        """(Re)arm the delta log at the current mutation stamp.
+
+        Called by consumers (the fast backend's CSR cache) right after they
+        synchronise with the graph, so the log only ever spans the interval
+        between the cached snapshot and the present.  Until the first call
+        the log stays disarmed and mutations cost nothing to record.
+        """
+        self._delta_log = []
+        self._delta_base = self._mutations
+
+    def _log(self, entry: Tuple) -> None:
+        log = self._delta_log
+        if log is not None:
+            if len(log) < DELTA_LOG_LIMIT:
+                log.append(entry)
+            else:
+                self._delta_log = None
+
+    # ------------------------------------------------------------------
     # Basic structure
     # ------------------------------------------------------------------
     def add_node(self, node: NodeId) -> None:
@@ -47,6 +97,8 @@ class UndirectedGraph:
         if node not in self._adjacency:
             self._adjacency[node] = set()
             self._mutations += 1
+            if self._delta_log is not None:
+                self._log(("+n", node))
 
     def add_edge(self, u: NodeId, v: NodeId) -> bool:
         """Add the undirected edge ``(u, v)``.
@@ -63,7 +115,30 @@ class UndirectedGraph:
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
         self._mutations += 1
+        if self._delta_log is not None:
+            self._log(("+e", u, v))
         return True
+
+    def add_leaf(self, node: NodeId, anchor: NodeId) -> None:
+        """Add a brand-new ``node`` with a single edge to existing ``anchor``.
+
+        Exactly equivalent to ``add_node(node); add_edge(node, anchor)`` (the
+        general path is taken if ``node`` already exists or ``anchor`` does
+        not), but with one membership check instead of five -- this is the
+        per-clone insertion step of the SOAP attack, executed hundreds of
+        thousands of times per campaign.
+        """
+        adjacency = self._adjacency
+        if node in adjacency or anchor not in adjacency or node == anchor:
+            self.add_node(node)
+            self.add_edge(node, anchor)
+            return
+        adjacency[node] = {anchor}
+        adjacency[anchor].add(node)
+        self._mutations += 2
+        if self._delta_log is not None:
+            self._log(("+n", node))
+            self._log(("+e", node, anchor))
 
     def remove_edge(self, u: NodeId, v: NodeId) -> bool:
         """Remove the edge ``(u, v)`` if it exists.  Returns whether it did."""
@@ -74,6 +149,8 @@ class UndirectedGraph:
         self._adjacency[u].discard(v)
         self._adjacency[v].discard(u)
         self._mutations += 1
+        if self._delta_log is not None:
+            self._log(("-e", u, v))
         return True
 
     def remove_node(self, node: NodeId) -> List[NodeId]:
@@ -89,6 +166,10 @@ class UndirectedGraph:
             self._adjacency[neighbor].discard(node)
         del self._adjacency[node]
         self._mutations += 1
+        if self._delta_log is not None:
+            for neighbor in neighbors:
+                self._log(("-e", node, neighbor))
+            self._log(("-n", node))
         return neighbors
 
     # ------------------------------------------------------------------

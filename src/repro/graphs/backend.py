@@ -134,6 +134,25 @@ def shortest_path_lengths_from(graph: UndirectedGraph, source: NodeId) -> Dict[N
     return _impl(graph).shortest_path_lengths_from(graph, source)
 
 
+def shortest_path_lengths_from_many(
+    graph: UndirectedGraph, sources
+) -> List[Dict[NodeId, int]]:
+    """Batched BFS distances: one dict per source, in source order.
+
+    The fast path advances all sources together as bit-packed multi-source
+    BFS waves (one kernel invocation per level for up to 64 sources) instead
+    of launching one BFS per source; the reference path is the equivalent
+    loop.  Both return exactly what per-source
+    :func:`shortest_path_lengths_from` calls would.
+    """
+    sources = list(sources)
+    if resolve_for(graph) == "fast":
+        from repro.graphs import fast
+
+        return fast.shortest_path_lengths_from_many(graph, sources)
+    return [metrics.shortest_path_lengths_from(graph, source) for source in sources]
+
+
 def closeness_centrality(graph: UndirectedGraph, node: NodeId) -> float:
     """Normalised closeness centrality of ``node`` (active backend)."""
     return _impl(graph).closeness_centrality(graph, node)
@@ -254,6 +273,53 @@ def average_shortest_path_length(
 def degree_histogram(graph: UndirectedGraph) -> Dict[int, int]:
     """Degree -> node-count histogram (active backend)."""
     return _impl(graph).degree_histogram(graph)
+
+
+def top_degree_nodes(graph: UndirectedGraph) -> List[NodeId]:
+    """All maximum-degree nodes, sorted by ``repr`` (empty for an empty graph).
+
+    Backs the hub-targeted takedown's per-victim candidate search: the fast
+    path is a masked argmax over the (incrementally patched) CSR degree
+    array, the reference path the equivalent dict scan.  The ``repr`` sort
+    makes the list identical on both backends, so the strategy's rng draw is
+    backend-independent.
+    """
+    if graph.number_of_nodes() == 0:
+        return []
+    if resolve_for(graph) == "fast":
+        from repro.graphs import fast
+
+        return fast.top_degree_nodes(graph)
+    degrees = graph.degrees()
+    top = max(degrees.values())
+    return sorted((node for node, degree in degrees.items() if degree == top), key=repr)
+
+
+def induced_component_summary(
+    graph: UndirectedGraph, keep_nodes
+) -> Tuple[int, int, int, int]:
+    """``(surviving, components, largest, isolated)`` of an induced subgraph.
+
+    The complement of :func:`partition_summary_after_removal`: the caller
+    names the nodes to *keep*.  The fast path builds a compact CSR straight
+    from the kept nodes' adjacency (never mirroring the full graph -- the
+    point when the kept set is a small minority, e.g. the benign bots of a
+    clone-flooded SOAP overlay); the reference path materialises the
+    subgraph and walks it with the pure-Python kernels.
+    """
+    keep_nodes = list(keep_nodes)
+    if resolve_for(graph) == "fast":
+        from repro.graphs import fast
+
+        return fast.induced_component_summary(graph, keep_nodes)
+    # dict.fromkeys: duplicates are one node (mirrors the fast path's dedup).
+    present = [node for node in dict.fromkeys(keep_nodes) if node in graph]
+    subgraph = graph.subgraph(present)
+    components = metrics.connected_components(subgraph)
+    if not components:
+        return len(present), 0, 0, 0
+    isolated = sum(1 for component in components if len(component) == 1)
+    return len(present), len(components), len(components[0]), isolated
 
 
 def partition_summary_after_removal(

@@ -8,9 +8,12 @@ UndirectedGraph` -- two numpy arrays, ``indptr`` and ``indices`` -- plus
 vectorized kernels over it:
 
 * frontier-based BFS (distances, eccentricity, closeness),
+* batched multi-source BFS: up to 64 sources advance together as one
+  bit-packed ``uint64`` frontier per node (one gather +
+  ``bitwise_or.reduceat`` per level), which is what the sampled diameter /
+  average-shortest-path / closeness estimators run on,
 * connected components via min-label propagation with pointer jumping
   (Shiloach--Vishkin style, O(m log n) total work),
-* sampled diameter / average-shortest-path estimators,
 * masked component summaries for the Figure 6 simultaneous-deletion sweeps
   (no Python-side subgraph construction per victim set).
 
@@ -21,17 +24,24 @@ float ones (the float expressions deliberately mirror the reference
 implementation's evaluation order, and sampled estimators consume a shared
 ``random.Random`` in exactly the same way).
 
-The CSR mirror is cached on the graph object and invalidated by the graph's
-mutation stamp, so DDSR repair loops that interleave deletions with several
-metric reads per checkpoint build the arrays once per checkpoint, not once
-per metric.
+The CSR mirror is cached on the graph object, keyed on the graph's mutation
+stamp.  On a stamp mismatch the cache first tries to *patch* the previous
+snapshot from the graph's bounded mutation delta log
+(:data:`repro.graphs.adjacency.DELTA_LOG_LIMIT`): removed nodes become
+*ghost* indices masked out by an ``alive`` overlay, new nodes are appended,
+and the edge arrays are rebuilt with pure numpy array surgery.  Only when
+the log has overflowed -- or ghosts outnumber live nodes -- does it fall
+back to the full Python-loop rebuild, so DDSR repair loops and SOAP clone
+insertions that interleave small mutation bursts with metric reads pay an
+O(m) numpy patch instead of an O(m) Python reconstruction.
 """
 
 from __future__ import annotations
 
 import random
+import sys
 from itertools import chain
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -42,6 +52,15 @@ NodeId = Hashable
 
 _CSR_CACHE_ATTR = "_csr_cache"
 
+#: Sources per bit-packed multi-source BFS wave (one bit per source in a
+#: ``uint64`` word); larger batches are processed in chunks of this size.
+BFS_BATCH = 64
+
+#: A patched CSR keeps ghost (removed-node) indices in its arrays.  Once the
+#: ghosts outnumber ``max(GHOST_SLACK, live nodes)`` the next synchronisation
+#: rebuilds from scratch to compact the index space.
+GHOST_SLACK = 1024
+
 
 class CSRGraph:
     """Immutable CSR snapshot of an :class:`UndirectedGraph`.
@@ -49,9 +68,18 @@ class CSRGraph:
     ``nodes`` preserves the graph's insertion order (``graph.nodes()``), so
     index ``i`` everywhere below refers to ``nodes[i]``.  Each undirected edge
     appears twice in ``indices`` (once per direction).
+
+    A snapshot produced by incremental patching (:func:`csr_of` after small
+    mutations) may contain *ghost* entries: indices whose node has been
+    removed from the graph.  ``alive`` is then a boolean mask over the index
+    space (``None`` means every index is live).  Ghosts have degree zero --
+    no live node keeps an edge to them -- so BFS-style kernels need no
+    special handling; kernels that enumerate or count nodes filter through
+    the mask.  ``nodes`` keeps a placeholder at ghost positions (the removed
+    id), but ghosts are dropped from ``index_of``.
     """
 
-    __slots__ = ("nodes", "index_of", "indptr", "indices")
+    __slots__ = ("nodes", "index_of", "indptr", "indices", "alive")
 
     def __init__(
         self,
@@ -59,19 +87,28 @@ class CSRGraph:
         index_of: Dict[NodeId, int],
         indptr: np.ndarray,
         indices: np.ndarray,
+        alive: Optional[np.ndarray] = None,
     ) -> None:
         self.nodes = nodes
         self.index_of = index_of
         self.indptr = indptr
         self.indices = indices
+        self.alive = alive
 
     @property
     def n(self) -> int:
-        """Number of nodes."""
+        """Size of the index space (live nodes plus ghosts)."""
         return len(self.nodes)
 
+    @property
+    def ghost_count(self) -> int:
+        """Number of ghost (removed but not yet compacted) indices."""
+        if self.alive is None:
+            return 0
+        return self.n - int(self.alive.sum())
+
     def degrees(self) -> np.ndarray:
-        """Degree of every node, in node order."""
+        """Degree of every index, in index order (ghosts have degree 0)."""
         return np.diff(self.indptr)
 
 
@@ -102,13 +139,131 @@ def build_csr(graph: UndirectedGraph) -> CSRGraph:
     return CSRGraph(nodes, index_of, indptr, indices)
 
 
+def _apply_delta(csr: CSRGraph, ops: Sequence[Tuple], graph: UndirectedGraph) -> Optional[CSRGraph]:
+    """Patch ``csr`` into a snapshot of ``graph`` using the mutation log.
+
+    Returns ``None`` when the delta cannot be applied cleanly (a node id
+    removed and re-added within the window, log/graph inconsistencies, or
+    ghost pressure past the compaction threshold) -- the caller then falls
+    back to :func:`build_csr`.  Edge presence is settled against the *graph*
+    (ground truth), so the log only needs to say which edges were touched.
+    """
+    node_added: List[NodeId] = []
+    node_added_set: Set[NodeId] = set()
+    node_removed: Set[NodeId] = set()
+    touched_edges: Set[frozenset] = set()
+    for op in ops:
+        kind = op[0]
+        if kind == "+e" or kind == "-e":
+            touched_edges.add(frozenset((op[1], op[2])))
+        elif kind == "+n":
+            node = op[1]
+            if node in node_removed:
+                return None  # removed-then-re-added id: index reuse is hairy
+            if node not in node_added_set:
+                node_added_set.add(node)
+                node_added.append(node)
+        else:  # "-n"
+            node = op[1]
+            if node in node_added_set:
+                return None  # added-then-removed within the window
+            node_removed.add(node)
+
+    ghost_count = csr.ghost_count + len(node_removed)
+    live_count = graph.number_of_nodes()
+    if ghost_count > max(GHOST_SLACK, live_count):
+        return None  # compact via a full rebuild
+
+    nodes = list(csr.nodes)
+    index_of = dict(csr.index_of)
+    n_old = csr.n
+    alive = (
+        csr.alive.copy()
+        if csr.alive is not None
+        else np.ones(n_old, dtype=bool)
+    )
+    if node_added:
+        # A logged "+n" may target an id that was already live in the old
+        # snapshot (``add_node`` only logs real insertions, but an id ghosted
+        # in an *earlier* window can legitimately return): give it a fresh
+        # appended index; the stale ghost entry stays masked out.
+        appended = [node for node in node_added if node not in index_of]
+        if len(appended) != len(node_added):
+            return None  # log/graph disagreement: play it safe
+        for node in appended:
+            index_of[node] = len(nodes)
+            nodes.append(node)
+        alive = np.concatenate([alive, np.ones(len(appended), dtype=bool)])
+    for node in node_removed:
+        position = index_of.pop(node, None)
+        if position is None:
+            return None
+        alive[position] = False
+
+    removals: List[Tuple[int, int]] = []
+    additions: List[Tuple[int, int]] = []
+    old_index_of = csr.index_of
+    old_indptr = csr.indptr
+    old_indices = csr.indices
+    for key in touched_edges:
+        u, v = tuple(key)
+        iu = old_index_of.get(u)
+        iv = old_index_of.get(v)
+        was_present = False
+        if iu is not None and iv is not None:
+            segment = old_indices[old_indptr[iu]:old_indptr[iu + 1]]
+            was_present = bool((segment == iv).any())
+        present_now = graph.has_edge(u, v)
+        if present_now and not was_present:
+            additions.append((index_of[u], index_of[v]))
+        elif was_present and not present_now:
+            removals.append((iu, iv))
+
+    n_new = len(nodes)
+    keep = np.ones(old_indices.size, dtype=bool)
+    for iu, iv in removals:
+        for a, b in ((iu, iv), (iv, iu)):
+            start, end = old_indptr[a], old_indptr[a + 1]
+            slots = np.flatnonzero(old_indices[start:end] == b)
+            if slots.size == 0:
+                return None  # log/snapshot disagreement
+            keep[start + slots[0]] = False
+
+    src = np.repeat(np.arange(n_old, dtype=np.int64), np.diff(old_indptr))[keep]
+    dst = old_indices[keep].astype(np.int64, copy=False)
+    if additions:
+        add = np.asarray(additions, dtype=np.int64)
+        src = np.concatenate([src, add[:, 0], add[:, 1]])
+        dst = np.concatenate([dst, add[:, 1], add[:, 0]])
+    order = np.argsort(src, kind="stable")
+    indices = dst[order].astype(np.int32, copy=False)
+    new_degrees = np.bincount(src, minlength=n_new)
+    indptr = np.zeros(n_new + 1, dtype=np.int64)
+    np.cumsum(new_degrees, out=indptr[1:])
+    return CSRGraph(nodes, index_of, indptr, indices, alive=alive)
+
+
 def csr_of(graph: UndirectedGraph) -> CSRGraph:
-    """The cached CSR mirror of ``graph``, rebuilt only after mutations."""
+    """The cached CSR mirror of ``graph``, patched or rebuilt after mutations.
+
+    On a mutation-stamp mismatch the cached snapshot is patched from the
+    graph's delta log when the log covers the interval (see
+    :func:`_apply_delta`); otherwise the mirror is rebuilt from scratch.
+    Either way the log is reset, so it only ever spans "since the cache last
+    synchronised".
+    """
     stamp = graph.mutation_stamp
     cached = getattr(graph, _CSR_CACHE_ATTR, None)
     if cached is not None and cached[0] == stamp:
         return cached[1]
-    csr = build_csr(graph)
+    csr: Optional[CSRGraph] = None
+    if cached is not None:
+        ops = graph.delta_since(cached[0])
+        if ops is not None:
+            csr = _apply_delta(cached[1], ops, graph)
+    if csr is None:
+        csr = build_csr(graph)
+    graph.reset_delta_log()
     setattr(graph, _CSR_CACHE_ATTR, (stamp, csr))
     return csr
 
@@ -149,6 +304,141 @@ def bfs_distances(csr: CSRGraph, source_index: int) -> np.ndarray:
     return distances
 
 
+# ----------------------------------------------------------------------
+# Batched multi-source BFS (bit-packed frontiers)
+# ----------------------------------------------------------------------
+def _batched_wave(csr: CSRGraph, sources: np.ndarray):
+    """Advance up to 64 BFS sources at once, yielding one packed frontier per level.
+
+    Source ``j`` of the batch occupies bit ``j`` of a ``uint64`` word per
+    node; one level advances *all* sources with a single neighbour gather and
+    a ``bitwise_or.reduceat`` over the CSR segments -- no per-source Python
+    loop, no (B, n) frontier matrix.  The frontier yielded for level
+    ``d >= 1`` has bit ``j`` set at node ``v`` iff source ``j`` first reached
+    ``v`` at distance ``d``.
+    """
+    batch = sources.size
+    if batch == 0:
+        return
+    if batch > BFS_BATCH:
+        raise ValueError(f"at most {BFS_BATCH} sources per wave, got {batch}")
+    n = csr.n
+    bits = np.left_shift(np.uint64(1), np.arange(batch, dtype=np.uint64))
+    visited = np.zeros(n, dtype=np.uint64)
+    np.bitwise_or.at(visited, sources, bits)
+    frontier = visited.copy()
+
+    degrees = np.diff(csr.indptr)
+    nonzero = np.flatnonzero(degrees > 0)
+    starts = csr.indptr[nonzero]
+    if csr.indices.size == 0:
+        return
+    while True:
+        gathered = frontier[csr.indices]
+        neighbor_or = np.bitwise_or.reduceat(gathered, starts)
+        frontier = np.zeros(n, dtype=np.uint64)
+        frontier[nonzero] = neighbor_or
+        frontier &= ~visited
+        if not frontier.any():
+            return
+        visited |= frontier
+        yield frontier
+
+
+def _frontier_bits(frontier: np.ndarray, batch: int) -> np.ndarray:
+    """``(n, batch)`` 0/1 matrix of a packed frontier's per-source bits.
+
+    Bit ``j`` of each ``uint64`` word must land in column ``j``, so the words
+    are viewed as little-endian bytes; big-endian hosts byteswap first (a
+    copy, but those hosts are rare and correctness beats zero-copy there).
+    """
+    if sys.byteorder == "big":  # pragma: no cover - exercised on s390x etc.
+        frontier = frontier.byteswap()
+    unpacked = np.unpackbits(
+        frontier.view(np.uint8).reshape(frontier.size, 8), axis=1, bitorder="little"
+    )
+    return unpacked[:, :batch]
+
+
+def _frontier_bit_counts(frontier: np.ndarray, batch: int) -> np.ndarray:
+    """Per-source popcount of a packed frontier: ``(batch,)`` int64 counts."""
+    return _frontier_bits(frontier, batch).sum(axis=0, dtype=np.int64)
+
+
+def _batched_level_counts(csr: CSRGraph, sources: np.ndarray) -> List[np.ndarray]:
+    """Per-level newly-visited counts for up to 64 BFS sources at once.
+
+    Returns one ``(B,)`` int64 array per BFS level ``d >= 1``: entry ``j`` is
+    the number of nodes source ``j`` first reached at distance ``d``.
+    Everything the sampled estimators need (eccentricity, distance sums,
+    reachable counts) derives from these counts, so distances are never
+    materialised.
+    """
+    batch = sources.size
+    return [
+        _frontier_bit_counts(frontier, batch)
+        for frontier in _batched_wave(csr, sources)
+    ]
+
+
+def _batched_source_indices(csr: CSRGraph, nodes: Sequence[NodeId]) -> np.ndarray:
+    index_of = csr.index_of
+    return np.fromiter(
+        (index_of[node] for node in nodes), dtype=np.int64, count=len(nodes)
+    )
+
+
+def bfs_distances_batch(csr: CSRGraph, sources: np.ndarray) -> np.ndarray:
+    """BFS distances (``-1`` unreachable) from many sources: a ``(B, n)`` matrix.
+
+    Runs the same bit-packed wave as :func:`_batched_level_counts` in chunks
+    of :data:`BFS_BATCH` sources, materialising per-level distance rows.  Use
+    the count-based estimators when only aggregates are needed; this is the
+    kernel behind :func:`shortest_path_lengths_from_many`.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    total = sources.size
+    n = csr.n
+    distances = np.full((total, n), -1, dtype=np.int32)
+    for offset in range(0, total, BFS_BATCH):
+        chunk = sources[offset:offset + BFS_BATCH]
+        batch = chunk.size
+        rows = distances[offset:offset + batch]
+        rows[np.arange(batch), chunk] = 0
+        for depth, frontier in enumerate(_batched_wave(csr, chunk), start=1):
+            rows[_frontier_bits(frontier, batch).T.astype(bool)] = depth
+    return distances
+
+
+def shortest_path_lengths_from_many(
+    graph: UndirectedGraph, sources: Sequence[NodeId]
+) -> List[Dict[NodeId, int]]:
+    """Batched :func:`shortest_path_lengths_from`: one distance dict per source."""
+    csr = csr_of(graph)
+    for source in sources:
+        if source not in csr.index_of:
+            raise GraphError(f"source {source!r} not in graph")
+    if not sources:
+        return []
+    distances = bfs_distances_batch(csr, _batched_source_indices(csr, sources))
+    nodes = csr.nodes
+    result = []
+    for row in distances:
+        reached = np.flatnonzero(row >= 0)
+        result.append({nodes[int(i)]: int(row[i]) for i in reached})
+    return result
+
+
+def _chunked_level_counts(
+    csr: CSRGraph, nodes: Sequence[NodeId]
+) -> Iterable[Tuple[int, List[np.ndarray]]]:
+    """Yield ``(chunk_size, per-level counts)`` for sources in wave chunks."""
+    indices = _batched_source_indices(csr, nodes)
+    for offset in range(0, indices.size, BFS_BATCH):
+        chunk = indices[offset:offset + BFS_BATCH]
+        yield chunk.size, _batched_level_counts(csr, chunk)
+
+
 def _component_labels(
     n: int, indptr: np.ndarray, indices: np.ndarray
 ) -> np.ndarray:
@@ -179,9 +469,14 @@ def _component_labels(
 
 
 def component_labels(graph: UndirectedGraph) -> np.ndarray:
-    """Component label array for ``graph`` (cached CSR)."""
-    csr = csr_of(graph)
-    return _component_labels(csr.n, csr.indptr, csr.indices)
+    """Component label per node, aligned with ``graph.nodes()`` order.
+
+    On a delta-patched CSR the ghost (removed-node) rows are masked out, so
+    the array always has exactly ``graph.number_of_nodes()`` entries.  Labels
+    are minimum member *indices* into the mirror's index space: equal label
+    means same component; the values themselves are not node ids.
+    """
+    return _live_labels(graph)
 
 
 # ----------------------------------------------------------------------
@@ -222,11 +517,36 @@ def average_closeness_centrality(
     sample_size: Optional[int] = None,
     rng: Optional[random.Random] = None,
 ) -> float:
-    """Mean closeness centrality over all nodes (or a deterministic sample)."""
+    """Mean closeness centrality over all nodes (or a deterministic sample).
+
+    All sampled sources run as bit-packed multi-source BFS waves; the
+    per-source closeness values are reassembled from per-level visit counts
+    with exactly the reference's integer-then-float arithmetic (and summed in
+    the same source order), so the result stays bit-identical.
+    """
     nodes = _select_nodes(graph, sample_size, rng)
     if not nodes:
         return 0.0
-    return sum(closeness_centrality(graph, node) for node in nodes) / len(nodes)
+    n = graph.number_of_nodes()
+    if n <= 1:
+        return 0.0
+    csr = csr_of(graph)
+    values: List[float] = []
+    for batch, level_counts in _chunked_level_counts(csr, nodes):
+        reachable = [0] * batch
+        totals = [0] * batch
+        for depth, counts in enumerate(level_counts, start=1):
+            for j in range(batch):
+                newly = int(counts[j])
+                reachable[j] += newly
+                totals[j] += depth * newly
+        for j in range(batch):
+            if reachable[j] == 0:
+                values.append(0.0)
+            else:
+                closeness = reachable[j] / totals[j]
+                values.append(closeness * (reachable[j] / (n - 1)))
+    return sum(values) / len(values)
 
 
 def degree_centrality(graph: UndirectedGraph, node: NodeId) -> float:
@@ -264,32 +584,47 @@ def connected_components(graph: UndirectedGraph) -> List[Set[NodeId]]:
     ``graph.nodes()`` and stable-sorts by size (descending).  A component's
     label is its minimum node *index*, so ascending label order *is* discovery
     order; the same stable size sort then reproduces the exact list order.
+    Ghost indices of a patched CSR are masked out first -- live indices keep
+    their relative (insertion) order, so the ordering argument still holds.
     """
-    csr = csr_of(graph)
-    if csr.n == 0:
+    if graph.number_of_nodes() == 0:
         return []
+    csr = csr_of(graph)
     labels = _component_labels(csr.n, csr.indptr, csr.indices)
-    _, groups = _grouped_components(labels)
-    sizes = np.fromiter((len(group) for group in groups), dtype=np.int64, count=len(groups))
-    order = np.argsort(-sizes, kind="stable")
     nodes = csr.nodes
-    return [{nodes[int(i)] for i in groups[int(g)]} for g in order]
+    if csr.alive is None:
+        _, groups = _grouped_components(labels)
+        members = [[int(i) for i in group] for group in groups]
+    else:
+        live = np.flatnonzero(csr.alive)
+        _, groups = _grouped_components(labels[live])
+        members = [[int(live[i]) for i in group] for group in groups]
+    sizes = np.fromiter((len(group) for group in members), dtype=np.int64, count=len(members))
+    order = np.argsort(-sizes, kind="stable")
+    return [{nodes[i] for i in members[int(g)]} for g in order]
+
+
+def _live_labels(graph: UndirectedGraph) -> np.ndarray:
+    """Component labels restricted to live (non-ghost) indices."""
+    csr = csr_of(graph)
+    labels = _component_labels(csr.n, csr.indptr, csr.indices)
+    if csr.alive is None:
+        return labels
+    return labels[csr.alive]
 
 
 def number_connected_components(graph: UndirectedGraph) -> int:
     """Count of connected components (0 for an empty graph)."""
     if graph.number_of_nodes() == 0:
         return 0
-    labels = component_labels(graph)
-    return len(np.unique(labels))
+    return len(np.unique(_live_labels(graph)))
 
 
 def component_summary(graph: UndirectedGraph) -> Tuple[int, int]:
     """``(component_count, largest_component_size)`` in one kernel run."""
     if graph.number_of_nodes() == 0:
         return 0, 0
-    labels = component_labels(graph)
-    _, counts = np.unique(labels, return_counts=True)
+    _, counts = np.unique(_live_labels(graph), return_counts=True)
     return len(counts), int(counts.max())
 
 
@@ -326,16 +661,21 @@ def _working_component(graph: UndirectedGraph) -> Tuple[UndirectedGraph, int]:
     (largest, ties broken by discovery order), so node insertion order -- and
     therefore sampled-source selection -- is identical.
     """
-    labels = component_labels(graph)
-    unique, counts = np.unique(labels, return_counts=True)
+    csr = csr_of(graph)
+    labels = _component_labels(csr.n, csr.indptr, csr.indices)
+    live_labels = labels if csr.alive is None else labels[csr.alive]
+    unique, counts = np.unique(live_labels, return_counts=True)
     if len(unique) <= 1:
         return graph, len(unique)
     # ``unique`` ascends by label == discovery order; argmax keeps the first
     # (discovery-order) component among equal-size ties, like the reference's
     # stable size sort.
     winner = unique[int(np.argmax(counts))]
-    nodes = csr_of(graph).nodes
-    members = {nodes[int(i)] for i in np.flatnonzero(labels == winner)}
+    in_winner = labels == winner
+    if csr.alive is not None:
+        in_winner &= csr.alive
+    nodes = csr.nodes
+    members = {nodes[int(i)] for i in np.flatnonzero(in_winner)}
     return graph.subgraph(members), len(unique)
 
 
@@ -359,9 +699,13 @@ def diameter(
     csr = csr_of(working)
     nodes = _select_nodes(working, sample_size, rng)
     best = 0
-    for node in nodes:
-        distances = bfs_distances(csr, csr.index_of[node])
-        best = max(best, int(distances.max()))
+    # A source's eccentricity is the last level at which its packed frontier
+    # still advanced, so the batched wave's level count *is* the chunk's max
+    # -- no per-level count extraction needed at all.
+    indices = _batched_source_indices(csr, nodes)
+    for offset in range(0, indices.size, BFS_BATCH):
+        chunk = indices[offset:offset + BFS_BATCH]
+        best = max(best, sum(1 for _ in _batched_wave(csr, chunk)))
     return float(best)
 
 
@@ -380,11 +724,11 @@ def average_shortest_path_length(
     nodes = _select_nodes(working, sample_size, rng)
     total = 0
     pairs = 0
-    for node in nodes:
-        distances = bfs_distances(csr, csr.index_of[node])
-        reached = distances >= 0
-        total += int(distances[reached].sum())
-        pairs += int(reached.sum()) - 1
+    for _batch, level_counts in _chunked_level_counts(csr, nodes):
+        for depth, counts in enumerate(level_counts, start=1):
+            newly = int(counts.sum())
+            total += depth * newly
+            pairs += newly
     if pairs == 0:
         return 0.0
     return total / pairs
@@ -392,11 +736,77 @@ def average_shortest_path_length(
 
 def degree_histogram(graph: UndirectedGraph) -> Dict[int, int]:
     """Mapping of degree value -> number of nodes with that degree."""
-    csr = csr_of(graph)
-    if csr.n == 0:
+    if graph.number_of_nodes() == 0:
         return {}
-    values, counts = np.unique(csr.degrees(), return_counts=True)
+    csr = csr_of(graph)
+    degrees = csr.degrees()
+    if csr.alive is not None:
+        degrees = degrees[csr.alive]
+    values, counts = np.unique(degrees, return_counts=True)
     return {int(value): int(count) for value, count in zip(values, counts)}
+
+
+def top_degree_nodes(graph: UndirectedGraph) -> List[NodeId]:
+    """All maximum-degree nodes, sorted by ``repr`` (empty for an empty graph).
+
+    One masked argmax over the CSR degree array instead of a Python dict
+    scan; with the incremental delta patching this keeps the hub-targeted
+    takedown's per-victim candidate search cheap even while the overlay
+    mutates between victims.
+    """
+    if graph.number_of_nodes() == 0:
+        return []
+    csr = csr_of(graph)
+    degrees = csr.degrees()
+    if csr.alive is None:
+        top = int(degrees.max())
+        winners = np.flatnonzero(degrees == top)
+    else:
+        live = np.flatnonzero(csr.alive)
+        live_degrees = degrees[live]
+        top = int(live_degrees.max())
+        winners = live[np.flatnonzero(live_degrees == top)]
+    nodes = csr.nodes
+    return sorted((nodes[int(i)] for i in winners), key=repr)
+
+
+def induced_component_summary(
+    graph: UndirectedGraph, keep_nodes: Sequence[NodeId]
+) -> Tuple[int, int, int, int]:
+    """``(surviving, components, largest, isolated)`` of an induced subgraph.
+
+    Builds a compact CSR of the subgraph induced on ``keep_nodes`` straight
+    from the adjacency sets -- one pass over the kept nodes' neighbour lists
+    -- and labels components on it.  Unlike
+    :func:`partition_summary_after_removal` it never mirrors the *full*
+    graph, which matters when the kept set is a small minority: a finished
+    SOAP campaign leaves several clones per bot, so the benign subgraph is an
+    order of magnitude smaller than the overlay.
+    """
+    adjacency = graph._adjacency
+    # dict.fromkeys: drop duplicates while keeping first-occurrence order, so
+    # a repeated id cannot leave an edge-less phantom row behind.
+    keep = [node for node in dict.fromkeys(keep_nodes) if node in adjacency]
+    n = len(keep)
+    if n == 0:
+        return 0, 0, 0, 0
+    index = {node: i for i, node in enumerate(keep)}
+    src: List[int] = []
+    dst: List[int] = []
+    for i, node in enumerate(keep):
+        for peer in adjacency[node]:
+            j = index.get(peer)
+            if j is not None:
+                src.append(i)
+                dst.append(j)
+    # ``src`` is already nondecreasing (built in index order): no sort needed.
+    indices = np.asarray(dst, dtype=np.int32)
+    degrees = np.bincount(np.asarray(src, dtype=np.int64), minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    labels = _component_labels(n, indptr, indices)
+    _, counts = np.unique(labels, return_counts=True)
+    return n, len(counts), int(counts.max()), int((counts == 1).sum())
 
 
 # ----------------------------------------------------------------------
@@ -412,7 +822,7 @@ def partition_summary_after_removal(
     100k-node partition-threshold sweep tractable.
     """
     csr = csr_of(graph)
-    keep = np.ones(csr.n, dtype=bool)
+    keep = np.ones(csr.n, dtype=bool) if csr.alive is None else csr.alive.copy()
     for victim in victims:
         index = csr.index_of.get(victim)
         if index is not None:

@@ -257,6 +257,246 @@ def test_string_node_ids_supported():
 
 
 # ----------------------------------------------------------------------
+# Batched multi-source BFS
+# ----------------------------------------------------------------------
+def test_batched_bfs_matches_per_source(zoo_graph):
+    """The packed wave reproduces per-source BFS distances exactly."""
+    nodes = zoo_graph.nodes()
+    if not nodes:
+        assert fast.shortest_path_lengths_from_many(zoo_graph, []) == []
+        return
+    sources = nodes[:: max(1, len(nodes) // 10)]
+    batched = fast.shortest_path_lengths_from_many(zoo_graph, sources)
+    for source, distances in zip(sources, batched):
+        assert distances == metrics.shortest_path_lengths_from(zoo_graph, source)
+
+
+def test_batched_bfs_dispatcher_identical_across_backends(zoo_graph):
+    sources = zoo_graph.nodes()[:7]
+    with backend.using("python"):
+        reference = backend.shortest_path_lengths_from_many(zoo_graph, sources)
+    with backend.using("fast"):
+        assert backend.shortest_path_lengths_from_many(zoo_graph, sources) == reference
+
+
+def test_batched_bfs_chunks_past_wave_width():
+    """More sources than one 64-bit wave: chunking must not change results."""
+    graph = k_regular_graph(150, 6, seed=71)
+    sources = graph.nodes()  # 150 sources -> 3 waves
+    batched = fast.shortest_path_lengths_from_many(graph, sources)
+    for source in (sources[0], sources[63], sources[64], sources[129], sources[149]):
+        index = sources.index(source)
+        assert batched[index] == metrics.shortest_path_lengths_from(graph, source)
+    # The estimators run the same chunked waves over every node.
+    assert fast.diameter(graph) == metrics.diameter(graph)
+    assert fast.average_shortest_path_length(graph) == (
+        metrics.average_shortest_path_length(graph)
+    )
+
+
+def test_batched_bfs_rejects_unknown_source():
+    graph = ring_graph(6)
+    with pytest.raises(Exception):
+        fast.shortest_path_lengths_from_many(graph, [0, "ghost"])
+
+
+# ----------------------------------------------------------------------
+# Incremental CSR maintenance (delta patching)
+# ----------------------------------------------------------------------
+def _assert_all_metrics_match(graph):
+    assert fast.connected_components(graph) == metrics.connected_components(graph)
+    assert fast.component_summary(graph) == (
+        (lambda components: (len(components), len(components[0])) if components else (0, 0))(
+            metrics.connected_components(graph)
+        )
+    )
+    assert fast.degree_histogram(graph) == metrics.degree_histogram(graph)
+    assert fast.diameter(graph, sample_size=6, rng=random.Random(1)) == (
+        metrics.diameter(graph, sample_size=6, rng=random.Random(1))
+    )
+    assert fast.average_degree_centrality(graph) == metrics.average_degree_centrality(graph)
+    for node in list(graph.nodes())[:3]:
+        assert fast.shortest_path_lengths_from(graph, node) == (
+            metrics.shortest_path_lengths_from(graph, node)
+        )
+
+
+def test_incremental_patch_matches_full_rebuild():
+    """Interleaved mutations patch the mirror; results equal a fresh build."""
+    graph = k_regular_graph(300, 6, seed=81)
+    fast.csr_of(graph)  # prime the cache so deltas apply to it
+    rng = random.Random(82)
+    rebuilds = 0
+    original_build = fast.build_csr
+
+    def counting_build(target):
+        nonlocal rebuilds
+        rebuilds += 1
+        return original_build(target)
+
+    fast.build_csr = counting_build
+    try:
+        for step in range(25):
+            action = step % 5
+            if action == 0:
+                graph.remove_node(rng.choice(graph.nodes()))
+            elif action == 1:
+                u, v = rng.sample(graph.nodes(), 2)
+                graph.add_edge(u, v)
+            elif action == 2:
+                u, v = graph.edges()[0]
+                graph.remove_edge(u, v)
+            elif action == 3:
+                graph.add_node(f"new-{step}")
+                graph.add_edge(f"new-{step}", rng.choice(graph.nodes()))
+            else:
+                # Re-add an id ghosted in an *earlier* window.
+                victim = rng.choice(graph.nodes())
+                graph.remove_node(victim)
+                fast.csr_of(graph)  # sync: the removal lands in its own window
+                graph.add_node(victim)
+                graph.add_edge(victim, rng.choice([n for n in graph.nodes() if n != victim]))
+            _assert_all_metrics_match(graph)
+        csr = fast.csr_of(graph)
+        assert csr.alive is not None and csr.ghost_count > 0
+    finally:
+        fast.build_csr = original_build
+    assert rebuilds == 0, "delta patching should have avoided every rebuild"
+    # A patched mirror and a fresh rebuild describe the same graph.
+    fresh = fast.build_csr(graph)
+    patched = fast.csr_of(graph)
+    assert sorted(map(repr, fresh.index_of)) == sorted(map(repr, patched.index_of))
+    assert int(fresh.indptr[-1]) == int(patched.indptr[-1])
+
+
+def test_delta_log_overflow_triggers_rebuild(monkeypatch):
+    graph = k_regular_graph(120, 6, seed=83)
+    fast.csr_of(graph)
+    monkeypatch.setattr("repro.graphs.adjacency.DELTA_LOG_LIMIT", 4)
+    rng = random.Random(84)
+    for _ in range(6):  # > limit: the log overflows and delta_since returns None
+        graph.remove_node(rng.choice(graph.nodes()))
+    assert graph.delta_since(graph.mutation_stamp - 1) is None
+    _assert_all_metrics_match(graph)
+    assert fast.csr_of(graph).alive is None  # rebuilt, not patched
+
+
+def test_removed_then_readded_in_one_window_rebuilds_correctly():
+    graph = ring_graph(40)
+    fast.csr_of(graph)
+    graph.remove_node(5)
+    graph.add_node(5)
+    graph.add_edge(5, 6)
+    graph.add_edge(5, 4)
+    _assert_all_metrics_match(graph)
+
+
+def test_ghost_pressure_triggers_compaction(monkeypatch):
+    monkeypatch.setattr(fast, "GHOST_SLACK", 4)
+    graph = k_regular_graph(60, 4, seed=85)
+    fast.csr_of(graph)
+    rng = random.Random(86)
+    for _ in range(40):
+        graph.remove_node(rng.choice(graph.nodes()))
+        fast.csr_of(graph)
+    csr = fast.csr_of(graph)
+    # Ghosts never outnumber max(GHOST_SLACK, live): compaction kicked in.
+    assert csr.ghost_count <= max(4, graph.number_of_nodes())
+    _assert_all_metrics_match(graph)
+
+
+def test_patched_partition_summary_matches(zoo_graph):
+    """Masked kernels respect the alive overlay after in-place mutations."""
+    graph = zoo_graph.copy()
+    fast.csr_of(graph)
+    nodes = graph.nodes()
+    for victim in nodes[: len(nodes) // 4]:
+        graph.remove_node(victim)
+    remaining = graph.nodes()
+    victims = random.Random(87).sample(remaining, len(remaining) // 3) if remaining else []
+    survivors = simultaneous_deletion_survivors(graph, victims)
+    report = analyze_partition(survivors)
+    assert fast.partition_summary_after_removal(graph, victims) == (
+        report.surviving_nodes,
+        report.component_count,
+        report.largest_component,
+        report.isolated_nodes,
+    )
+
+
+def test_add_leaf_equivalent_to_add_node_plus_edge():
+    via_leaf = UndirectedGraph(edges=[(0, 1), (1, 2)])
+    fast.csr_of(via_leaf)
+    via_leaf.add_leaf("leaf", 1)
+    via_generic = UndirectedGraph(edges=[(0, 1), (1, 2)])
+    via_generic.add_node("leaf")
+    via_generic.add_edge("leaf", 1)
+    assert via_leaf.nodes() == via_generic.nodes()
+    assert set(map(frozenset, via_leaf.edges())) == set(map(frozenset, via_generic.edges()))
+    # Patched after the leaf insertion, kernels still agree with the oracle.
+    _assert_all_metrics_match(via_leaf)
+    # Fallback path: existing node id routes through the general insertion.
+    via_leaf.add_leaf("leaf", 2)
+    assert via_leaf.has_edge("leaf", 2)
+
+
+def test_induced_component_summary_identical_across_backends(zoo_graph):
+    nodes = zoo_graph.nodes()
+    keep = random.Random(90).sample(nodes, (2 * len(nodes)) // 3) if nodes else []
+    keep.append("not-in-graph")  # absent ids are ignored on both paths
+    with backend.using("python"):
+        reference = backend.induced_component_summary(zoo_graph, keep)
+    with backend.using("fast"):
+        assert backend.induced_component_summary(zoo_graph, keep) == reference
+    # Cross-check against the victim-oriented masked kernel: keeping K is
+    # removing everything else.
+    victims = [node for node in nodes if node not in set(keep)]
+    assert reference == backend.partition_summary_after_removal(zoo_graph, victims)
+
+
+def test_induced_component_summary_ignores_duplicate_keeps():
+    """A repeated keep id is one node on both backends (no phantom rows)."""
+    graph = UndirectedGraph(edges=[(0, 1), (1, 2), (3, 4)])
+    keep = [0, 0, 1, 3, 3, 3]
+    with backend.using("python"):
+        reference = backend.induced_component_summary(graph, keep)
+    with backend.using("fast"):
+        assert backend.induced_component_summary(graph, keep) == reference
+    assert reference == (3, 2, 2, 1)  # {0,1} together, {3} isolated
+
+
+def test_delta_log_disarmed_until_first_backend_sync():
+    """Graphs that never touch the CSR layer record no mutation log."""
+    graph = ring_graph(12)
+    assert graph._delta_log is None
+    graph.remove_edge(0, 1)
+    assert graph._delta_log is None  # still disarmed: no consumer yet
+    fast.csr_of(graph)  # first sync arms the log
+    graph.remove_edge(1, 2)
+    assert graph.delta_since(graph.mutation_stamp - 1) == [("-e", 1, 2)]
+    assert fast.connected_components(graph) == metrics.connected_components(graph)
+
+
+def test_top_degree_nodes_identical_across_backends(zoo_graph):
+    with backend.using("python"):
+        reference = backend.top_degree_nodes(zoo_graph)
+    with backend.using("fast"):
+        assert backend.top_degree_nodes(zoo_graph) == reference
+
+
+def test_top_degree_nodes_after_patching():
+    graph = k_regular_graph(100, 6, seed=88)
+    with backend.using("fast"):
+        backend.top_degree_nodes(graph)  # prime the CSR cache
+        rng = random.Random(89)
+        for _ in range(10):
+            graph.remove_node(rng.choice(graph.nodes()))
+            with backend.using("python"):
+                reference = backend.top_degree_nodes(graph)
+            assert backend.top_degree_nodes(graph) == reference
+
+
+# ----------------------------------------------------------------------
 # CSR cache behaviour
 # ----------------------------------------------------------------------
 def test_csr_cache_reused_until_mutation():
