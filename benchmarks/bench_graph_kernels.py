@@ -1,6 +1,6 @@
 """Graph-kernel backend benchmark: pure-Python BFS vs vectorized CSR.
 
-Three workloads, written as one per-PR entry in the ``runs`` trajectory of
+Five workloads, written as one per-PR entry in the ``runs`` trajectory of
 ``BENCH_graph_kernels.json`` at the repository root:
 
 * ``kernels`` -- connected components + sampled diameter on k-regular graphs
@@ -11,7 +11,14 @@ Three workloads, written as one per-PR entry in the ``runs`` trajectory of
   wave that now backs diameter/ASPL/closeness;
 * ``soap`` -- a full SOAP containment campaign plus benign-subgraph summary,
   original implementation (``ReferenceSoapAttack``, pure-Python metrics) vs
-  the vectorized campaign over the CSR backend.
+  the vectorized campaign over the CSR backend;
+* ``full_closeness`` (PR 4) -- *exact* full-population closeness at 100k
+  nodes: the PR 3 single-word dense-only wave (kept verbatim below as the
+  baseline) vs the adaptive multi-word frontier engine, bit-identical and
+  pinned to a golden;
+* ``sparse_frontier`` (PR 4) -- sampled diameter on a 100k-node ring, the
+  dense-only wave vs the engine's sparse-frontier dispatch (the pathological
+  high-diameter topology of the partition-threshold study).
 
 The fast timings are measured *cold*: the CSR cache is dropped before each
 repetition, so the reported numbers include the UndirectedGraph -> CSR
@@ -21,11 +28,14 @@ the campaign's allocation burst otherwise dominates run-to-run noise).
 
 Asserted contracts (the PR acceptance bars): fast >= 10x at n=20k on the
 kernel pair, batched multi-source BFS >= 3x over the per-source loop at
-n=100k, and the vectorized SOAP campaign >= 5x at n=20k.
+n=100k, the vectorized SOAP campaign >= 5x at n=20k, the adaptive engine
+>= 4x over the PR 3 wave on 100k full-population closeness, and >= 5x over
+the dense-only wave on the 100k ring diameter.
 
 Run directly for a quick smoke with a wall-clock bound (used by CI)::
 
-    python benchmarks/bench_graph_kernels.py --sizes 1000 --soap-n 2000 --max-seconds 120
+    python benchmarks/bench_graph_kernels.py --sizes 1000 --soap-n 2000 \
+        --multiword-n 1000 --multiword-sources 128 --ring-n 4000 --max-seconds 150
 """
 
 from __future__ import annotations
@@ -51,9 +61,20 @@ OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_graph_kernels.json"
 SPEEDUP_FLOOR_AT_20K = 10.0
 BATCHED_SPEEDUP_FLOOR_AT_100K = 3.0
 SOAP_SPEEDUP_FLOOR = 5.0
+FULL_CLOSENESS_SPEEDUP_FLOOR = 4.0
+SPARSE_FRONTIER_SPEEDUP_FLOOR = 5.0
+
+FULL_CLOSENESS_N = 100_000
+SPARSE_FRONTIER_N = 100_000
+SPARSE_FRONTIER_SAMPLE = 32
+
+#: Exact (every-node-a-source) mean closeness of
+#: ``k_regular_graph(100_000, 10, seed=104000)`` -- the 100k full-sample
+#: golden, identical from the PR 3 wave and the adaptive engine.
+FULL_CLOSENESS_GOLDEN_100K = 0.18551634688146879
 
 #: Ordinal of this PR's entry in the ``runs`` trajectory.
-PR_LABEL = "PR 3"
+PR_LABEL = "PR 4"
 
 
 def _workload(module, graph, *, connected_components=True, diameter=True):
@@ -168,6 +189,175 @@ def run_batched_bfs_benchmark(sizes=BATCHED_SIZES, *, emit=print) -> list:
     return rows
 
 
+# ----------------------------------------------------------------------
+# PR 3 wave, kept verbatim as the PR 4 baseline: one uint64 frontier word
+# per node (64 sources max), dense all-edges gather + reduceat every level,
+# per-level full-length unpackbits counting.
+# ----------------------------------------------------------------------
+def _pr3_wave(csr, sources):
+    import numpy as np
+
+    batch = sources.size
+    n = csr.n
+    bits = np.left_shift(np.uint64(1), np.arange(batch, dtype=np.uint64))
+    visited = np.zeros(n, dtype=np.uint64)
+    np.bitwise_or.at(visited, sources, bits)
+    frontier = visited.copy()
+    degrees = np.diff(csr.indptr)
+    nonzero = np.flatnonzero(degrees > 0)
+    starts = csr.indptr[nonzero]
+    if csr.indices.size == 0:
+        return
+    while True:
+        gathered = frontier[csr.indices]
+        neighbor_or = np.bitwise_or.reduceat(gathered, starts)
+        frontier = np.zeros(n, dtype=np.uint64)
+        frontier[nonzero] = neighbor_or
+        frontier &= ~visited
+        if not frontier.any():
+            return
+        visited |= frontier
+        yield frontier
+
+
+def _pr3_closeness(graph, sample_size=None, rng=None):
+    """The PR 3 estimator end to end: 64-source waves + unpackbits counts."""
+    import numpy as np
+
+    from repro.graphs import fast
+    from repro.graphs.metrics import _select_nodes
+
+    nodes = _select_nodes(graph, sample_size, rng)
+    n = graph.number_of_nodes()
+    csr = fast.csr_of(graph)
+    indices = np.fromiter(
+        (csr.index_of[node] for node in nodes), dtype=np.int64, count=len(nodes)
+    )
+    values = []
+    for offset in range(0, indices.size, 64):
+        chunk = indices[offset:offset + 64]
+        batch = chunk.size
+        level_counts = [
+            np.unpackbits(
+                frontier.view(np.uint8).reshape(frontier.size, 8),
+                axis=1,
+                bitorder="little",
+            )[:, :batch].sum(axis=0, dtype=np.int64)
+            for frontier in _pr3_wave(csr, chunk)
+        ]
+        reachable = [0] * batch
+        totals = [0] * batch
+        for depth, counts in enumerate(level_counts, start=1):
+            for j in range(batch):
+                newly = int(counts[j])
+                reachable[j] += newly
+                totals[j] += depth * newly
+        for j in range(batch):
+            if reachable[j] == 0:
+                values.append(0.0)
+            else:
+                closeness = reachable[j] / totals[j]
+                values.append(closeness * (reachable[j] / (n - 1)))
+    return sum(values) / len(values)
+
+
+def _pr3_diameter(graph, sample_size, rng):
+    """The PR 3 sampled diameter: dense-only 64-source waves."""
+    import numpy as np
+
+    from repro.graphs import fast
+    from repro.graphs.metrics import _select_nodes
+
+    nodes = _select_nodes(graph, sample_size, rng)
+    csr = fast.csr_of(graph)
+    indices = np.fromiter(
+        (csr.index_of[node] for node in nodes), dtype=np.int64, count=len(nodes)
+    )
+    best = 0
+    for offset in range(0, indices.size, 64):
+        chunk = indices[offset:offset + 64]
+        best = max(best, sum(1 for _ in _pr3_wave(csr, chunk)))
+    return float(best)
+
+
+def run_full_closeness_benchmark(
+    n=FULL_CLOSENESS_N, *, sample_size=None, repeats=1, emit=print
+) -> dict:
+    """Exact full-population closeness: PR 3 wave path vs the adaptive engine."""
+    from repro.graphs import fast
+    from repro.graphs.generators import k_regular_graph
+
+    graph = k_regular_graph(n, K, seed=4000 + n)
+    fast.csr_of(graph)  # shared warm mirror: the wave engines are what differ
+    rng_seed = 11
+
+    adaptive_seconds = float("inf")
+    legacy_seconds = float("inf")
+    adaptive = legacy = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        adaptive = fast.average_closeness_centrality(
+            graph, sample_size=sample_size, rng=random.Random(rng_seed)
+        )
+        adaptive_seconds = min(adaptive_seconds, time.perf_counter() - started)
+        started = time.perf_counter()
+        legacy = _pr3_closeness(
+            graph, sample_size=sample_size, rng=random.Random(rng_seed)
+        )
+        legacy_seconds = min(legacy_seconds, time.perf_counter() - started)
+        assert adaptive == legacy, (adaptive, legacy)
+    speedup = legacy_seconds / adaptive_seconds if adaptive_seconds else float("inf")
+    row = {
+        "n": n,
+        "k": K,
+        "sources": n if sample_size is None else sample_size,
+        "closeness": adaptive,
+        "pr3_seconds": round(legacy_seconds, 6),
+        "adaptive_seconds": round(adaptive_seconds, 6),
+        "speedup": round(speedup, 2),
+    }
+    emit(
+        f"full-closeness n={n:>7,}  pr3={legacy_seconds:8.2f}s  "
+        f"adaptive={adaptive_seconds:8.2f}s  speedup={speedup:7.1f}x"
+    )
+    return row
+
+
+def run_sparse_frontier_benchmark(
+    n=SPARSE_FRONTIER_N, *, sample_size=SPARSE_FRONTIER_SAMPLE, emit=print
+) -> dict:
+    """Ring-graph sampled diameter: dense-only wave vs sparse-frontier dispatch."""
+    from repro.graphs import fast
+    from repro.graphs.generators import ring_graph
+
+    graph = ring_graph(n)
+    fast.csr_of(graph)
+    started = time.perf_counter()
+    adaptive = fast.diameter(
+        graph, sample_size=sample_size, rng=random.Random(0), connected=True
+    )
+    adaptive_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    dense_only = _pr3_diameter(graph, sample_size, random.Random(0))
+    dense_seconds = time.perf_counter() - started
+    assert adaptive == dense_only, (adaptive, dense_only)
+    speedup = dense_seconds / adaptive_seconds if adaptive_seconds else float("inf")
+    row = {
+        "n": n,
+        "topology": "ring",
+        "diameter_sample": sample_size,
+        "diameter": adaptive,
+        "dense_only_seconds": round(dense_seconds, 6),
+        "adaptive_seconds": round(adaptive_seconds, 6),
+        "speedup": round(speedup, 2),
+    }
+    emit(
+        f"sparse-frontier ring n={n:>7,}  dense-only={dense_seconds:8.2f}s  "
+        f"adaptive={adaptive_seconds:8.3f}s  speedup={speedup:7.1f}x"
+    )
+    return row
+
+
 def _soap_campaign_once(attack_cls, backend_name: str, n: int, seed: int = 3) -> float:
     """One timed SOAP campaign + benign summary on a fresh overlay."""
     from repro.core.ddsr import DDSROverlay
@@ -222,17 +412,22 @@ def run_soap_benchmark(n=SOAP_N, *, repeats=SOAP_REPEATS, emit=print) -> dict:
 
 
 def run_benchmark(sizes=SIZES, *, emit=print) -> dict:
-    """All three workloads; returns this PR's trajectory entry."""
+    """All five workloads; returns this PR's trajectory entry."""
     return {
         "pr": PR_LABEL,
         "workload": "connected_components + sampled diameter "
         f"(sample={DIAMETER_SAMPLE}) on k-regular graphs (k={K}); "
-        "batched multi-source BFS; SOAP campaign",
+        "batched multi-source BFS; SOAP campaign; full-population closeness "
+        "(adaptive multi-word frontier engine vs PR 3 wave); ring-graph "
+        "sparse-frontier diameter",
         "timing": "best-of-repeats wall clock; fast timings include the "
-        "UndirectedGraph->CSR conversion (cold cache); SOAP timed with GC off",
+        "UndirectedGraph->CSR conversion (cold cache); SOAP timed with GC off; "
+        "wave-engine comparisons share one warm CSR mirror",
         "rows": run_kernel_benchmark(sizes, emit=emit),
         "batched_bfs": run_batched_bfs_benchmark(emit=emit),
         "soap_campaign": run_soap_benchmark(emit=emit),
+        "full_closeness": run_full_closeness_benchmark(emit=emit),
+        "sparse_frontier": run_sparse_frontier_benchmark(emit=emit),
     }
 
 
@@ -282,6 +477,22 @@ def test_graph_kernel_speedup(benchmark):
         f"vectorized SOAP campaign only {soap['speedup']}x at n={soap['n']} "
         f"(floor {SOAP_SPEEDUP_FLOOR}x)"
     )
+    full = entry["full_closeness"]
+    assert full["speedup"] >= FULL_CLOSENESS_SPEEDUP_FLOOR, (
+        f"adaptive engine only {full['speedup']}x over the PR 3 wave on "
+        f"full-population closeness at n={full['n']} "
+        f"(floor {FULL_CLOSENESS_SPEEDUP_FLOOR}x)"
+    )
+    # Both engines asserted bit-identical inside the workload; pin the value
+    # too so the 100k-node full-sample closeness has a golden on record.
+    assert full["closeness"] == FULL_CLOSENESS_GOLDEN_100K, full["closeness"]
+    ring = entry["sparse_frontier"]
+    assert ring["speedup"] >= SPARSE_FRONTIER_SPEEDUP_FLOOR, (
+        f"sparse-frontier dispatch only {ring['speedup']}x over the "
+        f"dense-only wave on the n={ring['n']} ring "
+        f"(floor {SPARSE_FRONTIER_SPEEDUP_FLOOR}x)"
+    )
+    assert ring["diameter"] == ring["n"] // 2  # ring ground truth
 
 
 def main(argv=None) -> int:
@@ -307,6 +518,24 @@ def main(argv=None) -> int:
         help="skip the batched multi-source BFS workload",
     )
     parser.add_argument(
+        "--multiword-n",
+        type=int,
+        default=None,
+        help="smoke the multi-word wave closeness comparison at this size",
+    )
+    parser.add_argument(
+        "--multiword-sources",
+        type=int,
+        default=128,
+        help="sampled sources for the multi-word smoke (>64 forces 2+ words)",
+    )
+    parser.add_argument(
+        "--ring-n",
+        type=int,
+        default=None,
+        help="smoke the ring-graph sparse-frontier diameter at this size",
+    )
+    parser.add_argument(
         "--max-seconds",
         type=float,
         default=None,
@@ -329,6 +558,21 @@ def main(argv=None) -> int:
         entry["batched_bfs"] = run_batched_bfs_benchmark(sizes=sizes)
     if args.soap_n:
         entry["soap_campaign"] = run_soap_benchmark(args.soap_n, repeats=1)
+    if args.multiword_n:
+        # Forces >64 sources through one multi-word wave and cross-checks the
+        # PR 3 path bit for bit (speedups at smoke sizes are noise; identity
+        # is the CI contract).
+        from repro.graphs import backend as graph_backend
+
+        with graph_backend.using_bfs_batch(max(128, args.multiword_sources)):
+            entry["multiword_smoke"] = run_full_closeness_benchmark(
+                args.multiword_n, sample_size=args.multiword_sources
+            )
+    if args.ring_n:
+        entry["sparse_frontier"] = row = run_sparse_frontier_benchmark(args.ring_n)
+        if row["speedup"] < 1.2:
+            print(f"FAIL: ring sparse-frontier smoke speedup {row['speedup']}x < 1.2x")
+            return 1
     elapsed = time.perf_counter() - started
     if args.json:
         write_report(entry)

@@ -1,0 +1,219 @@
+"""Render the per-PR speedup trajectory from ``BENCH_graph_kernels.json``.
+
+Every PR appends one entry to the ``runs`` list of the benchmark report
+(PR 2 onward); this tool turns that trajectory into
+
+* a markdown table (``BENCH_trajectory.md``) -- one row per workload series,
+  one column per PR, and
+* a dependency-free hand-rolled SVG line chart (``BENCH_trajectory.svg``)
+  of the speedup curves on a log scale.
+
+Run it from the repository root::
+
+    python -m benchmarks.report_trajectory            # writes both artifacts
+    python -m benchmarks.report_trajectory --quiet    # files only, no stdout
+
+Smoke entries appended by the bench CLI (labelled ``... (cli smoke)``) are
+ignored; only canonical full-scale entries contribute points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_graph_kernels.json"
+
+#: Placeholder-palette series colours (dark-on-light friendly).
+_COLORS = (
+    "#4063d8", "#389826", "#cb3c33", "#9558b2", "#aa7f39",
+    "#0e7490", "#b45309", "#6b7280",
+)
+
+
+def _series_points(runs: List[dict]) -> Dict[str, List[Tuple[int, float]]]:
+    """``{series name: [(pr_index, speedup), ...]}`` from canonical runs."""
+    series: Dict[str, List[Tuple[int, float]]] = {}
+
+    def add(name: str, index: int, speedup) -> None:
+        if speedup is None:
+            return
+        series.setdefault(name, []).append((index, float(speedup)))
+
+    for index, run in enumerate(runs):
+        for row in run.get("rows", []):
+            add(f"kernels n={row['n']:,}", index, row.get("speedup"))
+        for row in run.get("batched_bfs", []):
+            add(f"batched BFS n={row['n']:,}", index, row.get("speedup"))
+        soap = run.get("soap_campaign")
+        if soap:
+            add(f"SOAP campaign n={soap['n']:,}", index, soap.get("speedup"))
+        full = run.get("full_closeness")
+        if full:
+            add(f"full closeness n={full['n']:,}", index, full.get("speedup"))
+        ring = run.get("sparse_frontier")
+        if ring:
+            add(f"ring diameter n={ring['n']:,}", index, ring.get("speedup"))
+    return series
+
+
+def load_runs(path: Path = DEFAULT_JSON) -> List[dict]:
+    """The canonical (non-smoke) per-PR entries, in trajectory order."""
+    report = json.loads(path.read_text())
+    return [
+        run for run in report.get("runs", [])
+        if "cli smoke" not in str(run.get("pr", ""))
+    ]
+
+
+def render_markdown(runs: List[dict]) -> str:
+    """Markdown table: one row per workload series, one column per PR."""
+    labels = [str(run.get("pr", f"run {i}")) for i, run in enumerate(runs)]
+    series = _series_points(runs)
+    lines = [
+        "# Graph-kernel speedup trajectory",
+        "",
+        "Speedup of the vectorized/adaptive implementation over its baseline",
+        "(pure-Python reference, per-source loop, reference SOAP campaign, or",
+        "PR 3 wave path, per workload), one column per PR entry in",
+        "`BENCH_graph_kernels.json`.",
+        "",
+        "| workload | " + " | ".join(labels) + " |",
+        "|---" * (len(labels) + 1) + "|",
+    ]
+    for name in sorted(series):
+        cells = {index: value for index, value in series[name]}
+        row = [name] + [
+            f"{cells[i]:.1f}x" if i in cells else "—" for i in range(len(labels))
+        ]
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _log_y(value: float, top: float, plot_top: float, plot_bottom: float) -> float:
+    """Map a speedup onto the SVG y axis (log10 scale from 1 to ``top``)."""
+    span = math.log10(top)
+    fraction = math.log10(max(value, 1.0)) / span if span else 0.0
+    return plot_bottom - fraction * (plot_bottom - plot_top)
+
+
+def render_svg(runs: List[dict], *, width: int = 760, height: int = 440) -> str:
+    """A dependency-free SVG line chart of every speedup series."""
+    labels = [str(run.get("pr", f"run {i}")) for i, run in enumerate(runs)]
+    series = _series_points(runs)
+    left, right, top, bottom = 64, 240, 36, 48
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    plot_bottom = top + plot_h
+    peak = max((v for pts in series.values() for _, v in pts), default=10.0)
+    y_top = 10 ** math.ceil(math.log10(max(peak, 2.0)))
+
+    def x_of(index: int) -> float:
+        if len(labels) == 1:
+            return left + plot_w / 2
+        return left + index * plot_w / (len(labels) - 1)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="system-ui, sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="#ffffff"/>',
+        f'<text x="{left}" y="20" font-size="14" font-weight="600" '
+        'fill="#111827">Graph-kernel speedup trajectory (log scale)</text>',
+    ]
+    # Gridlines at decades and 2/5 subdivisions.
+    tick = 1.0
+    ticks = []
+    while tick <= y_top:
+        for factor in (1, 2, 5):
+            value = tick * factor
+            if 1.0 <= value <= y_top:
+                ticks.append(value)
+        tick *= 10
+    for value in sorted(set(ticks)):
+        y = _log_y(value, y_top, top, plot_bottom)
+        parts.append(
+            f'<line x1="{left}" y1="{y:.1f}" x2="{left + plot_w}" y2="{y:.1f}" '
+            'stroke="#e5e7eb" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{left - 8}" y="{y + 4:.1f}" text-anchor="end" '
+            f'fill="#6b7280">{value:g}x</text>'
+        )
+    for index, label in enumerate(labels):
+        x = x_of(index)
+        parts.append(
+            f'<text x="{x:.1f}" y="{plot_bottom + 20}" text-anchor="middle" '
+            f'fill="#374151">{label}</text>'
+        )
+    for rank, name in enumerate(sorted(series)):
+        color = _COLORS[rank % len(_COLORS)]
+        points = " ".join(
+            f"{x_of(i):.1f},{_log_y(v, y_top, top, plot_bottom):.1f}"
+            for i, v in series[name]
+        )
+        if len(series[name]) > 1:
+            parts.append(
+                f'<polyline points="{points}" fill="none" stroke="{color}" '
+                'stroke-width="2"/>'
+            )
+        for i, v in series[name]:
+            parts.append(
+                f'<circle cx="{x_of(i):.1f}" '
+                f'cy="{_log_y(v, y_top, top, plot_bottom):.1f}" r="3" '
+                f'fill="{color}"/>'
+            )
+        legend_y = top + 16 * rank
+        parts.append(
+            f'<rect x="{left + plot_w + 16}" y="{legend_y - 9}" width="10" '
+            f'height="10" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{left + plot_w + 32}" y="{legend_y}" '
+            f'fill="#111827">{name}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def write_report(
+    json_path: Path = DEFAULT_JSON, output_dir: Optional[Path] = None
+) -> Tuple[Path, Path]:
+    """Write markdown + SVG next to the JSON (or into ``output_dir``)."""
+    runs = load_runs(json_path)
+    target = output_dir if output_dir is not None else json_path.parent
+    markdown_path = target / "BENCH_trajectory.md"
+    svg_path = target / "BENCH_trajectory.svg"
+    markdown_path.write_text(render_markdown(runs))
+    svg_path.write_text(render_svg(runs))
+    return markdown_path, svg_path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", type=Path, default=DEFAULT_JSON, help="trajectory JSON to read"
+    )
+    parser.add_argument(
+        "--output-dir", type=Path, default=None, help="where to write the artifacts"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="write files without echoing the table"
+    )
+    args = parser.parse_args(argv)
+    if not args.json.exists():
+        parser.error(f"no benchmark trajectory at {args.json}")
+    markdown_path, svg_path = write_report(args.json, args.output_dir)
+    if not args.quiet:
+        print(render_markdown(load_runs(args.json)))
+    print(f"wrote {markdown_path}")
+    print(f"wrote {svg_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,10 @@ class TakedownResult:
     largest_component_fraction: float
     max_degree: int
     repairs_performed: int
+    #: ``{diameter, avg_path_length, avg_closeness}`` of the surviving
+    #: largest component; populated only when the strategy was asked to
+    #: record path metrics (``GradualTakedown(path_metrics=True)``).
+    path_metrics: Optional[dict] = None
 
     @property
     def removed(self) -> int:
@@ -148,11 +152,44 @@ class GradualTakedown:
     ``checkpoints`` gives the number of intermediate measurements; the caller
     receives one :class:`TakedownResult` per checkpoint, which is how the
     Figure 4/5 curves are produced.
+
+    ``path_metrics=True`` additionally records the largest component's
+    diameter, average shortest path length and average closeness at every
+    checkpoint (``metric_sample`` sources for the path estimators, exact
+    full-population closeness) -- affordable even at 100k-node scale now
+    that the checkpoints ride the adaptive multi-word frontier engine.
     """
 
     fraction: float
     checkpoints: int = 10
     rng: random.Random = field(default_factory=lambda: random.Random(0))
+    path_metrics: bool = False
+    metric_sample: Optional[int] = 32
+    metric_rng: Optional[random.Random] = None
+
+    def _checkpoint(self, overlay: DDSROverlay, removed: List[NodeId]) -> TakedownResult:
+        if not self.path_metrics:
+            return _summarize("gradual", overlay, removed)
+        # One component scan serves both the summary fields and the path
+        # metrics (path_metric_summary reports the same component counts
+        # _summarize would recompute).
+        summary = overlay.path_metric_summary(
+            sample_size=self.metric_sample, rng=self.metric_rng
+        )
+        return TakedownResult(
+            strategy="gradual",
+            victims=removed,
+            surviving_nodes=overlay.graph.number_of_nodes(),
+            connected_components=summary["components"],
+            largest_component_fraction=summary["largest_fraction"],
+            max_degree=overlay.max_degree(),
+            repairs_performed=overlay.stats.repairs_performed,
+            path_metrics={
+                "diameter": summary["diameter"],
+                "avg_path_length": summary["avg_path_length"],
+                "avg_closeness": summary["avg_closeness"],
+            },
+        )
 
     def execute_with_checkpoints(self, overlay: DDSROverlay) -> List[TakedownResult]:
         """Run the campaign, returning one summary per checkpoint."""
@@ -171,9 +208,9 @@ class GradualTakedown:
                 overlay.remove_node(victim)
                 removed.append(victim)
             if index % per_checkpoint == 0 or index == total_victims:
-                results.append(_summarize("gradual", overlay, list(removed)))
+                results.append(self._checkpoint(overlay, list(removed)))
         if not results:
-            results.append(_summarize("gradual", overlay, list(removed)))
+            results.append(self._checkpoint(overlay, list(removed)))
         return results
 
     def execute(self, overlay: DDSROverlay) -> TakedownResult:

@@ -114,6 +114,13 @@ def run_fig4_centrality(
     average closeness and degree centrality are recorded at ``checkpoints``
     evenly spaced points.  ``pruning`` switches between the 4a/4c and 4b/4d
     variants.  The paper uses ``n=5000`` and 30 % deletions.
+
+    ``closeness_sample=None`` computes the *exact* full-population closeness
+    the figure actually plots: on the fast backend the multi-word frontier
+    engine's symmetric per-node accumulation makes that affordable well past
+    the paper's 5000 nodes (it is the default of the ``resilience-at-scale``
+    runner scenario at 100k), while the sampled default keeps the pure-Python
+    reference path quick for small-n sweeps.
     """
     results: List[Fig4Result] = []
     for degree in degrees:

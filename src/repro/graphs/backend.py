@@ -25,6 +25,14 @@ The ``REPRO_GRAPH_BACKEND`` environment variable (``python`` / ``fast`` /
 Under ``auto`` the choice is made per call from the graph's size, so small
 graphs keep the zero-overhead reference path while resilience sweeps at
 paper scale and beyond get the CSR kernels transparently.
+
+A second, independent knob controls the fast backend's multi-source BFS
+wave width (sources advanced per bit-packed wave).  ``REPRO_BFS_BATCH``
+supplies the initial policy (``auto`` or a positive source count) and
+:func:`use_bfs_batch` / :func:`using_bfs_batch` override it at runtime;
+``auto`` lets :func:`repro.graphs.fast.wave_batch` size waves from the
+graph and the number of requested sources.  Results never depend on the
+wave width -- only wall-clock time and memory do.
 """
 
 from __future__ import annotations
@@ -42,11 +50,17 @@ NodeId = Hashable
 ENV_VAR = "REPRO_GRAPH_BACKEND"
 BACKENDS = ("python", "fast", "auto")
 
+#: Environment variable seeding the multi-source BFS wave-width policy:
+#: ``auto`` (default) or a positive integer of sources per wave (rounded up
+#: to whole 64-bit frontier words by the kernel).
+BFS_BATCH_ENV_VAR = "REPRO_BFS_BATCH"
+
 #: Under ``auto``, graphs with at least this many nodes use the fast backend.
 #: Below it the numpy fixed costs rival the pure-Python BFS runtime.
 AUTO_THRESHOLD = 2048
 
 _forced: Optional[str] = None
+_forced_bfs_batch: "Optional[object]" = None  # None | "auto" | int >= 1
 
 
 class BackendError(RuntimeError):
@@ -99,6 +113,68 @@ def policy() -> str:
     env = os.environ.get(ENV_VAR, "").strip().lower()
     if env:
         return _validate(env)
+    return "auto"
+
+
+# ----------------------------------------------------------------------
+# Multi-source BFS wave-width policy (threaded into repro.graphs.fast)
+# ----------------------------------------------------------------------
+def _validate_bfs_batch(value):
+    """Normalise a wave-width policy value to ``"auto"`` or a positive int."""
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text == "auto":
+            return "auto"
+        try:
+            value = int(text)
+        except ValueError:
+            raise BackendError(
+                f"invalid BFS batch policy {value!r}; expected 'auto' or a "
+                "positive integer of sources per wave"
+            ) from None
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise BackendError(
+            f"invalid BFS batch policy {value!r}; expected 'auto' or a "
+            "positive integer of sources per wave"
+        )
+    return value
+
+
+def use_bfs_batch(value) -> "Optional[object]":
+    """Force the BFS wave-width policy process-wide; returns the previous value.
+
+    ``value`` is ``"auto"`` or a positive source count per wave (the kernel
+    rounds it up to whole 64-bit frontier words).  ``None`` clears the
+    override, falling back to ``REPRO_BFS_BATCH`` (default ``auto``).  Wave
+    width never changes results -- only wall-clock time and memory -- so this
+    is a tuning knob, not a semantic switch.
+    """
+    global _forced_bfs_batch
+    previous = _forced_bfs_batch
+    _forced_bfs_batch = _validate_bfs_batch(value) if value is not None else None
+    return previous
+
+
+@contextmanager
+def using_bfs_batch(value) -> Iterator[None]:
+    """Context manager scoping a forced BFS wave-width policy."""
+    previous = use_bfs_batch(value)
+    try:
+        yield
+    finally:
+        use_bfs_batch(previous)
+
+
+def bfs_batch_policy():
+    """The active wave-width policy: forced > environment > ``"auto"``.
+
+    Returns ``"auto"`` or a positive integer of sources per wave.
+    """
+    if _forced_bfs_batch is not None:
+        return _forced_bfs_batch
+    env = os.environ.get(BFS_BATCH_ENV_VAR, "").strip()
+    if env:
+        return _validate_bfs_batch(env)
     return "auto"
 
 

@@ -8,10 +8,16 @@ UndirectedGraph` -- two numpy arrays, ``indptr`` and ``indices`` -- plus
 vectorized kernels over it:
 
 * frontier-based BFS (distances, eccentricity, closeness),
-* batched multi-source BFS: up to 64 sources advance together as one
-  bit-packed ``uint64`` frontier per node (one gather +
-  ``bitwise_or.reduceat`` per level), which is what the sampled diameter /
-  average-shortest-path / closeness estimators run on,
+* batched multi-source BFS: an adaptive multi-word frontier engine.  Each
+  node carries ``W`` bit-packed ``uint64`` frontier words, so one wave
+  advances up to ``64 * W`` sources together; every level dispatches
+  between a dense all-edges step (transposed-ELL in-place OR accumulation,
+  or a ``bitwise_or.reduceat`` segment reduction on skew-degreed graphs)
+  and a sparse step touching only frontier-incident edges, chosen from the
+  live frontier's edge count.  ``W`` is auto-tuned from the graph and the
+  source count (overridable via ``REPRO_BFS_BATCH`` /
+  ``backend.use_bfs_batch``); the sampled *and full-population* diameter /
+  average-shortest-path / closeness estimators all run on this engine,
 * connected components via min-label propagation with pointer jumping
   (Shiloach--Vishkin style, O(m log n) total work),
 * masked component summaries for the Figure 6 simultaneous-deletion sweeps
@@ -52,9 +58,43 @@ NodeId = Hashable
 
 _CSR_CACHE_ATTR = "_csr_cache"
 
-#: Sources per bit-packed multi-source BFS wave (one bit per source in a
-#: ``uint64`` word); larger batches are processed in chunks of this size.
+#: Bits per frontier word: one ``uint64`` word carries 64 sources.  Waves may
+#: span several words per node (see :func:`wave_batch`), so this is the wave
+#: width *granularity*, not a cap.
 BFS_BATCH = 64
+
+#: Upper bound on frontier words per node under the ``auto`` wave-width
+#: policy: one wave advances at most ``64 * MAX_WAVE_WORDS`` sources.
+MAX_WAVE_WORDS = 64
+
+#: Byte budget for one ``(n, words)`` uint64 wave work array under ``auto``;
+#: the tuner shrinks the word count on huge graphs so the handful of wave
+#: buffers stays cache/RAM-friendly.
+WAVE_BUFFER_BUDGET = 64 << 20
+
+#: Dense/sparse crossover: a level advances with the sparse frontier step
+#: when the edges incident to the live frontier, times this divisor, fit
+#: inside the total edge count (i.e. the dense all-edges gather would touch
+#: ``>= SPARSE_EDGE_DIVISOR`` times more edges than the frontier owns).
+SPARSE_EDGE_DIVISOR = 12
+
+#: Saturation (pull) crossover: once the bits still missing across the whole
+#: wave, scaled by the mean degree and this divisor, fit inside the total
+#: edge count, the engine materialises the unsaturated-row set and advances
+#: by pulling into those rows only -- the tail levels of a wave stop paying
+#: for edges whose endpoints already hold every source bit.
+PULL_EDGE_DIVISOR = 4
+
+#: Per-level step selection: ``"adaptive"`` (occupancy-driven, the default)
+#: or ``"dense"`` / ``"sparse"`` / ``"pull"`` to force one step kind.  A
+#: testing and benchmarking knob -- every mode returns identical results.
+WAVE_STEP_MODE = "adaptive"
+
+#: The dense step uses a padded transposed-ELL neighbour table (cached per
+#: CSR snapshot) when the padding stays within this factor of the real edge
+#: count; skew-degreed graphs (hubs, stars) fall back to the segment-reduce
+#: gather so padding can never blow up memory or time.
+ELL_PAD_FACTOR = 4
 
 #: A patched CSR keeps ghost (removed-node) indices in its arrays.  Once the
 #: ghosts outnumber ``max(GHOST_SLACK, live nodes)`` the next synchronisation
@@ -79,7 +119,7 @@ class CSRGraph:
     id), but ghosts are dropped from ``index_of``.
     """
 
-    __slots__ = ("nodes", "index_of", "indptr", "indices", "alive")
+    __slots__ = ("nodes", "index_of", "indptr", "indices", "alive", "_ell", "_scratch")
 
     def __init__(
         self,
@@ -94,6 +134,13 @@ class CSRGraph:
         self.indptr = indptr
         self.indices = indices
         self.alive = alive
+        #: Lazily built transposed-ELL neighbour table for the dense wave
+        #: step (``False`` = not built yet, ``None`` = unsuitable).
+        self._ell = False
+        #: Reusable dense-step buffers keyed by wave word count, so the
+        #: thousands of waves of a full-population campaign do not pay an
+        #: allocation-and-fault burst each.
+        self._scratch: Dict[int, "_DenseScratch"] = {}
 
     @property
     def n(self) -> int:
@@ -305,68 +352,450 @@ def bfs_distances(csr: CSRGraph, source_index: int) -> np.ndarray:
 
 
 # ----------------------------------------------------------------------
-# Batched multi-source BFS (bit-packed frontiers)
+# Batched multi-source BFS (adaptive multi-word frontier engine)
 # ----------------------------------------------------------------------
-def _batched_wave(csr: CSRGraph, sources: np.ndarray):
-    """Advance up to 64 BFS sources at once, yielding one packed frontier per level.
+#: Estimated BFS level count above which the auto-tuner widens waves past
+#: one word.  Below it (low-diameter graphs) per-level *work* dominates and
+#: the dense step's cost per word is flat, so narrow waves cost nothing and
+#: keep the thin early/late levels below the sparse-step crossover; above it
+#: (ring/path-like topologies) most levels are thin and the per-level fixed
+#: cost dominates, which wide waves amortise across ``64 * words`` sources.
+WIDE_WAVE_LEVELS = 48
 
-    Source ``j`` of the batch occupies bit ``j`` of a ``uint64`` word per
-    node; one level advances *all* sources with a single neighbour gather and
-    a ``bitwise_or.reduceat`` over the CSR segments -- no per-source Python
-    loop, no (B, n) frontier matrix.  The frontier yielded for level
-    ``d >= 1`` has bit ``j`` set at node ``v`` iff source ``j`` first reached
-    ``v`` at distance ``d``.
+
+def _estimated_levels(csr: CSRGraph) -> float:
+    """Rough BFS level count: the random-graph diameter ``log n / log(d-1)``."""
+    n = max(csr.n, 2)
+    mean_degree = csr.indices.size / n
+    if mean_degree <= 2.05:
+        return float(n)  # path/ring-like: levels scale with n
+    import math
+
+    return math.log(n) / math.log(mean_degree - 1.0)
+
+
+def wave_batch(csr: CSRGraph, total_sources: int) -> int:
+    """Sources advanced per wave for a ``total_sources``-source campaign.
+
+    The auto-tuner picks the wave width from the graph and the workload:
+
+    * low-diameter graphs (estimated levels below :data:`WIDE_WAVE_LEVELS`)
+      keep single-word waves -- the dense step costs the same per word at
+      any width, and narrow frontiers let more levels take the cheap sparse
+      step;
+    * high-diameter graphs widen up to :data:`MAX_WAVE_WORDS` words so one
+      wave carries up to ``64 * MAX_WAVE_WORDS`` sources and the per-level
+      fixed cost is paid once for all of them, shrinking only when a
+      ``(n, words)`` work array would blow :data:`WAVE_BUFFER_BUDGET`.
+
+    A forced policy (``backend.use_bfs_batch`` / ``REPRO_BFS_BATCH``)
+    bypasses the tuner entirely; the kernel rounds it up to whole 64-bit
+    words.
+    """
+    from repro.graphs import backend
+
+    policy = backend.bfs_batch_policy()
+    if policy != "auto":
+        return int(policy)
+    if total_sources <= BFS_BATCH:
+        return BFS_BATCH
+    if _estimated_levels(csr) < WIDE_WAVE_LEVELS:
+        return BFS_BATCH
+    words = -(-total_sources // BFS_BATCH)
+    # The budget must cover the largest per-word transient a level can
+    # materialise: (n,) buffers on ELL-suitable graphs, but the segment
+    # fallback and the pull step gather up to one word per *edge* when the
+    # degree skew rules the padded table out.
+    n = max(csr.n, 1)
+    degrees = np.diff(csr.indptr)
+    dmax = int(degrees.max()) if csr.n else 0
+    transient_rows = n if _ell_suitable(csr.n, dmax, csr.indices.size) else max(
+        n, csr.indices.size
+    )
+    budget_words = max(1, WAVE_BUFFER_BUDGET // (8 * transient_rows))
+    return min(words, MAX_WAVE_WORDS, budget_words) * BFS_BATCH
+
+
+def _ell_suitable(n: int, dmax: int, m: int) -> bool:
+    """Whether padding to ``dmax`` neighbour slots stays within budget."""
+    return 0 < dmax and n * dmax <= ELL_PAD_FACTOR * m + n
+
+
+def _ell_of(csr: CSRGraph) -> Optional[np.ndarray]:
+    """Cached transposed-ELL neighbour table, or ``None`` when unsuitable.
+
+    Shape ``(dmax, n)`` int32: slot ``j`` of column ``v`` is ``v``'s j-th
+    neighbour, padded with ``v`` itself past its degree.  Self-padding is
+    semantically free inside the wave -- a node's own frontier bits are
+    always a subset of its visited bits, so the ``& ~visited`` mask erases
+    the self contribution.  Unsuitable when padding to the maximum degree
+    would cost more than :data:`ELL_PAD_FACTOR` times the real edge count
+    (skew-degreed graphs keep the segment-reduce dense step).
+    """
+    cached = csr._ell
+    if cached is not False:
+        return cached
+    n = csr.n
+    degrees = np.diff(csr.indptr)
+    dmax = int(degrees.max()) if n else 0
+    table: Optional[np.ndarray] = None
+    if _ell_suitable(n, dmax, csr.indices.size):
+        table = np.empty((dmax, n), dtype=np.int32)
+        table[:] = np.arange(n, dtype=np.int32)[None, :]
+        rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        slots = np.arange(csr.indices.size, dtype=np.int64) - np.repeat(
+            csr.indptr[:-1], degrees
+        )
+        table[slots, rows] = csr.indices
+    csr._ell = table
+    return table
+
+
+def _sparse_step(
+    csr: CSRGraph, frontier: np.ndarray, active: np.ndarray, visited: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One top-down level touching only edges incident to the live frontier.
+
+    Gathers the CSR slices of the ``active`` rows, scatter-ORs their packed
+    words into the neighbour rows (sort + segment-reduce, no ufunc.at inner
+    loop), masks already-visited bits and returns ``(rows, words)`` for the
+    newly reached rows.  Bit-identical to the dense step by construction:
+    rows outside the frontier hold all-zero words, so restricting the OR to
+    frontier-incident edges drops only zero contributions.
+    """
+    indptr = csr.indptr
+    starts = indptr[active]
+    counts = indptr[active + 1] - starts
+    total = int(counts.sum())
+    word_count = frontier.shape[1]
+    if total == 0:
+        return _EMPTY_ROWS, np.empty((0, word_count), dtype=np.uint64)
+    exclusive = np.zeros(active.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=exclusive[1:])
+    positions = np.repeat(starts - exclusive, counts) + np.arange(total, dtype=np.int64)
+    targets = csr.indices[positions]
+    if word_count == 1 and total >= frontier.shape[0] // 8:
+        # Medium-density frontier: a direct scatter-OR over a zeroed row
+        # buffer beats sorting the edge list, and the full-row scan it needs
+        # is already cheaper than the work just done.
+        flat = frontier.reshape(-1)
+        out = np.zeros(frontier.shape[0], dtype=np.uint64)
+        np.bitwise_or.at(out, targets, np.repeat(flat[active], counts))
+        out &= ~visited.reshape(-1)
+        rows = np.flatnonzero(out)
+        return rows, out[rows].reshape(-1, 1)
+    # No stability needed: the segment OR is commutative and the row order
+    # comes out sorted either way (introsort is ~2x faster than timsort here).
+    order = np.argsort(targets)
+    targets = targets[order]
+    seg_starts = np.concatenate(([0], np.flatnonzero(np.diff(targets)) + 1))
+    rows = targets[seg_starts].astype(np.int64, copy=False)
+    if word_count == 1:
+        # Single-word waves run on flat views: 2-D ops over one column pay a
+        # real per-row toll in the hottest estimator configurations.
+        flat = frontier.reshape(-1)
+        contrib = np.repeat(flat[active], counts)[order]
+        words = np.bitwise_or.reduceat(contrib, seg_starts)
+        words &= ~visited.reshape(-1)[rows]
+        fresh = words != 0
+        return rows[fresh], words[fresh].reshape(-1, 1)
+    contrib = np.repeat(frontier[active], counts, axis=0)
+    words = np.bitwise_or.reduceat(contrib[order], seg_starts, axis=0)
+    np.bitwise_and(words, ~visited[rows], out=words)
+    fresh = words.any(axis=1)
+    return rows[fresh], words[fresh]
+
+
+def _pull_step(
+    csr: CSRGraph, frontier: np.ndarray, unsat: np.ndarray, visited: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One bottom-up level: only unsaturated rows pull from their neighbours.
+
+    A row whose visited word(s) already hold every source bit can never gain
+    another, so near the end of a wave the engine walks just the unsaturated
+    rows' CSR slices (a segment reduction, no sort) instead of all ``m``
+    edges.  Bit-identical to the dense step restricted to rows that could
+    change -- which is all of them that matter.
+    """
+    indptr = csr.indptr
+    starts = indptr[unsat]
+    counts = indptr[unsat + 1] - starts
+    occupied = counts > 0
+    rows = unsat[occupied]
+    counts = counts[occupied]
+    total = int(counts.sum())
+    word_count = frontier.shape[1]
+    if total == 0:
+        return _EMPTY_ROWS, np.empty((0, word_count), dtype=np.uint64)
+    exclusive = np.zeros(counts.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=exclusive[1:])
+    positions = np.repeat(starts[occupied] - exclusive, counts) + np.arange(
+        total, dtype=np.int64
+    )
+    neighbors = csr.indices[positions]
+    if word_count == 1:
+        gathered = frontier.reshape(-1)[neighbors]
+        words = np.bitwise_or.reduceat(gathered, exclusive)
+        words &= ~visited.reshape(-1)[rows]
+        fresh = words != 0
+        return rows[fresh], words[fresh].reshape(-1, 1)
+    gathered = frontier[neighbors]
+    words = np.bitwise_or.reduceat(gathered, exclusive, axis=0)
+    np.bitwise_and(words, ~visited[rows], out=words)
+    fresh = words.any(axis=1)
+    return rows[fresh], words[fresh]
+
+
+_EMPTY_ROWS = np.empty(0, dtype=np.int64)
+
+
+class _DenseScratch:
+    """Per-wave reusable ``(n, words)`` buffers for the dense step."""
+
+    __slots__ = ("out", "tmp", "inv", "nonzero", "starts")
+
+    def __init__(self, n: int, words: int) -> None:
+        self.out = np.empty((n, words), dtype=np.uint64)
+        self.tmp = np.empty((n, words), dtype=np.uint64)
+        self.inv = np.empty((n, words), dtype=np.uint64)
+        self.nonzero: Optional[np.ndarray] = None
+        self.starts: Optional[np.ndarray] = None
+
+
+def _dense_step(
+    csr: CSRGraph,
+    frontier: np.ndarray,
+    visited: np.ndarray,
+    scratch: _DenseScratch,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One level over every edge: new word per node = OR of its neighbours'.
+
+    Uses the transposed-ELL table when the snapshot has one -- ``dmax``
+    row-gathers accumulated in place, which streams sequential writes and
+    amortises each random row lookup over all frontier words -- and falls
+    back to the ``bitwise_or.reduceat`` segment reduction on skew-degreed
+    snapshots.  Returns the new frontier buffer (``scratch.out``, swapped by
+    the caller) already masked by ``~visited``.
+    """
+    out = scratch.out
+    table = _ell_of(csr)
+    if table is not None:
+        np.take(frontier, table[0], axis=0, out=out)
+        tmp = scratch.tmp
+        for slot in range(1, table.shape[0]):
+            np.take(frontier, table[slot], axis=0, out=tmp)
+            np.bitwise_or(out, tmp, out=out)
+    else:
+        if scratch.nonzero is None:
+            degrees = np.diff(csr.indptr)
+            scratch.nonzero = np.flatnonzero(degrees > 0)
+            scratch.starts = csr.indptr[scratch.nonzero]
+        gathered = frontier[csr.indices]
+        neighbor_or = np.bitwise_or.reduceat(gathered, scratch.starts, axis=0)
+        out[:] = 0
+        out[scratch.nonzero] = neighbor_or
+    np.invert(visited, out=scratch.inv)
+    np.bitwise_and(out, scratch.inv, out=out)
+    rows = np.flatnonzero(out.reshape(-1) if out.shape[1] == 1 else out.any(axis=1))
+    return rows, out
+
+
+def _batched_wave(csr: CSRGraph, sources: np.ndarray, counting: bool = False):
+    """Advance many BFS sources at once, yielding ``(rows, words)`` per level.
+
+    Source ``j`` of the batch occupies bit ``j % 64`` of frontier word
+    ``j // 64`` of each node, so one wave carries ``64 * words`` sources --
+    there is no 64-source cap; callers chunk by :func:`wave_batch`.  Every
+    level advances *all* sources at once, dispatching between two
+    bit-identical steps on live frontier occupancy (or as forced by
+    :data:`WAVE_STEP_MODE`):
+
+    * **dense** -- all-edges neighbour OR (transposed-ELL accumulation, or
+      segment reduction on skew-degreed snapshots);
+    * **sparse** -- touch only the edges incident to the frontier rows
+      (CSR slice gather + sort/segment-reduce scatter-OR), restoring
+      near-linear total work on high-diameter, thin-frontier topologies.
+
+    The yield for level ``d >= 1`` is ``(rows, words)``: ``words[i]`` has
+    bit ``j`` set iff source ``j`` first reached node ``rows[i]`` at
+    distance ``d``.  With ``counting=True`` the second element is instead
+    the per-row popcount vector (how many sources first reached each row at
+    this level), which the aggregate estimators consume without a second
+    popcount pass.  ``rows`` ascends; the yielded arrays are fresh copies
+    safe to keep across levels.
     """
     batch = sources.size
     if batch == 0:
         return
-    if batch > BFS_BATCH:
-        raise ValueError(f"at most {BFS_BATCH} sources per wave, got {batch}")
     n = csr.n
-    bits = np.left_shift(np.uint64(1), np.arange(batch, dtype=np.uint64))
-    visited = np.zeros(n, dtype=np.uint64)
-    np.bitwise_or.at(visited, sources, bits)
+    words = -(-batch // BFS_BATCH)
+    bits = np.left_shift(
+        np.uint64(1), np.arange(batch, dtype=np.uint64) & np.uint64(63)
+    )
+    word_col = np.arange(batch, dtype=np.int64) >> 6
+    visited = np.zeros((n, words), dtype=np.uint64)
+    np.bitwise_or.at(visited, (sources, word_col), bits)
     frontier = visited.copy()
-
-    degrees = np.diff(csr.indptr)
-    nonzero = np.flatnonzero(degrees > 0)
-    starts = csr.indptr[nonzero]
+    active = np.unique(sources)
     if csr.indices.size == 0:
         return
-    while True:
-        gathered = frontier[csr.indices]
-        neighbor_or = np.bitwise_or.reduceat(gathered, starts)
-        frontier = np.zeros(n, dtype=np.uint64)
-        frontier[nonzero] = neighbor_or
-        frontier &= ~visited
-        if not frontier.any():
-            return
-        visited |= frontier
-        yield frontier
+    indptr = csr.indptr
+    m = csr.indices.size
+    mean_degree = m / n
+    scratch: Optional[_DenseScratch] = None
+    flat = words == 1
+    # Saturation bookkeeping: a full row can never gain a bit, so the wave
+    # (a) stops outright once every (source, node) pair is visited -- no
+    # final all-edges step just to discover an empty frontier -- and (b)
+    # switches to the pull step over the unsaturated rows once few bits are
+    # missing.  ``full_row`` is the all-sources-visited word pattern.
+    full_row = np.full(words, np.uint64(2 ** 64 - 1), dtype=np.uint64)
+    if batch % BFS_BATCH:
+        full_row[-1] = np.uint64((1 << (batch % BFS_BATCH)) - 1)
+    remaining = n * batch - int(_row_popcounts(visited[active]).sum())
+    unsat: Optional[np.ndarray] = None
+    sparse_limit = m // SPARSE_EDGE_DIVISOR
+    try:
+        while True:
+            # Summing frontier degrees costs O(active); skip it when the
+            # active count alone already rules the sparse step out (every
+            # row contributes at least one edge or the step is a no-op).
+            if active.size > sparse_limit:
+                frontier_edges = m
+            else:
+                frontier_edges = int((indptr[active + 1] - indptr[active]).sum())
+                if frontier_edges == 0:
+                    return
+            mode = WAVE_STEP_MODE
+            if mode == "adaptive":
+                if frontier_edges * SPARSE_EDGE_DIVISOR <= m:
+                    mode = "sparse"
+                elif remaining * mean_degree * PULL_EDGE_DIVISOR <= m:
+                    mode = "pull"
+                else:
+                    mode = "dense"
+            if mode == "dense":
+                if scratch is None:
+                    # Checked out for this generator's lifetime, so two
+                    # interleaved waves on one snapshot never share buffers.
+                    scratch = csr._scratch.pop(words, None)
+                    if scratch is None:
+                        scratch = _DenseScratch(n, words)
+                rows, new_frontier = _dense_step(csr, frontier, visited, scratch)
+                if rows.size == 0:
+                    return
+                scratch.out = frontier  # recycle the old buffer next level
+                frontier = new_frontier
+                if flat:
+                    step_words = frontier.reshape(-1)[rows]
+                    if 2 * rows.size < n:
+                        visited.reshape(-1)[rows] |= step_words
+                    else:
+                        visited |= frontier
+                    step_words = step_words.reshape(-1, 1)
+                elif 2 * rows.size < n:
+                    step_words = frontier[rows]
+                    visited[rows] |= step_words
+                else:
+                    visited |= frontier
+                    step_words = frontier[rows]
+            else:
+                if mode == "pull":
+                    if flat:
+                        visited_1d = visited.reshape(-1)
+                        if unsat is None:
+                            unsat = np.flatnonzero(visited_1d != full_row[0])
+                        else:
+                            unsat = unsat[visited_1d[unsat] != full_row[0]]
+                    elif unsat is None:
+                        unsat = np.flatnonzero((visited != full_row).any(axis=1))
+                    else:
+                        unsat = unsat[(visited[unsat] != full_row).any(axis=1)]
+                    rows, step_words = _pull_step(csr, frontier, unsat, visited)
+                else:
+                    rows, step_words = _sparse_step(csr, frontier, active, visited)
+                if flat:
+                    frontier_1d = frontier.reshape(-1)
+                    frontier_1d[active] = 0
+                    if rows.size == 0:
+                        return
+                    words_1d = step_words.reshape(-1)
+                    frontier_1d[rows] = words_1d
+                    visited.reshape(-1)[rows] |= words_1d
+                else:
+                    frontier[active] = 0
+                    if rows.size == 0:
+                        return
+                    frontier[rows] = step_words
+                    visited[rows] |= step_words
+            active = rows
+            popcounts = _row_popcounts(step_words)
+            yield rows, (popcounts if counting else step_words)
+            remaining -= int(popcounts.sum())
+            if remaining == 0:
+                return
+    finally:
+        if scratch is not None:
+            csr._scratch[words] = scratch
 
 
-def _frontier_bits(frontier: np.ndarray, batch: int) -> np.ndarray:
-    """``(n, batch)`` 0/1 matrix of a packed frontier's per-source bits.
+def _le_bytes(words: np.ndarray) -> np.ndarray:
+    """Packed words as a little-endian ``(rows, 8 * word_count)`` byte view.
 
-    Bit ``j`` of each ``uint64`` word must land in column ``j``, so the words
-    are viewed as little-endian bytes; big-endian hosts byteswap first (a
-    copy, but those hosts are rare and correctness beats zero-copy there).
+    Byte ``b`` of a row covers source bits ``8b .. 8b+7``; big-endian hosts
+    byteswap first (a copy, but those hosts are rare and correctness beats
+    zero-copy there).
     """
     if sys.byteorder == "big":  # pragma: no cover - exercised on s390x etc.
-        frontier = frontier.byteswap()
-    unpacked = np.unpackbits(
-        frontier.view(np.uint8).reshape(frontier.size, 8), axis=1, bitorder="little"
-    )
-    return unpacked[:, :batch]
+        words = words.byteswap()
+    words = np.ascontiguousarray(words)
+    return words.view(np.uint8).reshape(words.shape[0], 8 * words.shape[1])
 
 
-def _frontier_bit_counts(frontier: np.ndarray, batch: int) -> np.ndarray:
-    """Per-source popcount of a packed frontier: ``(batch,)`` int64 counts."""
-    return _frontier_bits(frontier, batch).sum(axis=0, dtype=np.int64)
+def _frontier_bits(words: np.ndarray, batch: int) -> np.ndarray:
+    """``(rows, batch)`` 0/1 matrix of a packed level's per-source bits."""
+    return np.unpackbits(_le_bytes(words), axis=1, bitorder="little")[:, :batch]
+
+
+#: ``(256, 8)`` lookup: row ``b`` holds the bits of byte value ``b``; used to
+#: turn per-byte histograms into per-source popcounts without unpacking.
+_BYTE_BITS = np.unpackbits(
+    np.arange(256, dtype=np.uint8)[:, None], axis=1, bitorder="little"
+).astype(np.int64)
+
+
+def _frontier_bit_counts(words: np.ndarray, batch: int) -> np.ndarray:
+    """Per-source popcount of a packed level: ``(batch,)`` int64 counts.
+
+    One byte-value histogram per (transposed, contiguous) byte column folded
+    through the :data:`_BYTE_BITS` table -- ~4x cheaper than unpacking every
+    row to bits when many rows are live.
+    """
+    byte_columns = np.ascontiguousarray(_le_bytes(words).T)
+    counts = np.empty(BFS_BATCH * words.shape[1], dtype=np.int64)
+    for column in range(byte_columns.shape[0]):
+        histogram = np.bincount(byte_columns[column], minlength=256)
+        counts[8 * column:8 * (column + 1)] = histogram @ _BYTE_BITS
+    return counts[:batch]
+
+
+if hasattr(np, "bitwise_count"):
+
+    def _row_popcounts(words: np.ndarray) -> np.ndarray:
+        """Per-row popcount of a packed level: ``(rows,)`` int64 counts."""
+        return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
+
+else:  # pragma: no cover - numpy < 2.0 fallback
+
+    _BYTE_POPCOUNT = _BYTE_BITS.sum(axis=1)
+
+    def _row_popcounts(words: np.ndarray) -> np.ndarray:
+        """Per-row popcount of a packed level: ``(rows,)`` int64 counts."""
+        return _BYTE_POPCOUNT[_le_bytes(words)].sum(axis=1)
 
 
 def _batched_level_counts(csr: CSRGraph, sources: np.ndarray) -> List[np.ndarray]:
-    """Per-level newly-visited counts for up to 64 BFS sources at once.
+    """Per-level newly-visited counts for one wave of BFS sources.
 
     Returns one ``(B,)`` int64 array per BFS level ``d >= 1``: entry ``j`` is
     the number of nodes source ``j`` first reached at distance ``d``.
@@ -376,8 +805,8 @@ def _batched_level_counts(csr: CSRGraph, sources: np.ndarray) -> List[np.ndarray
     """
     batch = sources.size
     return [
-        _frontier_bit_counts(frontier, batch)
-        for frontier in _batched_wave(csr, sources)
+        _frontier_bit_counts(words, batch)
+        for _rows, words in _batched_wave(csr, sources)
     ]
 
 
@@ -391,22 +820,24 @@ def _batched_source_indices(csr: CSRGraph, nodes: Sequence[NodeId]) -> np.ndarra
 def bfs_distances_batch(csr: CSRGraph, sources: np.ndarray) -> np.ndarray:
     """BFS distances (``-1`` unreachable) from many sources: a ``(B, n)`` matrix.
 
-    Runs the same bit-packed wave as :func:`_batched_level_counts` in chunks
-    of :data:`BFS_BATCH` sources, materialising per-level distance rows.  Use
-    the count-based estimators when only aggregates are needed; this is the
-    kernel behind :func:`shortest_path_lengths_from_many`.
+    Runs the same multi-word wave as :func:`_batched_level_counts` in chunks
+    of :func:`wave_batch` sources, materialising per-level distance rows.
+    Use the count-based estimators when only aggregates are needed; this is
+    the kernel behind :func:`shortest_path_lengths_from_many`.
     """
     sources = np.asarray(sources, dtype=np.int64)
     total = sources.size
     n = csr.n
     distances = np.full((total, n), -1, dtype=np.int32)
-    for offset in range(0, total, BFS_BATCH):
-        chunk = sources[offset:offset + BFS_BATCH]
+    chunk_size = wave_batch(csr, total) if total else BFS_BATCH
+    for offset in range(0, total, chunk_size):
+        chunk = sources[offset:offset + chunk_size]
         batch = chunk.size
-        rows = distances[offset:offset + batch]
-        rows[np.arange(batch), chunk] = 0
-        for depth, frontier in enumerate(_batched_wave(csr, chunk), start=1):
-            rows[_frontier_bits(frontier, batch).T.astype(bool)] = depth
+        rows_matrix = distances[offset:offset + batch]
+        rows_matrix[np.arange(batch), chunk] = 0
+        for depth, (rows, words) in enumerate(_batched_wave(csr, chunk), start=1):
+            row_pos, source_bit = np.nonzero(_frontier_bits(words, batch))
+            rows_matrix[source_bit, rows[row_pos]] = depth
     return distances
 
 
@@ -434,8 +865,9 @@ def _chunked_level_counts(
 ) -> Iterable[Tuple[int, List[np.ndarray]]]:
     """Yield ``(chunk_size, per-level counts)`` for sources in wave chunks."""
     indices = _batched_source_indices(csr, nodes)
-    for offset in range(0, indices.size, BFS_BATCH):
-        chunk = indices[offset:offset + BFS_BATCH]
+    chunk_size = wave_batch(csr, indices.size) if indices.size else BFS_BATCH
+    for offset in range(0, indices.size, chunk_size):
+        chunk = indices[offset:offset + chunk_size]
         yield chunk.size, _batched_level_counts(csr, chunk)
 
 
@@ -519,10 +951,18 @@ def average_closeness_centrality(
 ) -> float:
     """Mean closeness centrality over all nodes (or a deterministic sample).
 
-    All sampled sources run as bit-packed multi-source BFS waves; the
-    per-source closeness values are reassembled from per-level visit counts
-    with exactly the reference's integer-then-float arithmetic (and summed in
-    the same source order), so the result stays bit-identical.
+    All sources run as bit-packed multi-word BFS waves; the per-source
+    closeness values are reassembled from per-level visit counts with exactly
+    the reference's integer-then-float arithmetic (and summed in the same
+    source order), so the result stays bit-identical.
+
+    The full-population case (``sample_size=None`` or covering every node)
+    additionally exploits distance symmetry: when *every* node is a source,
+    ``sum_u d(u, v)`` over all sources equals node ``v``'s own distance sum,
+    so the per-source column counts collapse to per-node row popcounts
+    accumulated as the waves advance -- same integers, same node order, same
+    float arithmetic, at a fraction of the counting cost.  This is what makes
+    *exact* 100k-node closeness practical rather than merely sampled.
     """
     nodes = _select_nodes(graph, sample_size, rng)
     if not nodes:
@@ -531,22 +971,69 @@ def average_closeness_centrality(
     if n <= 1:
         return 0.0
     csr = csr_of(graph)
+    if len(nodes) == n:
+        return _full_population_closeness(csr, n)
     values: List[float] = []
     for batch, level_counts in _chunked_level_counts(csr, nodes):
-        reachable = [0] * batch
-        totals = [0] * batch
+        reachable = np.zeros(batch, dtype=np.int64)
+        totals = np.zeros(batch, dtype=np.int64)
         for depth, counts in enumerate(level_counts, start=1):
-            for j in range(batch):
-                newly = int(counts[j])
-                reachable[j] += newly
-                totals[j] += depth * newly
+            reachable += counts
+            totals += depth * counts
+        # Per-source floats in source order, with the reference's exact
+        # integer-then-float arithmetic (the int64 accumulators are exact, so
+        # vectorising the accumulation cannot perturb a bit).
         for j in range(batch):
-            if reachable[j] == 0:
+            reached = int(reachable[j])
+            if reached == 0:
                 values.append(0.0)
             else:
-                closeness = reachable[j] / totals[j]
-                values.append(closeness * (reachable[j] / (n - 1)))
+                closeness = reached / int(totals[j])
+                values.append(closeness * (reached / (n - 1)))
     return sum(values) / len(values)
+
+
+def _full_population_closeness(csr: CSRGraph, n: int) -> float:
+    """Exact mean closeness with every live node as a BFS source.
+
+    Runs the same wave chunks a sampled campaign would, but instead of
+    extracting per-*source* column counts each level it scatters per-*node*
+    row popcounts into ``(reached, total)`` accumulators: by symmetry of
+    shortest-path distance, the sum of ``depth * popcount`` contributions a
+    node collects across every wave is exactly its own distance sum once all
+    sources have run.  The final per-node float expressions and their
+    summation order mirror the reference implementation bit for bit.
+    """
+    live = (
+        np.arange(csr.n, dtype=np.int64)
+        if csr.alive is None
+        else np.flatnonzero(csr.alive)
+    )
+    # ``reached`` falls straight out of symmetry too: the sources reaching a
+    # node are exactly the other members of its component, so one component
+    # labelling replaces a per-level scatter.
+    labels = _component_labels(csr.n, csr.indptr, csr.indices)
+    component_sizes = np.bincount(labels[live], minlength=csr.n)
+    reached = component_sizes[labels] - 1
+    totals = np.zeros(csr.n, dtype=np.int64)
+    chunk_size = wave_batch(csr, live.size)
+    for offset in range(0, live.size, chunk_size):
+        chunk = live[offset:offset + chunk_size]
+        waves = _batched_wave(csr, chunk, counting=True)
+        for depth, (rows, popcounts) in enumerate(waves, start=1):
+            totals[rows] += depth * popcounts
+    # Vectorised but bit-identical assembly: every operand is an int64 far
+    # below 2**53, so float64 conversion is exact and each division/multiply
+    # rounds exactly like the reference's Python-float expression.  Only the
+    # final accumulation must stay sequential (numpy would sum pairwise), so
+    # it runs over a plain list exactly like the reference's ``sum(values)``.
+    live_reached = reached[live].astype(np.float64)
+    live_totals = totals[live].astype(np.float64)
+    values = np.zeros(live.size, dtype=np.float64)
+    covered = live_reached > 0
+    closeness = live_reached[covered] / live_totals[covered]
+    values[covered] = closeness * (live_reached[covered] / (n - 1))
+    return sum(values.tolist()) / values.size
 
 
 def degree_centrality(graph: UndirectedGraph, node: NodeId) -> float:
@@ -703,8 +1190,9 @@ def diameter(
     # still advanced, so the batched wave's level count *is* the chunk's max
     # -- no per-level count extraction needed at all.
     indices = _batched_source_indices(csr, nodes)
-    for offset in range(0, indices.size, BFS_BATCH):
-        chunk = indices[offset:offset + BFS_BATCH]
+    chunk_size = wave_batch(csr, indices.size) if indices.size else BFS_BATCH
+    for offset in range(0, indices.size, chunk_size):
+        chunk = indices[offset:offset + chunk_size]
         best = max(best, sum(1 for _ in _batched_wave(csr, chunk)))
     return float(best)
 
@@ -724,9 +1212,15 @@ def average_shortest_path_length(
     nodes = _select_nodes(working, sample_size, rng)
     total = 0
     pairs = 0
-    for _batch, level_counts in _chunked_level_counts(csr, nodes):
-        for depth, counts in enumerate(level_counts, start=1):
-            newly = int(counts.sum())
+    # Only the per-level aggregate is needed, so row popcounts suffice -- no
+    # per-source column counting at all (the integers are identical).
+    indices = _batched_source_indices(csr, nodes)
+    chunk_size = wave_batch(csr, indices.size) if indices.size else BFS_BATCH
+    for offset in range(0, indices.size, chunk_size):
+        chunk = indices[offset:offset + chunk_size]
+        waves = _batched_wave(csr, chunk, counting=True)
+        for depth, (_rows, popcounts) in enumerate(waves, start=1):
+            newly = int(popcounts.sum())
             total += depth * newly
             pairs += newly
     if pairs == 0:

@@ -164,6 +164,11 @@ def execute(
     if shard_size < 1:
         raise ValueError(f"shard_size must be >= 1, got {shard_size}")
     sc = get_scenario(spec.name)
+    if sc.shard_size is not None:
+        # Heavy at-scale scenarios cap their own shard width so a trial grid
+        # fans out across every worker instead of queueing behind one shard
+        # (results are unit-seeded, so sharding never affects values).
+        shard_size = min(shard_size, sc.shard_size)
     sc.check_params(set(spec.params) | set(spec.grid))
     spec = spec.resolved(sc.defaults)
     units = spec.work_units()

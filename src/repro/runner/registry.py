@@ -51,6 +51,10 @@ class Scenario:
     #: True for scenarios composing several subsystems (attack + defense +
     #: workload) that the flat ``run_*`` experiment API could not express.
     composed: bool = False
+    #: Cap on work units per process-pool submission.  Heavy at-scale
+    #: scenarios set ``1`` so a trial grid spreads across every worker
+    #: instead of riding one shard; ``None`` keeps the executor default.
+    shard_size: Optional[int] = None
 
     def accepted_params(self) -> Optional[set]:
         """Parameter names the function accepts, or ``None`` for ``**kwargs``."""
@@ -105,10 +109,13 @@ def scenario(
     defaults: Optional[Mapping[str, Any]] = None,
     version: str = "1",
     composed: bool = False,
+    shard_size: Optional[int] = None,
 ) -> Callable[[MetricFn], MetricFn]:
     """Register the decorated function as a named scenario."""
     defaults = dict(defaults or {})
     check_params(defaults)
+    if shard_size is not None and shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
 
     def decorator(fn: MetricFn) -> MetricFn:
         if name in _REGISTRY:
@@ -122,6 +129,7 @@ def scenario(
             version=version,
             module=fn.__module__,
             composed=composed,
+            shard_size=shard_size,
         )
         return fn
 

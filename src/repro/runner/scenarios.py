@@ -336,24 +336,36 @@ def ablation_pruning_policy(
 @scenario(
     name="resilience-at-scale",
     description="Fig-5-style gradual takedown resilience sweep at 100k nodes",
+    version="2",
+    shard_size=1,
     defaults={
         "n": 100_000,
         "k": 10,
         "max_fraction": 0.5,
         "checkpoints": 5,
         "metric_sample": 32,
+        "closeness_sample": None,
     },
 )
 def resilience_at_scale(
-    *, seed: int, n: int, k: int, max_fraction: float, checkpoints: int, metric_sample: int
+    *,
+    seed: int,
+    n: int,
+    k: int,
+    max_fraction: float,
+    checkpoints: int,
+    metric_sample: int,
+    closeness_sample: Optional[int],
 ) -> Dict[str, float]:
     """Figure 5's gradual-takedown sweep at sizes the paper could not reach.
 
     A k-regular DDSR overlay loses ``max_fraction`` of its nodes one at a
     time (repair after every deletion); components, degree centrality and the
-    sampled diameter / average-shortest-path estimators are recorded at every
-    checkpoint through :mod:`repro.graphs.backend`, whose CSR kernels keep
-    the 100k-node default tractable (the pure-Python reference needs hours).
+    path metrics are recorded at every checkpoint through
+    :meth:`~repro.core.ddsr.DDSROverlay.path_metric_summary`.  Closeness
+    defaults to the *exact full population* -- the multi-word frontier engine
+    makes every-node-a-source closeness affordable at the 100k default, where
+    the paper (and PR 3) could only sample.
     """
     from repro.core.ddsr import DDSROverlay
     from repro.graphs import backend
@@ -367,24 +379,17 @@ def resilience_at_scale(
     batch = max(1, len(schedule) // checkpoints) if len(schedule) else 1
 
     def measure() -> Dict[str, float]:
-        components, largest = backend.component_summary(overlay.graph)
-        survivors = overlay.graph.number_of_nodes()
-        # Extract the largest component once; both path metrics then skip
-        # their own component scan (and agree with the un-extracted call).
-        working = (
-            overlay.graph
-            if components == 1
-            else backend.largest_component_subgraph(overlay.graph)
+        summary = overlay.path_metric_summary(
+            sample_size=metric_sample,
+            rng=metric_rng,
+            closeness_sample=closeness_sample,
         )
         return {
-            "components": float(components),
-            "largest_fraction": largest / survivors if survivors else 0.0,
-            "diameter": backend.diameter(
-                working, sample_size=metric_sample, rng=metric_rng, connected=True
-            ),
-            "avg_path_length": backend.average_shortest_path_length(
-                working, sample_size=metric_sample, rng=metric_rng, connected=True
-            ),
+            "components": float(summary["components"]),
+            "largest_fraction": summary["largest_fraction"],
+            "diameter": summary["diameter"],
+            "avg_path_length": summary["avg_path_length"],
+            "avg_closeness": summary["avg_closeness"],
             "degree_centrality": backend.average_degree_centrality(overlay.graph),
         }
 
@@ -414,6 +419,8 @@ def resilience_at_scale(
         "final_diameter": final["diameter"],
         "initial_avg_path_length": initial["avg_path_length"],
         "final_avg_path_length": final["avg_path_length"],
+        "initial_avg_closeness": initial["avg_closeness"],
+        "final_avg_closeness": final["avg_closeness"],
         "final_degree_centrality": final["degree_centrality"],
         "repair_edges_added": float(overlay.stats.repair_edges_added),
         "max_degree": float(overlay.max_degree()),
@@ -423,6 +430,7 @@ def resilience_at_scale(
 @scenario(
     name="partition-threshold-at-scale",
     description="Fig-6 simultaneous-takedown partition threshold at 100k nodes",
+    shard_size=1,
     defaults={"size": 100_000, "k": 10, "resolution": 0.05, "trials_per_fraction": 1},
 )
 def partition_threshold_at_scale(
@@ -460,6 +468,7 @@ def partition_threshold_at_scale(
 @scenario(
     name="soap-at-scale",
     description="SOAP containment campaign against a 50k-node OnionBot overlay",
+    shard_size=1,
     defaults={"n": 50_000, "k": 10, "initial_compromised": 1, "max_targets": None},
 )
 def soap_at_scale(
@@ -500,6 +509,115 @@ def soap_at_scale(
         "benign_components": float(benign["components"]),
         "benign_nontrivial_components": float(benign["nontrivial_components"]),
         "benign_largest_component": float(benign["largest_component"]),
+    }
+
+
+@scenario(
+    name="soap-admission-grid",
+    description="PoW / rate-limit admission sweep for SOAP containment at 50k nodes",
+    shard_size=1,
+    defaults={
+        "n": 50_000,
+        "k": 10,
+        "initial_compromised": 1,
+        "admission": "open",
+        "pow_escalation": 2.0,
+        "pow_budget": 256.0,
+        "rate_base_delay": 60.0,
+        "rate_per_degree_delay": 30.0,
+        "rate_patience": 3600.0,
+    },
+)
+def soap_admission_grid(
+    *,
+    seed: int,
+    n: int,
+    k: int,
+    initial_compromised: int,
+    admission: str,
+    pow_escalation: float,
+    pow_budget: float,
+    rate_base_delay: float,
+    rate_per_degree_delay: float,
+    rate_patience: float,
+) -> Dict[str, float]:
+    """Section VII-A's counter-countermeasure trade-off, an order of magnitude up.
+
+    ``soap-at-scale`` runs open admission only; here the 50k-node overlay
+    defends itself with the paper's PoW or rate-limit peering admission
+    (swept via the ``admission`` axis: ``open`` / ``pow`` / ``rate-limit``
+    with their policy-strength parameters), measuring what the defense costs
+    the attacker (work, rejections, clones) against how far containment
+    still spreads -- and what the same pricing would charge the botnet's own
+    repair traffic, the "decreased flexibility" the paper warns about.
+    """
+    from repro.adversary.soap import SoapAttack, open_admission
+    from repro.core.ddsr import DDSROverlay
+    from repro.defenses.pow import PowAdmission, PowParameters
+    from repro.defenses.rate_limit import RateLimitedAdmission, RateLimitParameters
+
+    if admission == "open":
+        policy = open_admission
+    elif admission == "pow":
+        policy = PowAdmission(
+            PowParameters(
+                escalation_factor=pow_escalation,
+                work_budget_per_clone=pow_budget,
+            )
+        )
+    elif admission == "rate-limit":
+        policy = RateLimitedAdmission(
+            RateLimitParameters(
+                base_delay=rate_base_delay,
+                per_degree_delay=rate_per_degree_delay,
+                max_acceptable_delay=rate_patience,
+            )
+        )
+    else:
+        raise ValueError(
+            f"unknown admission policy {admission!r}; "
+            "expected 'open', 'pow' or 'rate-limit'"
+        )
+
+    overlay = DDSROverlay.k_regular(n, k, seed=derive_seed(seed, "wiring"))
+    chooser = random.Random(derive_seed(seed, "compromise"))
+    compromised = chooser.sample(overlay.nodes(), initial_compromised)
+    attack = SoapAttack(rng=random.Random(derive_seed(seed, "attack")), admission=policy)
+    campaign = attack.run_campaign(overlay, compromised)
+    benign = SoapAttack.benign_subgraph_components(overlay)
+
+    defense_work = getattr(policy, "total_work_charged", 0.0)
+    defense_delay = getattr(policy, "total_delay_charged", 0.0)
+    # The flip side of the trade-off: after the campaign a 10% takedown hits
+    # the overlay and the survivors heal; the same admission pricing charges
+    # every repair edge its entry cost ("decreased flexibility and
+    # recoverability", section VII-A).
+    baseline_repairs = overlay.stats.repair_edges_added
+    overlay.remove_fraction(0.1, rng=random.Random(derive_seed(seed, "heal")))
+    heal_edges = overlay.stats.repair_edges_added - baseline_repairs
+    # Each policy prices legitimate repairs through its own canonical helper
+    # (the same accounting bench_pow_tradeoff reports), not an ad-hoc rate.
+    if admission == "pow":
+        heal_cost = policy.repair_cost(heal_edges)
+    elif admission == "rate-limit":
+        heal_cost = policy.repair_delay(overlay, heal_edges)
+    else:
+        heal_cost = 0.0
+    return {
+        "n": float(n),
+        "containment_fraction": campaign.containment_fraction,
+        "neutralized": float(campaign.neutralized),
+        "clones_created": float(campaign.clones_created),
+        "clones_per_bot": campaign.clones_per_bot,
+        "peering_requests": float(campaign.peering_requests),
+        "requests_rejected": float(campaign.requests_rejected),
+        "attacker_work": campaign.work_spent,
+        "defense_work_charged": float(defense_work),
+        "defense_delay_charged": float(defense_delay),
+        "heal_repair_edges": float(heal_edges),
+        "heal_cost_under_policy": float(heal_cost),
+        "benign_components": float(benign["components"]),
+        "benign_nontrivial_components": float(benign["nontrivial_components"]),
     }
 
 

@@ -118,3 +118,29 @@ class TestVictimSchedule:
     def test_invalid_fraction(self):
         with pytest.raises(ValueError):
             victim_schedule([1, 2, 3], -0.1)
+
+
+class TestGradualPathMetrics:
+    def test_path_metrics_off_by_default(self):
+        result = GradualTakedown(fraction=0.2, rng=random.Random(2)).execute(
+            overlay()
+        )
+        assert result.path_metrics is None
+
+    def test_path_metrics_recorded_per_checkpoint(self):
+        target = overlay()
+        strategy = GradualTakedown(
+            fraction=0.3,
+            checkpoints=3,
+            rng=random.Random(2),
+            path_metrics=True,
+            metric_sample=8,
+            metric_rng=random.Random(11),
+        )
+        results = strategy.execute_with_checkpoints(target)
+        assert results
+        for checkpoint in results:
+            metrics = checkpoint.path_metrics
+            assert set(metrics) == {"diameter", "avg_path_length", "avg_closeness"}
+            assert metrics["diameter"] >= 1.0
+            assert metrics["avg_closeness"] > 0.0

@@ -187,3 +187,49 @@ class TestMassRemoval:
         snapshot = overlay.snapshot()
         overlay.remove_node(overlay.nodes()[0])
         assert snapshot.number_of_nodes() == 30
+
+
+class TestPathMetricSummary:
+    def test_summary_matches_backend_metrics(self):
+        import random
+
+        from repro.graphs import backend
+
+        overlay = DDSROverlay.k_regular(120, 8, seed=4)
+        summary = overlay.path_metric_summary(sample_size=10, rng=random.Random(3))
+        components, largest = backend.component_summary(overlay.graph)
+        assert summary["components"] == components
+        assert summary["largest_fraction"] == largest / overlay.graph.number_of_nodes()
+        # Same extraction + same rng stream reproduces the summary exactly.
+        rng = random.Random(3)
+        working = backend.largest_component_subgraph(overlay.graph)
+        assert summary["diameter"] == backend.diameter(
+            working, sample_size=10, rng=rng, connected=True
+        )
+        assert summary["avg_path_length"] == backend.average_shortest_path_length(
+            working, sample_size=10, rng=rng, connected=True
+        )
+        assert summary["avg_closeness"] == backend.average_closeness_centrality(working)
+
+    def test_summary_identical_across_backends(self):
+        import random
+
+        from repro.graphs import backend
+
+        overlay = DDSROverlay.k_regular(150, 8, seed=5)
+        overlay.remove_fraction(0.3, rng=random.Random(6))
+        with backend.using("python"):
+            reference = overlay.path_metric_summary(
+                sample_size=12, rng=random.Random(9)
+            )
+        with backend.using("fast"):
+            assert overlay.path_metric_summary(
+                sample_size=12, rng=random.Random(9)
+            ) == reference
+
+    def test_empty_overlay_summary(self):
+        overlay = DDSROverlay.k_regular(10, 4, seed=1)
+        for node in list(overlay.nodes()):
+            overlay.graph.remove_node(node)
+        summary = overlay.path_metric_summary()
+        assert summary["components"] == 0 and summary["avg_closeness"] == 0.0

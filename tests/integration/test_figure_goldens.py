@@ -82,6 +82,10 @@ GOLDENS = [
             "final_diameter": 3.0,
             "initial_avg_path_length": 2.843828320802005,
             "final_avg_path_length": 2.227701005025126,
+            # Exact full-population closeness (closeness_sample=None): the
+            # multi-word wave engine made every-node-a-source affordable.
+            "initial_avg_closeness": 0.3521321221062865,
+            "final_avg_closeness": 0.44903600009225864,
             "final_degree_centrality": 0.07512562814070352,
             "repair_edges_added": 17216.0,
             "max_degree": 15.0,

@@ -76,6 +76,58 @@ class TestParallelDeterminism:
         parallel = run_scenario("soap-under-churn", workers=4, **kwargs)
         assert parallel.unit_metrics == serial.unit_metrics
 
+    def test_at_scale_trial_grid_parallel_matches_serial(self):
+        """soap-admission-grid shards one unit per submission, bit-identically."""
+        kwargs = dict(
+            grid={"admission": ["open", "pow"]},
+            params={"n": 150, "k": 8},
+            trials=2,
+            seed=33,
+        )
+        serial = run_scenario("soap-admission-grid", workers=1, **kwargs)
+        parallel = run_scenario("soap-admission-grid", workers=4, **kwargs)
+        assert parallel.unit_metrics == serial.unit_metrics
+        assert parallel.rows() == serial.rows()
+
+    def test_scenario_shard_size_hint_caps_executor_sharding(self):
+        """A heavy scenario's shard_size=1 hint splits shards unit-per-worker."""
+        from repro.runner import executor as executor_module
+        from repro.runner.registry import get_scenario
+
+        assert get_scenario("soap-admission-grid").shard_size == 1
+        assert get_scenario("soap-at-scale").shard_size == 1
+        assert get_scenario("resilience-at-scale").shard_size == 1
+        observed = []
+        original = executor_module._shards
+
+        def recording(pending, shard_size):
+            observed.append(shard_size)
+            return original(pending, shard_size)
+
+        executor_module._shards = recording
+        try:
+            run_scenario(
+                "soap-admission-grid",
+                params={"n": 120, "k": 6},
+                trials=3,
+                seed=5,
+                workers=2,
+            )
+            run_scenario(
+                "ablation-repair-policy", workers=2, trials=3, **FAST
+            )
+        finally:
+            executor_module._shards = original
+        # Hinted scenario: forced to 1 unit per shard; unhinted: default (8).
+        assert observed[0] == 1
+        assert observed[1] == executor_module.DEFAULT_SHARD_SIZE
+
+    def test_shard_size_hint_validation(self):
+        from repro.runner.registry import scenario as register
+
+        with pytest.raises(ValueError):
+            register(name="bad-shard-hint", shard_size=0)
+
 
 class TestCaching:
     def test_second_run_served_entirely_from_cache(self, tmp_path):
