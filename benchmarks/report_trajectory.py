@@ -57,6 +57,13 @@ def _series_points(runs: List[dict]) -> Dict[str, List[Tuple[int, float]]]:
         ring = run.get("sparse_frontier")
         if ring:
             add(f"ring diameter n={ring['n']:,}", index, ring.get("speedup"))
+        full_path = run.get("full_path_metrics")
+        if full_path:
+            add(
+                f"exact path metrics n={full_path['n']:,}",
+                index,
+                full_path.get("speedup"),
+            )
     return series
 
 

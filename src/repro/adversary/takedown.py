@@ -158,6 +158,10 @@ class GradualTakedown:
     checkpoint (``metric_sample`` sources for the path estimators, exact
     full-population closeness) -- affordable even at 100k-node scale now
     that the checkpoints ride the adaptive multi-word frontier engine.
+    ``metric_sample=None`` upgrades every checkpoint to **exact**
+    full-population path metrics: diameter, ASPL and closeness all come from
+    one wave campaign per checkpoint
+    (:func:`repro.graphs.backend.full_path_metrics`), no sampling anywhere.
     """
 
     fraction: float

@@ -449,15 +449,29 @@ class DDSROverlay:
         sample_size: "Optional[int]" = None,
         rng: "Optional[random.Random]" = None,
         closeness_sample: "Optional[int]" = None,
+        path_workers: int = 1,
     ) -> "dict":
         """Path metrics of the overlay's largest component, in one extraction.
 
         Returns ``{components, largest_fraction, diameter, avg_path_length,
-        avg_closeness}``.  The component is extracted once and both path
-        estimators run with ``connected=True``; closeness defaults to the
-        *full population* (``closeness_sample=None``), which the fast
-        backend's multi-word frontier engine computes exactly at 100k-node
-        scale -- the paper-faithful metric rather than a sampled stand-in.
+        avg_closeness}``.  With ``sample_size=None`` (and the default
+        ``closeness_sample=None``) every metric is **exact**: diameter, ASPL
+        and closeness all come from one full-population wave campaign
+        (:func:`repro.graphs.backend.full_path_metrics` -- per-node
+        eccentricity max and distance sums accumulated as the waves advance),
+        affordable even at 100k nodes on the fast backend.  ``path_workers >
+        1`` additionally shards the campaign's sources across a process pool
+        (:func:`repro.runner.executor.sharded_full_path_metrics`); the merged
+        int64 accumulators make the parallel result bit-identical to serial.
+        A forced/auto-resolved *python* backend wins over ``path_workers``:
+        sharding is a fast-backend facility, and an explicit reference-path
+        request (or a graph below the auto threshold, where pool startup
+        dwarfs the campaign) runs the serial reference instead -- the values
+        are identical either way.
+
+        With a ``sample_size`` the component is extracted once and both path
+        estimators run with ``connected=True`` on sampled sources;
+        ``closeness_sample`` then still defaults to the full population.
         All values are identical across graph backends.
         """
         from repro.graphs import backend
@@ -472,6 +486,12 @@ class DDSROverlay:
                 "avg_path_length": 0.0,
                 "avg_closeness": 0.0,
             }
+        if sample_size is None and closeness_sample is None:
+            if path_workers > 1 and backend.resolve_for(graph) == "fast":
+                from repro.runner.executor import sharded_full_path_metrics
+
+                return sharded_full_path_metrics(graph, workers=path_workers)
+            return backend.full_path_metrics(graph)
         components, largest = backend.component_summary(graph)
         working = (
             graph if components == 1 else backend.largest_component_subgraph(graph)

@@ -7,6 +7,16 @@ class BotnetError(RuntimeError):
     """Base class for every error raised by :mod:`repro.core`."""
 
 
+class ConfigError(BotnetError):
+    """A configuration knob (environment variable, policy value) is invalid.
+
+    Raised instead of silently falling back to a default, so a typo like
+    ``REPRO_BFS_BATCH=full`` or ``REPRO_GRAPH_BACKEND=numpy`` fails loudly at
+    the first affected call rather than quietly degrading performance or
+    routing metrics through an unintended backend.
+    """
+
+
 class BootstrapError(BotnetError):
     """A bot could not find any peers during the rally stage."""
 

@@ -42,6 +42,7 @@ import random
 from contextlib import contextmanager
 from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
 
+from repro.core.errors import ConfigError
 from repro.graphs import metrics
 from repro.graphs.adjacency import UndirectedGraph
 
@@ -55,6 +56,12 @@ BACKENDS = ("python", "fast", "auto")
 #: to whole 64-bit frontier words by the kernel).
 BFS_BATCH_ENV_VAR = "REPRO_BFS_BATCH"
 
+#: Set truthy to force the fast backend's byte-LUT row-popcount kernel even
+#: when ``np.bitwise_count`` exists (the numpy < 2.0 fallback, kept honest
+#: by a dedicated CI job).  Parsed here -- without importing numpy -- so the
+#: runner's cache keys can cover it on any install.
+POPCOUNT_LUT_ENV_VAR = "REPRO_FORCE_POPCOUNT_LUT"
+
 #: Under ``auto``, graphs with at least this many nodes use the fast backend.
 #: Below it the numpy fixed costs rival the pure-Python BFS runtime.
 AUTO_THRESHOLD = 2048
@@ -63,14 +70,20 @@ _forced: Optional[str] = None
 _forced_bfs_batch: "Optional[object]" = None  # None | "auto" | int >= 1
 
 
-class BackendError(RuntimeError):
-    """Raised for unknown backend names or unavailable backends."""
+class BackendError(ConfigError):
+    """Raised for unknown backend names, policies or unavailable backends.
+
+    Subclasses :class:`repro.core.errors.ConfigError`: an invalid
+    ``REPRO_GRAPH_BACKEND`` / ``REPRO_BFS_BATCH`` value is a configuration
+    error and must fail loudly, never silently fall back to a default.
+    """
 
 
-def _validate(name: str) -> str:
+def _validate(name: str, *, source: str = "") -> str:
     if name not in BACKENDS:
+        origin = f"{source}=" if source else ""
         raise BackendError(
-            f"unknown graph backend {name!r}; expected one of {BACKENDS}"
+            f"invalid graph backend {origin}{name!r}; expected one of {BACKENDS}"
         )
     return name
 
@@ -107,20 +120,27 @@ def using(name: str) -> Iterator[None]:
 
 
 def policy() -> str:
-    """The active selection policy: forced > environment > ``auto``."""
+    """The active selection policy: forced > environment > ``auto``.
+
+    An invalid ``REPRO_GRAPH_BACKEND`` value raises a
+    :class:`~repro.core.errors.ConfigError` (via :class:`BackendError`)
+    naming the variable -- a typo must never silently route metric calls
+    through an unintended backend.
+    """
     if _forced is not None:
         return _forced
     env = os.environ.get(ENV_VAR, "").strip().lower()
     if env:
-        return _validate(env)
+        return _validate(env, source=ENV_VAR)
     return "auto"
 
 
 # ----------------------------------------------------------------------
 # Multi-source BFS wave-width policy (threaded into repro.graphs.fast)
 # ----------------------------------------------------------------------
-def _validate_bfs_batch(value):
+def _validate_bfs_batch(value, *, source: str = ""):
     """Normalise a wave-width policy value to ``"auto"`` or a positive int."""
+    origin = f"{source}=" if source else "BFS batch policy "
     if isinstance(value, str):
         text = value.strip().lower()
         if text == "auto":
@@ -129,12 +149,12 @@ def _validate_bfs_batch(value):
             value = int(text)
         except ValueError:
             raise BackendError(
-                f"invalid BFS batch policy {value!r}; expected 'auto' or a "
+                f"invalid {origin}{value!r}; expected 'auto' or a "
                 "positive integer of sources per wave"
             ) from None
     if isinstance(value, bool) or not isinstance(value, int) or value < 1:
         raise BackendError(
-            f"invalid BFS batch policy {value!r}; expected 'auto' or a "
+            f"invalid {origin}{value!r}; expected 'auto' or a "
             "positive integer of sources per wave"
         )
     return value
@@ -174,8 +194,28 @@ def bfs_batch_policy():
         return _forced_bfs_batch
     env = os.environ.get(BFS_BATCH_ENV_VAR, "").strip()
     if env:
-        return _validate_bfs_batch(env)
+        return _validate_bfs_batch(env, source=BFS_BATCH_ENV_VAR)
     return "auto"
+
+
+def popcount_lut_forced() -> bool:
+    """Whether :data:`POPCOUNT_LUT_ENV_VAR` forces the LUT popcount kernel.
+
+    Raises :class:`BackendError` (a :class:`~repro.core.errors.ConfigError`)
+    for unrecognised values -- a kernel-selection typo must fail loudly, not
+    silently pick a path.  :func:`repro.graphs.fast.configure_popcount`
+    consumes this; it also feeds the runner's cache keys, so it deliberately
+    avoids importing numpy.
+    """
+    raw = os.environ.get(POPCOUNT_LUT_ENV_VAR, "").strip().lower()
+    if raw in ("1", "true", "yes", "on"):
+        return True
+    if raw in ("", "0", "false", "no", "off"):
+        return False
+    raise BackendError(
+        f"invalid {POPCOUNT_LUT_ENV_VAR}={raw!r}; expected 1/true/yes/on "
+        "to force the LUT popcount fallback, or 0/false/no/off/unset"
+    )
 
 
 def resolve_for(graph: UndirectedGraph) -> str:
@@ -344,6 +384,29 @@ def average_shortest_path_length(
     return _impl(graph).average_shortest_path_length(
         graph, sample_size=sample_size, rng=rng, connected=connected
     )
+
+
+def full_path_metrics(graph: UndirectedGraph) -> Dict:
+    """Exact largest-component diameter / ASPL / closeness (active backend).
+
+    ``{components, largest_fraction, diameter, avg_path_length,
+    avg_closeness}`` with every node of the largest component as a BFS
+    source.  The fast path computes all three metrics from *one*
+    full-population wave campaign (per-node eccentricity max and
+    level-weighted distance sums accumulated as the waves advance); the
+    reference path runs one BFS per node.  Results are bit-identical.
+    """
+    return _impl(graph).full_path_metrics(graph)
+
+
+def path_length_accumulators(graph: UndirectedGraph) -> Dict:
+    """``{node: (eccentricity, distance_sum, reachable_count)}`` (active backend).
+
+    Exact per-node path accumulators; per-node ASPL is
+    ``distance_sum / reachable_count``.  Both backends return identical
+    integers.
+    """
+    return _impl(graph).path_length_accumulators(graph)
 
 
 def degree_histogram(graph: UndirectedGraph) -> Dict[int, int]:

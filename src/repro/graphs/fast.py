@@ -18,6 +18,13 @@ vectorized kernels over it:
   source count (overridable via ``REPRO_BFS_BATCH`` /
   ``backend.use_bfs_batch``); the sampled *and full-population* diameter /
   average-shortest-path / closeness estimators all run on this engine,
+* exact full-population path metrics: per wave level the per-node row
+  popcounts fold into an eccentricity *max* and a level-weighted distance
+  *sum* (:func:`accumulate_path_shard`), so one campaign yields the exact
+  diameter, per-node/average shortest path length *and* closeness
+  (:func:`full_path_metrics`, :func:`path_length_accumulators`); the int64
+  accumulators merge exactly across any source split, which is what the
+  runner's source-sharded parallel campaigns exploit,
 * connected components via min-label propagation with pointer jumping
   (Shiloach--Vishkin style, O(m log n) total work),
 * masked component summaries for the Figure 6 simultaneous-deletion sweeps
@@ -779,19 +786,56 @@ def _frontier_bit_counts(words: np.ndarray, batch: int) -> np.ndarray:
     return counts[:batch]
 
 
+#: Per-byte popcount table backing the LUT row-popcount path (the only path
+#: on numpy < 2.0, and force-selectable for testing on numpy >= 2.0).
+_BYTE_POPCOUNT = _BYTE_BITS.sum(axis=1)
+
+#: Set to ``1`` (or ``true``/``yes``/``on``) to force the byte-LUT popcount
+#: path even when ``np.bitwise_count`` exists -- the CI job that keeps the
+#: numpy < 2.0 fallback honest runs the wave-engine matrix under this flag.
+#: The canonical definition (and numpy-free parser) live in
+#: :mod:`repro.graphs.backend` so the runner's cache keys can cover it.
+POPCOUNT_LUT_ENV_VAR = "REPRO_FORCE_POPCOUNT_LUT"
+
+
+def _row_popcounts_lut(words: np.ndarray) -> np.ndarray:
+    """Per-row popcount of a packed level via the byte lookup table."""
+    return _BYTE_POPCOUNT[_le_bytes(words)].sum(axis=1)
+
+
 if hasattr(np, "bitwise_count"):
 
-    def _row_popcounts(words: np.ndarray) -> np.ndarray:
-        """Per-row popcount of a packed level: ``(rows,)`` int64 counts."""
+    def _row_popcounts_native(words: np.ndarray) -> np.ndarray:
+        """Per-row popcount of a packed level via ``np.bitwise_count``."""
         return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
 
-else:  # pragma: no cover - numpy < 2.0 fallback
+else:  # pragma: no cover - numpy < 2.0
+    _row_popcounts_native = None
 
-    _BYTE_POPCOUNT = _BYTE_BITS.sum(axis=1)
 
-    def _row_popcounts(words: np.ndarray) -> np.ndarray:
-        """Per-row popcount of a packed level: ``(rows,)`` int64 counts."""
-        return _BYTE_POPCOUNT[_le_bytes(words)].sum(axis=1)
+def configure_popcount() -> str:
+    """(Re)select the row-popcount kernel; returns ``"native"`` or ``"lut"``.
+
+    Reads :data:`POPCOUNT_LUT_ENV_VAR` and rebinds the module-level
+    ``_row_popcounts`` used by every wave.  Called once at import; tests and
+    long-lived processes that flip the variable call it again.  An
+    unrecognised value raises :class:`~repro.core.errors.ConfigError` rather
+    than silently picking a path.
+    """
+    global _row_popcounts
+    from repro.graphs import backend
+
+    if backend.popcount_lut_forced() or _row_popcounts_native is None:
+        _row_popcounts = _row_popcounts_lut
+        return "lut"
+    _row_popcounts = _row_popcounts_native
+    return "native"
+
+
+#: The active per-row popcount kernel (rebindable via
+#: :func:`configure_popcount`); both choices return identical int64 counts.
+_row_popcounts = _row_popcounts_lut
+configure_popcount()
 
 
 def _batched_level_counts(csr: CSRGraph, sources: np.ndarray) -> List[np.ndarray]:
@@ -1004,17 +1048,11 @@ def _full_population_closeness(csr: CSRGraph, n: int) -> float:
     sources have run.  The final per-node float expressions and their
     summation order mirror the reference implementation bit for bit.
     """
-    live = (
-        np.arange(csr.n, dtype=np.int64)
-        if csr.alive is None
-        else np.flatnonzero(csr.alive)
-    )
+    live = live_source_indices(csr)
     # ``reached`` falls straight out of symmetry too: the sources reaching a
     # node are exactly the other members of its component, so one component
     # labelling replaces a per-level scatter.
-    labels = _component_labels(csr.n, csr.indptr, csr.indices)
-    component_sizes = np.bincount(labels[live], minlength=csr.n)
-    reached = component_sizes[labels] - 1
+    reached = _reached_counts(csr, live)
     totals = np.zeros(csr.n, dtype=np.int64)
     chunk_size = wave_batch(csr, live.size)
     for offset in range(0, live.size, chunk_size):
@@ -1034,6 +1072,148 @@ def _full_population_closeness(csr: CSRGraph, n: int) -> float:
     closeness = live_reached[covered] / live_totals[covered]
     values[covered] = closeness * (live_reached[covered] / (n - 1))
     return sum(values.tolist()) / values.size
+
+
+# ----------------------------------------------------------------------
+# Exact full-population path metrics (eccentricity / diameter / ASPL)
+# ----------------------------------------------------------------------
+def live_source_indices(csr: CSRGraph) -> np.ndarray:
+    """Every live (non-ghost) index of ``csr`` -- the full-population source set."""
+    if csr.alive is None:
+        return np.arange(csr.n, dtype=np.int64)
+    return np.flatnonzero(csr.alive)
+
+
+def _reached_counts(csr: CSRGraph, live: np.ndarray) -> np.ndarray:
+    """Per-index count of *other* live nodes in the same component.
+
+    By distance symmetry this is exactly how many full-population sources
+    reach each node, so one component labelling replaces a per-level
+    scatter; only the ``live`` entries are meaningful (ghost rows may read
+    ``-1``).
+    """
+    labels = _component_labels(csr.n, csr.indptr, csr.indices)
+    sizes = np.bincount(labels[live], minlength=csr.n)
+    return sizes[labels] - 1
+
+
+def accumulate_path_shard(
+    csr: CSRGraph, sources: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-node path accumulators from one shard of BFS sources.
+
+    Runs the multi-word waves for ``sources`` (index array) in
+    :func:`wave_batch`-sized chunks and scatters each level's per-node row
+    popcounts into two ``(csr.n,)`` int64 accumulators:
+
+    * ``ecc[v]``    -- ``max_u d(u, v)`` over the shard's sources ``u`` (the
+      transposed per-node *max* over wave levels);
+    * ``totals[v]`` -- ``sum_u d(u, v)`` (the level-weighted popcount sum).
+
+    When the shards of a campaign together cover every node, distance
+    symmetry makes the merged ``ecc`` the exact per-node eccentricity and
+    ``totals`` the exact per-node distance sum.  Both accumulators are exact
+    integers, so merging shard results (elementwise ``max`` for ``ecc``,
+    ``+`` for ``totals``) is bit-identical no matter how the source set was
+    split -- which is what lets the runner fan a 100k-source campaign across
+    process-pool workers for free.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    ecc = np.zeros(csr.n, dtype=np.int64)
+    totals = np.zeros(csr.n, dtype=np.int64)
+    if sources.size == 0:
+        return ecc, totals
+    chunk_size = wave_batch(csr, sources.size)
+    for offset in range(0, sources.size, chunk_size):
+        chunk = sources[offset:offset + chunk_size]
+        waves = _batched_wave(csr, chunk, counting=True)
+        for depth, (rows, popcounts) in enumerate(waves, start=1):
+            totals[rows] += depth * popcounts
+            # ``rows`` is duplicate-free per level, so a fancy-indexed max is
+            # safe; depths vary across chunks, hence max rather than assign.
+            ecc[rows] = np.maximum(ecc[rows], depth)
+    return ecc, totals
+
+
+def full_path_metrics(graph: UndirectedGraph, *, shard_runner=None) -> Dict:
+    """Exact diameter, ASPL and closeness of the largest component, one campaign.
+
+    Returns ``{components, largest_fraction, diameter, avg_path_length,
+    avg_closeness}`` with every path metric *exact* (every node of the
+    largest component a BFS source) -- the full-population counterpart of
+    :meth:`repro.core.ddsr.DDSROverlay.path_metric_summary`'s sampled
+    estimators, bit-identical to the pure-Python reference
+    (:func:`repro.graphs.metrics.full_path_metrics`).
+
+    One wave campaign feeds all three metrics through the per-node
+    accumulators of :func:`accumulate_path_shard`: the diameter is the max
+    of the per-node eccentricities, the ASPL divides the exact int64
+    distance-sum total by the pair count, and closeness reuses the same
+    distance sums with the reference's integer-then-float arithmetic and
+    sequential summation order.
+
+    ``shard_runner`` (used by
+    :func:`repro.runner.executor.sharded_full_path_metrics`) replaces the
+    serial accumulation: it receives ``(csr, sources)`` and must return the
+    merged ``(ecc, totals)`` accumulators.  Because the accumulators are
+    exact integers, any split of the source set merges to the serial result
+    bit for bit.
+    """
+    n = graph.number_of_nodes()
+    summary = {
+        "components": 0,
+        "largest_fraction": 0.0,
+        "diameter": 0.0,
+        "avg_path_length": 0.0,
+        "avg_closeness": 0.0,
+    }
+    if n == 0:
+        return summary
+    working, component_count = _working_component(graph)
+    csr = csr_of(working)
+    live = live_source_indices(csr)
+    n_working = int(live.size)
+    if shard_runner is None:
+        ecc, totals = accumulate_path_shard(csr, live)
+    else:
+        ecc, totals = shard_runner(csr, live)
+    summary["components"] = component_count
+    summary["largest_fraction"] = n_working / n
+    summary["diameter"] = float(int(ecc[live].max())) if n_working else 0.0
+    total = int(totals[live].sum())
+    pairs = n_working * (n_working - 1)
+    summary["avg_path_length"] = total / pairs if pairs else 0.0
+    if n_working > 1:
+        # The working graph is connected, so every node reaches the same
+        # ``n_working - 1`` peers; the per-node float expressions and the
+        # sequential summation mirror the reference bit for bit (exact int64
+        # operands below 2**53, identical IEEE divisions and products).
+        reached = n_working - 1
+        closeness = reached / totals[live].astype(np.float64)
+        values = closeness * (reached / (n_working - 1))
+        summary["avg_closeness"] = sum(values.tolist()) / n_working
+    return summary
+
+
+def path_length_accumulators(graph: UndirectedGraph) -> Dict[NodeId, Tuple[int, int, int]]:
+    """``{node: (eccentricity, distance_sum, reachable_count)}`` -- all exact.
+
+    The per-node accumulators behind :func:`full_path_metrics`, exposed for
+    callers that want per-node ASPL (``distance_sum / reachable_count``) or
+    the eccentricity distribution.  Identical to running the reference BFS
+    from every node (:func:`repro.graphs.metrics.path_length_accumulators`);
+    distances never leave the component, so no largest-component extraction
+    happens here.
+    """
+    csr = csr_of(graph)
+    live = live_source_indices(csr)
+    ecc, totals = accumulate_path_shard(csr, live)
+    reached = _reached_counts(csr, live)
+    nodes = csr.nodes
+    return {
+        nodes[int(i)]: (int(ecc[i]), int(totals[i]), int(reached[i]))
+        for i in live
+    }
 
 
 def degree_centrality(graph: UndirectedGraph, node: NodeId) -> float:

@@ -198,6 +198,54 @@ def average_shortest_path_length(
     return total / pairs
 
 
+def full_path_metrics(graph: UndirectedGraph) -> Dict:
+    """Exact diameter, ASPL and closeness of the largest component.
+
+    Returns ``{components, largest_fraction, diameter, avg_path_length,
+    avg_closeness}`` with *every node of the largest component* as a BFS
+    source -- no sampling.  This is the readable reference the fast
+    backend's one-campaign :func:`repro.graphs.fast.full_path_metrics` must
+    reproduce bit for bit; at paper scale and beyond use that one (this is
+    O(n * (n + m))).
+    """
+    n = graph.number_of_nodes()
+    if n == 0:
+        return {
+            "components": 0,
+            "largest_fraction": 0.0,
+            "diameter": 0.0,
+            "avg_path_length": 0.0,
+            "avg_closeness": 0.0,
+        }
+    components = connected_components(graph)
+    working = graph if len(components) == 1 else graph.subgraph(components[0])
+    return {
+        "components": len(components),
+        "largest_fraction": len(components[0]) / n,
+        "diameter": diameter(working, connected=True),
+        "avg_path_length": average_shortest_path_length(working, connected=True),
+        "avg_closeness": average_closeness_centrality(working),
+    }
+
+
+def path_length_accumulators(graph: UndirectedGraph) -> Dict[NodeId, tuple]:
+    """``{node: (eccentricity, distance_sum, reachable_count)}`` -- all exact.
+
+    One BFS per node; per-node ASPL is ``distance_sum / reachable_count``.
+    The oracle for :func:`repro.graphs.fast.path_length_accumulators`, which
+    assembles the same integers from transposed per-node wave accumulation.
+    """
+    result: Dict[NodeId, tuple] = {}
+    for node in graph.nodes():
+        distances = shortest_path_lengths_from(graph, node)
+        result[node] = (
+            max(distances.values()) if distances else 0,
+            sum(distances.values()),
+            len(distances) - 1,
+        )
+    return result
+
+
 def degree_histogram(graph: UndirectedGraph) -> Dict[int, int]:
     """Mapping of degree value -> number of nodes with that degree."""
     histogram: Dict[int, int] = {}

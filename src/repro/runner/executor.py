@@ -36,26 +36,95 @@ ProgressFn = Callable[[str], None]
 #: process round-trips for sweeps with many tiny units.
 DEFAULT_SHARD_SIZE = 8
 
+#: Execution-level override for source-sharded path-metric campaigns inside
+#: scenarios (``resilience-at-scale``): how many pool workers each
+#: full-population campaign fans its sources across.  An *environment* knob
+#: rather than a scenario parameter on purpose -- parameters feed unit-seed
+#: derivation and cache identity, and a pure performance knob must change
+#: neither (the sharded merge is bit-identical to serial by construction).
+PATH_WORKERS_ENV_VAR = "REPRO_PATH_WORKERS"
+
+
+def path_workers_policy() -> int:
+    """Workers for in-scenario sharded path-metric campaigns (default 1).
+
+    Parses :data:`PATH_WORKERS_ENV_VAR`; an invalid value raises
+    :class:`repro.core.errors.ConfigError` instead of silently running
+    serial.
+    """
+    raw = os.environ.get(PATH_WORKERS_ENV_VAR, "").strip()
+    if not raw:
+        return 1
+    from repro.core.errors import ConfigError
+
+    try:
+        value = int(raw)
+    except ValueError:
+        value = 0
+    if value < 1:
+        raise ConfigError(
+            f"invalid {PATH_WORKERS_ENV_VAR}={raw!r}; expected a positive "
+            "integer of pool workers"
+        )
+    return value
+
 
 # ----------------------------------------------------------------------
 # Worker-side entry points (top-level so they pickle under any start method)
 # ----------------------------------------------------------------------
-def _worker_init(src_path: str, module: str) -> None:
+def _worker_init(src_path: str, module: str, graph_backend: str, bfs_batch) -> None:
     """Pool initializer: make ``repro`` importable and load the scenario home.
 
     Warming the registry here (instead of in every unit) costs one import per
-    worker process, not one per shard.
+    worker process, not one per shard.  The parent's *resolved* graph-backend
+    and wave-width policies are re-forced in the worker: forced state set via
+    ``backend.use()`` / ``use_bfs_batch()`` lives in process globals that
+    ``spawn``/``forkserver`` children do not inherit, and the cache keys
+    record the parent's policy -- workers must actually compute under it.
     """
     if src_path and src_path not in sys.path:
         sys.path.insert(0, src_path)
+    from repro.graphs import backend
     from repro.runner import registry
 
+    backend.use(graph_backend)
+    backend.use_bfs_batch(bfs_batch)
     registry._ensure_builtins()
     if module and module != "__main__":
         try:
             importlib.import_module(module)
         except ImportError:
             pass
+
+
+#: Worker-side state for source-sharded path-metric campaigns: the CSR
+#: mirror is shipped once per worker (pool initializer), each task then only
+#: carries its source slice.
+_PATH_POOL_CSR: Dict[str, Any] = {}
+
+
+def _path_pool_init(src_path: str, indptr, indices, alive) -> None:
+    """Pool initializer: rebuild a worker-local CSR from the shipped arrays.
+
+    The wave kernels only touch ``indptr`` / ``indices`` / ``alive`` (node
+    labels never enter a shard), so a positional-identity node list is
+    enough.
+    """
+    if src_path and src_path not in sys.path:
+        sys.path.insert(0, src_path)
+    from repro.graphs.fast import CSRGraph
+
+    n = indptr.size - 1
+    _PATH_POOL_CSR["csr"] = CSRGraph(
+        list(range(n)), {}, indptr, indices, alive=alive
+    )
+
+
+def _path_shard_accumulate(sources):
+    """Worker task: one shard's exact ``(ecc, totals)`` int64 accumulators."""
+    from repro.graphs import fast
+
+    return fast.accumulate_path_shard(_PATH_POOL_CSR["csr"], sources)
 
 
 def run_unit(scenario_name: str, module: str, params: Mapping[str, Any], seed: int) -> Dict[str, float]:
@@ -201,10 +270,17 @@ def execute(
     elif pending:
         shards = _shards(pending, shard_size)
         max_workers = min(workers, len(shards))
+        from repro.graphs import backend
+
         with ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_worker_init,
-            initargs=(_repro_src_path(), sc.module),
+            initargs=(
+                _repro_src_path(),
+                sc.module,
+                backend.policy(),
+                backend.bfs_batch_policy(),
+            ),
         ) as pool:
             futures = {
                 pool.submit(_run_shard, spec.name, sc.module, shard)
@@ -235,6 +311,70 @@ def execute(
         workers=workers,
         elapsed_seconds=time.perf_counter() - started,
     )
+
+
+def sharded_full_path_metrics(
+    graph,
+    *,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+) -> Dict[str, float]:
+    """Exact full-population path metrics with sources sharded across workers.
+
+    The wave chunks of a full-population campaign are independent, so the
+    source set of :func:`repro.graphs.fast.full_path_metrics` splits cleanly
+    across a :class:`~concurrent.futures.ProcessPoolExecutor`: each worker
+    accumulates its shard's exact int64 ``(ecc, totals)`` and the parent
+    merges them (elementwise ``max`` / ``+``).  The accumulators are exact
+    integers, so ``workers=N`` is **bit-identical** to ``workers=1`` -- no
+    floating-point merge order to worry about.
+
+    ``shard_size`` caps the sources per worker submission (default: an even
+    ``ceil(sources / workers)`` split).  Requires the fast graph backend
+    (numpy); the serial ``workers=1`` call is just
+    ``fast.full_path_metrics(graph)``.
+    """
+    from repro.graphs import backend, fast
+
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if shard_size is not None and shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    if not backend.fast_available():
+        raise backend.BackendError(
+            "sharded full-population path metrics need the fast graph "
+            "backend, but numpy is not importable"
+        )
+    if workers == 1:
+        return fast.full_path_metrics(graph)
+
+    def fan_out(csr, sources):
+        import numpy as np
+
+        per_shard = shard_size or -(-max(int(sources.size), 1) // workers)
+        shards = [
+            sources[offset:offset + per_shard]
+            for offset in range(0, int(sources.size), per_shard)
+        ]
+        ecc = np.zeros(csr.n, dtype=np.int64)
+        totals = np.zeros(csr.n, dtype=np.int64)
+        if not shards:
+            return ecc, totals
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(shards)),
+            initializer=_path_pool_init,
+            initargs=(_repro_src_path(), csr.indptr, csr.indices, csr.alive),
+        ) as pool:
+            # Completion order is irrelevant: integer max/sum merges are
+            # associative and commutative *exactly*.
+            for shard_ecc, shard_totals in pool.map(
+                _path_shard_accumulate, shards
+            ):
+                np.maximum(ecc, shard_ecc, out=ecc)
+                totals += shard_totals
+        return ecc, totals
+
+    return fast.full_path_metrics(graph, shard_runner=fan_out)
 
 
 def run_scenario(

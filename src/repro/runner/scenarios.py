@@ -336,14 +336,14 @@ def ablation_pruning_policy(
 @scenario(
     name="resilience-at-scale",
     description="Fig-5-style gradual takedown resilience sweep at 100k nodes",
-    version="2",
+    version="3",
     shard_size=1,
     defaults={
         "n": 100_000,
         "k": 10,
         "max_fraction": 0.5,
         "checkpoints": 5,
-        "metric_sample": 32,
+        "metric_sample": None,
         "closeness_sample": None,
     },
 )
@@ -354,7 +354,7 @@ def resilience_at_scale(
     k: int,
     max_fraction: float,
     checkpoints: int,
-    metric_sample: int,
+    metric_sample: Optional[int],
     closeness_sample: Optional[int],
 ) -> Dict[str, float]:
     """Figure 5's gradual-takedown sweep at sizes the paper could not reach.
@@ -362,14 +362,22 @@ def resilience_at_scale(
     A k-regular DDSR overlay loses ``max_fraction`` of its nodes one at a
     time (repair after every deletion); components, degree centrality and the
     path metrics are recorded at every checkpoint through
-    :meth:`~repro.core.ddsr.DDSROverlay.path_metric_summary`.  Closeness
-    defaults to the *exact full population* -- the multi-word frontier engine
-    makes every-node-a-source closeness affordable at the 100k default, where
-    the paper (and PR 3) could only sample.
+    :meth:`~repro.core.ddsr.DDSROverlay.path_metric_summary`.  Every path
+    metric defaults to the *exact full population* (``metric_sample=None``):
+    diameter, ASPL and closeness all come from one full-population wave
+    campaign per checkpoint, so the 100k-node resilience curves report exact
+    values where the paper (and PR 3/4) sampled diameter and path length.
+    ``REPRO_PATH_WORKERS=N`` source-shards each campaign across a process
+    pool, bit-identically to serial (an environment knob, not a parameter:
+    performance settings must not perturb unit seeds or cache identity);
+    ``metric_sample=<int>`` restores the PR 4 sampled estimators.
     """
     from repro.core.ddsr import DDSROverlay
     from repro.graphs import backend
+    from repro.runner.executor import path_workers_policy
     from repro.workloads.deletion import DeletionSchedule
+
+    path_workers = path_workers_policy()
 
     overlay = DDSROverlay.k_regular(n, k, seed=derive_seed(seed, "wiring"))
     schedule = DeletionSchedule.random(
@@ -383,6 +391,7 @@ def resilience_at_scale(
             sample_size=metric_sample,
             rng=metric_rng,
             closeness_sample=closeness_sample,
+            path_workers=path_workers,
         )
         return {
             "components": float(summary["components"]),

@@ -33,7 +33,19 @@ class WorkUnit:
     point_index: int
 
     def key_material(self, version: str) -> str:
-        """The canonical string the cache key is hashed from."""
+        """The canonical string the cache key is hashed from.
+
+        Besides the unit's own identity this covers the *active execution
+        environment* -- the graph-backend policy, the BFS wave-width
+        override and the forced-LUT popcount flag -- so a result computed
+        under ``REPRO_GRAPH_BACKEND=python`` is never served to a
+        ``fast``-backend invocation (or vice versa), and a run under a
+        forced wave width or popcount kernel never masks the default one.
+        The backends and kernels are contractually bit-identical, but the
+        cache must not *assume* the contract it exists to help verify.
+        """
+        from repro.graphs import backend
+
         return "\n".join(
             [
                 f"scenario={self.scenario}",
@@ -41,6 +53,9 @@ class WorkUnit:
                 f"params={canonical_params(self.params)}",
                 f"trial={self.trial}",
                 f"seed={self.seed}",
+                f"graph_backend={backend.policy()}",
+                f"bfs_batch={backend.bfs_batch_policy()}",
+                f"popcount_lut={backend.popcount_lut_forced()}",
             ]
         )
 

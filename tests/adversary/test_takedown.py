@@ -127,6 +127,49 @@ class TestGradualPathMetrics:
         )
         assert result.path_metrics is None
 
+    def test_exact_path_metrics_when_sample_is_none(self):
+        """metric_sample=None records exact full-population metrics."""
+        from repro.graphs import backend
+
+        target = overlay()
+        strategy = GradualTakedown(
+            fraction=0.3,
+            checkpoints=2,
+            rng=random.Random(4),
+            path_metrics=True,
+            metric_sample=None,
+        )
+        results = strategy.execute_with_checkpoints(target)
+        final = results[-1]
+        summary = backend.full_path_metrics(target.graph)
+        assert final.path_metrics == {
+            "diameter": summary["diameter"],
+            "avg_path_length": summary["avg_path_length"],
+            "avg_closeness": summary["avg_closeness"],
+        }
+        assert final.connected_components == summary["components"]
+
+    def test_exact_path_metrics_identical_across_backends(self):
+        from repro.graphs import backend
+
+        def run():
+            strategy = GradualTakedown(
+                fraction=0.3,
+                checkpoints=2,
+                rng=random.Random(4),
+                path_metrics=True,
+                metric_sample=None,
+            )
+            return [
+                checkpoint.path_metrics
+                for checkpoint in strategy.execute_with_checkpoints(overlay())
+            ]
+
+        with backend.using("python"):
+            reference = run()
+        with backend.using("fast"):
+            assert run() == reference
+
     def test_path_metrics_recorded_per_checkpoint(self):
         target = overlay()
         strategy = GradualTakedown(

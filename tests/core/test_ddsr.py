@@ -233,3 +233,38 @@ class TestPathMetricSummary:
             overlay.graph.remove_node(node)
         summary = overlay.path_metric_summary()
         assert summary["components"] == 0 and summary["avg_closeness"] == 0.0
+
+    def test_exact_summary_matches_full_path_metrics(self):
+        """sample_size=None routes through the one-campaign exact kernel."""
+        import random
+
+        from repro.graphs import backend
+
+        overlay = DDSROverlay.k_regular(140, 8, seed=7)
+        overlay.remove_fraction(0.25, rng=random.Random(8))
+        summary = overlay.path_metric_summary()
+        assert summary == backend.full_path_metrics(overlay.graph)
+        with backend.using("python"):
+            assert overlay.path_metric_summary() == summary
+        with backend.using("fast"):
+            assert overlay.path_metric_summary() == summary
+
+    def test_exact_summary_agrees_with_sampled_estimator_limits(self):
+        """Exact values equal the sampled estimators run at full population."""
+        import random
+
+        from repro.graphs import backend
+
+        overlay = DDSROverlay.k_regular(120, 8, seed=9)
+        exact = overlay.path_metric_summary()
+        n = overlay.graph.number_of_nodes()
+        # A sample covering every node is the full population by contract.
+        sampled = overlay.path_metric_summary(
+            sample_size=n, rng=random.Random(1)
+        )
+        assert sampled["diameter"] == exact["diameter"]
+        assert sampled["avg_path_length"] == exact["avg_path_length"]
+        assert sampled["avg_closeness"] == exact["avg_closeness"]
+        assert exact["components"] == 1
+        working = backend.largest_component_subgraph(overlay.graph)
+        assert exact["avg_closeness"] == backend.average_closeness_centrality(working)

@@ -121,3 +121,38 @@ class TestCopyAndSubgraph:
     def test_iteration_yields_nodes(self):
         graph = UndirectedGraph(nodes=[3, 1, 2])
         assert set(iter(graph)) == {1, 2, 3}
+
+
+class TestDeltaLogBoundaries:
+    """The mutation log's exact-capacity and overflow semantics (no numpy)."""
+
+    def test_exactly_limit_ops_still_fully_logged(self, monkeypatch):
+        monkeypatch.setattr("repro.graphs.adjacency.DELTA_LOG_LIMIT", 4)
+        graph = UndirectedGraph(edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+        graph.reset_delta_log()
+        stamp = graph.mutation_stamp
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 4)]:  # exactly the limit
+            graph.remove_edge(u, v)
+        ops = graph.delta_since(stamp)
+        assert ops == [("-e", 0, 1), ("-e", 1, 2), ("-e", 2, 3), ("-e", 3, 4)]
+
+    def test_limit_plus_one_overflows(self, monkeypatch):
+        monkeypatch.setattr("repro.graphs.adjacency.DELTA_LOG_LIMIT", 4)
+        graph = UndirectedGraph(edges=[(i, i + 1) for i in range(6)])
+        graph.reset_delta_log()
+        stamp = graph.mutation_stamp
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]:  # limit + 1
+            graph.remove_edge(u, v)
+        assert graph.delta_since(stamp) is None
+        # Re-arming starts a fresh, usable window.
+        graph.reset_delta_log()
+        stamp = graph.mutation_stamp
+        graph.add_edge(0, 1)
+        assert graph.delta_since(stamp) == [("+e", 0, 1)]
+
+    def test_delta_since_rejects_foreign_stamp(self):
+        graph = UndirectedGraph(edges=[(0, 1)])
+        graph.reset_delta_log()
+        graph.remove_edge(0, 1)
+        assert graph.delta_since(graph.mutation_stamp) is None  # wrong base
+        assert graph.delta_since(graph.mutation_stamp - 1) == [("-e", 0, 1)]

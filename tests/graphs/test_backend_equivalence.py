@@ -465,6 +465,111 @@ def test_induced_component_summary_ignores_duplicate_keeps():
     assert reference == (3, 2, 2, 1)  # {0,1} together, {3} isolated
 
 
+def test_full_path_metrics_identical_across_backends(zoo_graph):
+    """Exact largest-component diameter/ASPL/closeness: the dispatcher pair."""
+    with backend.using("python"):
+        reference = backend.full_path_metrics(zoo_graph)
+    with backend.using("fast"):
+        assert backend.full_path_metrics(zoo_graph) == reference
+
+
+def test_path_length_accumulators_identical_across_backends(zoo_graph):
+    with backend.using("python"):
+        reference = backend.path_length_accumulators(zoo_graph)
+    with backend.using("fast"):
+        assert backend.path_length_accumulators(zoo_graph) == reference
+
+
+# ----------------------------------------------------------------------
+# Ghost-compaction and delta-log boundary cases
+# ----------------------------------------------------------------------
+def test_remove_readd_straddling_ghost_slack(monkeypatch):
+    """Remove->re-add of one id while ghost pressure crosses the threshold.
+
+    The same-id re-add within one window forces a rebuild regardless; the
+    interesting part is that it stays correct exactly *at* and *past* the
+    ``GHOST_SLACK`` compaction boundary, where the patch path would have
+    chosen a full rebuild anyway and the two decisions must compose.
+    """
+    monkeypatch.setattr(fast, "GHOST_SLACK", 6)
+    graph = k_regular_graph(80, 6, seed=91)
+    fast.csr_of(graph)
+    rng = random.Random(92)
+    # Accumulate ghosts one sync at a time right up to the threshold.
+    for _ in range(6):
+        graph.remove_node(rng.choice(graph.nodes()))
+        fast.csr_of(graph)
+    assert fast.csr_of(graph).ghost_count <= max(6, graph.number_of_nodes())
+    # Now straddle: one more removal *plus* a same-id remove->re-add in the
+    # same window.
+    victim = rng.choice(graph.nodes())
+    other = rng.choice([n for n in graph.nodes() if n != victim])
+    graph.remove_node(other)
+    graph.remove_node(victim)
+    graph.add_node(victim)
+    anchor = rng.choice([n for n in graph.nodes() if n != victim])
+    graph.add_edge(victim, anchor)
+    _assert_all_metrics_match(graph)
+    # The re-added node is fully live again on the patched-or-rebuilt mirror.
+    assert fast.shortest_path_lengths_from(graph, victim) == (
+        metrics.shortest_path_lengths_from(graph, victim)
+    )
+    # And the mirror agrees with a from-scratch build structurally (ghost
+    # rows hold zero edges, so the edge-entry totals must be equal).
+    fresh = fast.build_csr(graph)
+    mirrored = fast.csr_of(graph)
+    assert int(fresh.indptr[-1]) == int(mirrored.indptr[-1])
+    assert sorted(map(repr, fresh.index_of)) == sorted(map(repr, mirrored.index_of))
+
+
+def test_ghost_readd_exactly_at_compaction_threshold(monkeypatch):
+    """Ghost count exactly equal to the threshold still patches (strict >)."""
+    monkeypatch.setattr(fast, "GHOST_SLACK", 3)
+    graph = k_regular_graph(40, 4, seed=93)
+    fast.csr_of(graph)
+    rng = random.Random(94)
+    for expected_ghosts in (1, 2, 3):
+        graph.remove_node(rng.choice(graph.nodes()))
+        csr = fast.csr_of(graph)
+        if expected_ghosts <= max(3, graph.number_of_nodes()):
+            assert csr.ghost_count == expected_ghosts  # patched, not compacted
+        _assert_all_metrics_match(graph)
+
+
+def test_delta_since_after_exactly_log_limit_ops(monkeypatch):
+    """A window of exactly ``DELTA_LOG_LIMIT`` ops is still fully patchable."""
+    monkeypatch.setattr("repro.graphs.adjacency.DELTA_LOG_LIMIT", 6)
+    graph = k_regular_graph(60, 4, seed=95)
+    csr_before = fast.csr_of(graph)
+    stamp = graph.mutation_stamp
+    edges = graph.edges()
+    for u, v in edges[:6]:  # exactly DELTA_LOG_LIMIT primitive mutations
+        graph.remove_edge(u, v)
+    ops = graph.delta_since(stamp)
+    assert ops is not None and len(ops) == 6
+    _assert_all_metrics_match(graph)
+    assert fast.csr_of(graph) is not csr_before  # resynchronised
+    # One more window: limit + 1 ops must overflow and rebuild instead.
+    stamp = graph.mutation_stamp
+    for u, v in graph.edges()[:7]:
+        graph.remove_edge(u, v)
+    assert graph.delta_since(stamp) is None
+    _assert_all_metrics_match(graph)
+
+
+def test_overflow_mid_node_removal_stays_consistent(monkeypatch):
+    """A node removal whose edge entries straddle the log limit overflows
+    cleanly (the partial window is discarded, never half-applied)."""
+    monkeypatch.setattr("repro.graphs.adjacency.DELTA_LOG_LIMIT", 3)
+    graph = k_regular_graph(50, 6, seed=96)
+    fast.csr_of(graph)
+    stamp = graph.mutation_stamp
+    graph.remove_node(graph.nodes()[0])  # 6 "-e" entries + "-n": overflows
+    assert graph.delta_since(stamp) is None
+    _assert_all_metrics_match(graph)
+    assert fast.csr_of(graph).alive is None  # rebuilt, not patched
+
+
 def test_delta_log_disarmed_until_first_backend_sync():
     """Graphs that never touch the CSR layer record no mutation log."""
     graph = ring_graph(12)
@@ -620,3 +725,7 @@ def test_backend_dispatchers_cover_every_metric():
             graph, sample_size=4, rng=random.Random(3)
         ) == metrics.average_closeness_centrality(graph, sample_size=4, rng=random.Random(3))
         assert backend.component_summary(graph) == fast.component_summary(graph)
+        assert backend.full_path_metrics(graph) == metrics.full_path_metrics(graph)
+        assert backend.path_length_accumulators(graph) == (
+            metrics.path_length_accumulators(graph)
+        )

@@ -340,6 +340,128 @@ def test_wave_scratch_is_not_shared_between_interleaved_waves():
         assert np.array_equal(rows_b, rb) and np.array_equal(words_b, wb)
 
 
+# ----------------------------------------------------------------------
+# Exact full-population path metrics (eccentricity / diameter / ASPL)
+# ----------------------------------------------------------------------
+#: Exact full-population path metrics of ``k_regular_graph(800, 6, seed=11)``
+#: -- note ``avg_closeness`` equals :data:`FULL_POPULATION_GOLDEN_800`.
+FULL_PATH_GOLDEN_800 = {
+    "components": 1,
+    "largest_fraction": 1.0,
+    "diameter": 6.0,
+    "avg_path_length": 4.049242803504381,
+    "avg_closeness": 0.24697170483624897,
+}
+
+#: Exact full-population path metrics of ``k_regular_graph(2500, 10, seed=77)``
+#: (past ``AUTO_THRESHOLD``; ``avg_closeness`` matches
+#: :data:`FULL_POPULATION_GOLDEN_2500`).
+FULL_PATH_GOLDEN_2500 = {
+    "components": 1,
+    "largest_fraction": 1.0,
+    "diameter": 5.0,
+    "avg_path_length": 3.6869058023209282,
+    "avg_closeness": 0.27123199657863245,
+}
+
+
+def test_full_path_metrics_golden_both_backends():
+    graph = k_regular_graph(800, 6, seed=11)
+    assert metrics.full_path_metrics(graph) == FULL_PATH_GOLDEN_800
+    assert fast.full_path_metrics(graph) == FULL_PATH_GOLDEN_800
+
+
+def test_full_path_metrics_autosized_golden():
+    """Past AUTO_THRESHOLD the dispatcher itself must hit the same golden."""
+    graph = k_regular_graph(2500, 10, seed=77)
+    assert graph.number_of_nodes() >= backend.AUTO_THRESHOLD
+    assert backend.full_path_metrics(graph) == FULL_PATH_GOLDEN_2500
+    with backend.using("python"):
+        assert backend.full_path_metrics(graph) == FULL_PATH_GOLDEN_2500
+
+
+def test_full_path_metrics_matches_reference(step_graph):
+    """Every step-zoo topology: exact metrics identical to the reference."""
+    assert fast.full_path_metrics(step_graph) == metrics.full_path_metrics(step_graph)
+
+
+def test_full_path_metrics_matches_componentwise_estimators(step_graph):
+    """The one-campaign values equal the separate exact estimator calls."""
+    summary = fast.full_path_metrics(step_graph)
+    working = fast.largest_component_subgraph(step_graph)
+    assert summary["diameter"] == metrics.diameter(working, connected=True)
+    assert summary["avg_path_length"] == metrics.average_shortest_path_length(
+        working, connected=True
+    )
+    assert summary["avg_closeness"] == metrics.average_closeness_centrality(working)
+
+
+def test_path_length_accumulators_match_reference(step_graph):
+    """Per-node (eccentricity, distance sum, reachable) -- exact integers."""
+    assert fast.path_length_accumulators(step_graph) == (
+        metrics.path_length_accumulators(step_graph)
+    )
+
+
+@pytest.mark.parametrize("mode", ["dense", "sparse", "pull"])
+def test_full_path_metrics_forced_step_modes(step_graph, mode, monkeypatch):
+    expected = metrics.full_path_metrics(step_graph)
+    monkeypatch.setattr(fast, "WAVE_STEP_MODE", mode)
+    assert fast.full_path_metrics(step_graph) == expected
+
+
+def test_full_path_metrics_multiword_wave():
+    """Forced >64-source waves feed the same exact accumulators."""
+    graph = k_regular_graph(300, 6, seed=61)
+    expected = metrics.full_path_metrics(graph)
+    with backend.using_bfs_batch(192):
+        assert fast.full_path_metrics(graph) == expected
+
+
+def test_full_path_metrics_after_ghost_patching():
+    graph = k_regular_graph(400, 8, seed=62)
+    fast.csr_of(graph)  # prime the mirror so mutations patch it
+    rng = random.Random(63)
+    for _ in range(25):
+        graph.remove_node(rng.choice(graph.nodes()))
+    assert fast.csr_of(graph).ghost_count > 0
+    assert fast.full_path_metrics(graph) == metrics.full_path_metrics(graph)
+    assert fast.path_length_accumulators(graph) == (
+        metrics.path_length_accumulators(graph)
+    )
+
+
+def test_accumulate_path_shard_merge_is_exact():
+    """Any split of the source set merges to the serial accumulators."""
+    graph = k_regular_graph(350, 6, seed=64)
+    csr = fast.csr_of(graph)
+    live = fast.live_source_indices(csr)
+    serial_ecc, serial_totals = fast.accumulate_path_shard(csr, live)
+    for pieces in (2, 3, 7):
+        ecc = np.zeros(csr.n, dtype=np.int64)
+        totals = np.zeros(csr.n, dtype=np.int64)
+        for shard in np.array_split(live, pieces):
+            shard_ecc, shard_totals = fast.accumulate_path_shard(csr, shard)
+            np.maximum(ecc, shard_ecc, out=ecc)
+            totals += shard_totals
+        assert np.array_equal(ecc, serial_ecc)
+        assert np.array_equal(totals, serial_totals)
+
+
+def test_full_path_metrics_empty_and_singleton():
+    empty = {
+        "components": 0,
+        "largest_fraction": 0.0,
+        "diameter": 0.0,
+        "avg_path_length": 0.0,
+        "avg_closeness": 0.0,
+    }
+    assert fast.full_path_metrics(UndirectedGraph()) == empty
+    assert metrics.full_path_metrics(UndirectedGraph()) == empty
+    singleton = UndirectedGraph(nodes=["only"])
+    assert fast.full_path_metrics(singleton) == metrics.full_path_metrics(singleton)
+
+
 def test_row_popcounts_matches_bit_matrix():
     rng = np.random.default_rng(0)
     words = rng.integers(0, 2 ** 63, size=(97, 3), dtype=np.uint64)

@@ -92,6 +92,31 @@ GOLDENS = [
         },
     ),
     (
+        # The same sweep under the PR 5 exact defaults (metric_sample=None):
+        # diameter and ASPL are exact full-population values from the
+        # one-campaign accumulator path, no sampling anywhere.
+        "resilience-at-scale",
+        {"n": 400, "k": 10, "max_fraction": 0.5, "checkpoints": 4},
+        5,
+        {
+            "n": 400.0,
+            "deleted": 200.0,
+            "survivors": 200.0,
+            "stayed_connected_until_fraction": 0.5,
+            "final_components": 1.0,
+            "final_largest_fraction": 1.0,
+            "initial_diameter": 4.0,
+            "final_diameter": 3.0,
+            "initial_avg_path_length": 2.839987468671679,
+            "final_avg_path_length": 2.2272361809045225,
+            "initial_avg_closeness": 0.3521321221062865,
+            "final_avg_closeness": 0.44903600009225864,
+            "final_degree_centrality": 0.07512562814070352,
+            "repair_edges_added": 17216.0,
+            "max_degree": 15.0,
+        },
+    ),
+    (
         "partition-threshold-at-scale",
         {"size": 300, "k": 10, "resolution": 0.05, "trials_per_fraction": 1},
         3,

@@ -36,6 +36,71 @@ class TestCacheKeying:
         b = ScenarioSpec(name="s", grid={"n": [1, 3]}).spec_hash()
         assert a != b
 
+    def test_key_covers_graph_backend_policy(self):
+        """A python-backend result must never be served to a fast invocation."""
+        from repro.graphs import backend
+
+        unit = unit_of(ScenarioSpec(name="s", params={"n": 10}))
+        with backend.using("python"):
+            python_key = unit.cache_key("1")
+        with backend.using("fast"):
+            fast_key = unit.cache_key("1")
+        with backend.using("auto"):
+            auto_key = unit.cache_key("1")
+        assert len({python_key, fast_key, auto_key}) == 3
+        # The policy is stable, so re-deriving under the same policy hits.
+        with backend.using("python"):
+            assert unit.cache_key("1") == python_key
+
+    def test_key_covers_backend_env_var(self, monkeypatch):
+        from repro.graphs import backend
+
+        unit = unit_of(ScenarioSpec(name="s", params={"n": 10}))
+        default_key = unit.cache_key("1")
+        monkeypatch.setenv(backend.ENV_VAR, "python")
+        assert unit.cache_key("1") != default_key
+
+    def test_key_covers_bfs_batch_override(self, monkeypatch):
+        from repro.graphs import backend
+
+        unit = unit_of(ScenarioSpec(name="s", params={"n": 10}))
+        auto_key = unit.cache_key("1")
+        with backend.using_bfs_batch(128):
+            forced_key = unit.cache_key("1")
+        assert forced_key != auto_key
+        monkeypatch.setenv(backend.BFS_BATCH_ENV_VAR, "128")
+        assert unit.cache_key("1") == forced_key  # env and forced agree
+        monkeypatch.setenv(backend.BFS_BATCH_ENV_VAR, "256")
+        assert unit.cache_key("1") != forced_key
+
+    def test_key_covers_popcount_lut_flag(self, monkeypatch):
+        from repro.graphs import backend
+
+        unit = unit_of(ScenarioSpec(name="s", params={"n": 10}))
+        # Pin both states explicitly: the ambient environment may already
+        # force the LUT (the dedicated CI job runs this suite that way).
+        monkeypatch.setenv(backend.POPCOUNT_LUT_ENV_VAR, "0")
+        native_key = unit.cache_key("1")
+        monkeypatch.setenv(backend.POPCOUNT_LUT_ENV_VAR, "1")
+        assert unit.cache_key("1") != native_key
+        monkeypatch.delenv(backend.POPCOUNT_LUT_ENV_VAR)
+        assert unit.cache_key("1") == native_key  # unset == explicit off
+
+    def test_invalid_backend_env_raises_not_silently_falls_back(self, monkeypatch):
+        import pytest
+
+        from repro.core.errors import ConfigError
+        from repro.graphs import backend
+
+        unit = unit_of(ScenarioSpec(name="s", params={"n": 10}))
+        monkeypatch.setenv(backend.ENV_VAR, "numpy")
+        with pytest.raises(ConfigError, match="REPRO_GRAPH_BACKEND"):
+            unit.cache_key("1")
+        monkeypatch.delenv(backend.ENV_VAR)
+        monkeypatch.setenv(backend.BFS_BATCH_ENV_VAR, "full")
+        with pytest.raises(ConfigError, match="REPRO_BFS_BATCH"):
+            unit.cache_key("1")
+
 
 class TestCacheStorage:
     def test_miss_then_hit_round_trip(self, tmp_path):
