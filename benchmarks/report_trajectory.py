@@ -15,6 +15,12 @@ Run it from the repository root::
 
 Smoke entries appended by the bench CLI (labelled ``... (cli smoke)``) are
 ignored; only canonical full-scale entries contribute points.
+
+When a telemetry report (``repro.obs`` ``--telemetry`` output) is saved next
+to the trajectory JSON as ``BENCH_telemetry.json`` -- or pointed at with
+``--telemetry PATH`` -- a "Run telemetry" section is folded into the
+markdown: the wave-dispatch histogram, the runner/CSR cache-hit rates and
+the headline spans of that instrumented run.
 """
 
 from __future__ import annotations
@@ -26,6 +32,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_graph_kernels.json"
+
+#: Sidecar telemetry report folded into the markdown when present.
+DEFAULT_TELEMETRY = "BENCH_telemetry.json"
 
 #: Placeholder-palette series colours (dark-on-light friendly).
 _COLORS = (
@@ -76,7 +85,102 @@ def load_runs(path: Path = DEFAULT_JSON) -> List[dict]:
     ]
 
 
-def render_markdown(runs: List[dict]) -> str:
+def _hit_rate(hits: int, total: int) -> str:
+    return f"{hits}/{total} ({100.0 * hits / total:.1f}%)" if total else "n/a"
+
+
+def render_telemetry_section(report: dict) -> str:
+    """Fold one ``repro.obs`` report into a markdown section.
+
+    Renders the per-level wave-dispatch histogram (how often the engine
+    picked dense / sparse-push / saturation-pull), the runner and CSR
+    cache-hit rates, and the top wall-clock spans of the instrumented run.
+    """
+    counters: Dict[str, int] = report.get("counters", {})
+    lines = ["## Run telemetry", ""]
+    label = report.get("label") or "-"
+    meta = report.get("meta", {})
+    source = meta.get("scenario") or meta.get("workload") or label
+    lines.append(f"From the instrumented run `{source}` (`{label}`):")
+    lines.append("")
+
+    dispatch = {
+        name.rsplit(".", 1)[1]: value
+        for name, value in counters.items()
+        if name.startswith("wave.dispatch.")
+    }
+    if dispatch:
+        levels = sum(dispatch.values())
+        lines += [
+            "### Wave dispatch histogram",
+            "",
+            "| step kind | levels | share |",
+            "|---|---|---|",
+        ]
+        for kind, value in sorted(dispatch.items(), key=lambda item: -item[1]):
+            bar = "█" * max(1, round(20 * value / levels))
+            lines.append(f"| {kind} | {value} | `{bar}` {100.0 * value / levels:.1f}% |")
+        lines += ["", f"{levels} BFS levels over {counters.get('wave.count', 0)} waves."]
+        lines.append("")
+
+    cache_rows = []
+    runner_hits = counters.get("runner.cache.hit", 0)
+    runner_total = (
+        runner_hits
+        + counters.get("runner.cache.miss", 0)
+        + counters.get("runner.cache.corrupt_evicted", 0)
+    )
+    if runner_total:
+        cache_rows.append(("runner result cache", _hit_rate(runner_hits, runner_total)))
+    csr_hits = counters.get("csr.cache.hit", 0) + counters.get("csr.cache.patch", 0)
+    csr_total = csr_hits + sum(
+        counters.get(name, 0)
+        for name in (
+            "csr.cache.build",
+            "csr.cache.rebuild_overflow",
+            "csr.cache.rebuild_patch_rejected",
+        )
+    )
+    if csr_total:
+        cache_rows.append(("CSR cache (hit or patched)", _hit_rate(csr_hits, csr_total)))
+    scratch_hits = counters.get("wave.scratch.hit", 0)
+    scratch_total = scratch_hits + counters.get("wave.scratch.miss", 0)
+    if scratch_total:
+        cache_rows.append(("wave scratch buffers", _hit_rate(scratch_hits, scratch_total)))
+    if cache_rows:
+        lines += ["### Cache behaviour", "", "| cache | hit rate |", "|---|---|"]
+        lines += [f"| {name} | {rate} |" for name, rate in cache_rows]
+        lines.append("")
+
+    spans = report.get("spans", {})
+    if spans:
+        lines += [
+            "### Where the wall-clock went",
+            "",
+            "| span | count | total s | mean s |",
+            "|---|---|---|---|",
+        ]
+        by_total = sorted(spans.items(), key=lambda item: -item[1]["total_s"])[:8]
+        for name, stats in by_total:
+            lines.append(
+                f"| `{name}` | {stats['count']} | {stats['total_s']:.4f} "
+                f"| {stats['mean_s']:.6f} |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def load_telemetry(path: Optional[Path]) -> Optional[dict]:
+    """The sidecar telemetry report, or ``None`` when absent/foreign."""
+    if path is None or not path.exists():
+        return None
+    report = json.loads(path.read_text())
+    if not isinstance(report, dict) or "obs/report" not in str(report.get("schema", "")):
+        return None
+    return report
+
+
+def render_markdown(runs: List[dict], telemetry: Optional[dict] = None) -> str:
     """Markdown table: one row per workload series, one column per PR."""
     labels = [str(run.get("pr", f"run {i}")) for i, run in enumerate(runs)]
     series = _series_points(runs)
@@ -98,6 +202,8 @@ def render_markdown(runs: List[dict]) -> str:
         ]
         lines.append("| " + " | ".join(row) + " |")
     lines.append("")
+    if telemetry is not None:
+        lines.append(render_telemetry_section(telemetry))
     return "\n".join(lines)
 
 
@@ -188,14 +294,24 @@ def render_svg(runs: List[dict], *, width: int = 760, height: int = 440) -> str:
 
 
 def write_report(
-    json_path: Path = DEFAULT_JSON, output_dir: Optional[Path] = None
+    json_path: Path = DEFAULT_JSON,
+    output_dir: Optional[Path] = None,
+    telemetry_path: Optional[Path] = None,
 ) -> Tuple[Path, Path]:
-    """Write markdown + SVG next to the JSON (or into ``output_dir``)."""
+    """Write markdown + SVG next to the JSON (or into ``output_dir``).
+
+    ``telemetry_path`` defaults to the :data:`DEFAULT_TELEMETRY` sidecar
+    next to the JSON; when a valid report is there, its section is folded
+    into the markdown.
+    """
     runs = load_runs(json_path)
+    if telemetry_path is None:
+        telemetry_path = json_path.parent / DEFAULT_TELEMETRY
+    telemetry = load_telemetry(telemetry_path)
     target = output_dir if output_dir is not None else json_path.parent
     markdown_path = target / "BENCH_trajectory.md"
     svg_path = target / "BENCH_trajectory.svg"
-    markdown_path.write_text(render_markdown(runs))
+    markdown_path.write_text(render_markdown(runs, telemetry))
     svg_path.write_text(render_svg(runs))
     return markdown_path, svg_path
 
@@ -209,14 +325,25 @@ def main(argv=None) -> int:
         "--output-dir", type=Path, default=None, help="where to write the artifacts"
     )
     parser.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        help=(
+            "repro.obs telemetry report to fold in (default: "
+            f"{DEFAULT_TELEMETRY} next to the trajectory JSON, when present)"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="write files without echoing the table"
     )
     args = parser.parse_args(argv)
     if not args.json.exists():
         parser.error(f"no benchmark trajectory at {args.json}")
-    markdown_path, svg_path = write_report(args.json, args.output_dir)
+    if args.telemetry is not None and not args.telemetry.exists():
+        parser.error(f"no telemetry report at {args.telemetry}")
+    markdown_path, svg_path = write_report(args.json, args.output_dir, args.telemetry)
     if not args.quiet:
-        print(render_markdown(load_runs(args.json)))
+        print(markdown_path.read_text())
     print(f"wrote {markdown_path}")
     print(f"wrote {svg_path}")
     return 0

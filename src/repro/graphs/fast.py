@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import random
 import sys
+import time
 from itertools import chain
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -60,6 +61,7 @@ import numpy as np
 
 from repro.graphs.adjacency import GraphError, UndirectedGraph
 from repro.graphs.metrics import _select_nodes
+from repro.obs.telemetry import current as _telemetry
 
 NodeId = Hashable
 
@@ -308,17 +310,40 @@ def csr_of(graph: UndirectedGraph) -> CSRGraph:
     """
     stamp = graph.mutation_stamp
     cached = getattr(graph, _CSR_CACHE_ATTR, None)
+    tel = _telemetry()
     if cached is not None and cached[0] == stamp:
+        if tel.enabled:
+            tel.count("csr.cache.hit")
         return cached[1]
+    started = time.perf_counter() if tel.enabled else 0.0
     csr: Optional[CSRGraph] = None
+    patched = False
+    overflowed = False
     if cached is not None:
         ops = graph.delta_since(cached[0])
-        if ops is not None:
+        if ops is None:
+            overflowed = True
+        else:
             csr = _apply_delta(cached[1], ops, graph)
+            patched = csr is not None
     if csr is None:
         csr = build_csr(graph)
     graph.reset_delta_log()
     setattr(graph, _CSR_CACHE_ATTR, (stamp, csr))
+    if tel.enabled:
+        # Patch-vs-rebuild provenance: how often the delta log paid off, why
+        # it did not (log overflow vs a rejected patch), and the ghost
+        # pressure the patched mirror is carrying.
+        if cached is None:
+            tel.count("csr.cache.build")
+        elif patched:
+            tel.count("csr.cache.patch")
+        elif overflowed:
+            tel.count("csr.cache.rebuild_overflow")
+        else:
+            tel.count("csr.cache.rebuild_patch_rejected")
+        tel.gauge("csr.ghosts", csr.ghost_count)
+        tel.record_span("csr.sync", time.perf_counter() - started)
     return csr
 
 
@@ -636,6 +661,16 @@ def _batched_wave(csr: CSRGraph, sources: np.ndarray, counting: bool = False):
         return
     n = csr.n
     words = -(-batch // BFS_BATCH)
+    tel = _telemetry()
+    # Hoisted so the disabled path pays one attribute check per *level*, not
+    # a collector call; everything below is observational only (no branch of
+    # the wave may ever depend on a collected value).
+    rec = tel.enabled
+    if rec:
+        tel.count("wave.count")
+        tel.count("wave.sources", int(batch))
+        tel.count(f"wave.words.{words}")
+        tel.gauge("wave.popcount_backend", _POPCOUNT_BACKEND)
     bits = np.left_shift(
         np.uint64(1), np.arange(batch, dtype=np.uint64) & np.uint64(63)
     )
@@ -688,6 +723,10 @@ def _batched_wave(csr: CSRGraph, sources: np.ndarray, counting: bool = False):
                     scratch = csr._scratch.pop(words, None)
                     if scratch is None:
                         scratch = _DenseScratch(n, words)
+                        if rec:
+                            tel.count("wave.scratch.miss")
+                    elif rec:
+                        tel.count("wave.scratch.hit")
                 rows, new_frontier = _dense_step(csr, frontier, visited, scratch)
                 if rows.size == 0:
                     return
@@ -737,6 +776,13 @@ def _batched_wave(csr: CSRGraph, sources: np.ndarray, counting: bool = False):
                     visited[rows] |= step_words
             active = rows
             popcounts = _row_popcounts(step_words)
+            if rec:
+                tel.count("wave.levels")
+                tel.count("wave.dispatch." + mode)
+                # Frontier density falls out of the pair: newly-reached rows
+                # summed per level over the row slots a dense level scans.
+                tel.count("wave.frontier_rows", int(rows.size))
+                tel.count("wave.node_levels", n)
             yield rows, (popcounts if counting else step_words)
             remaining -= int(popcounts.sum())
             if remaining == 0:
@@ -822,19 +868,23 @@ def configure_popcount() -> str:
     unrecognised value raises :class:`~repro.core.errors.ConfigError` rather
     than silently picking a path.
     """
-    global _row_popcounts
+    global _row_popcounts, _POPCOUNT_BACKEND
     from repro.graphs import backend
 
     if backend.popcount_lut_forced() or _row_popcounts_native is None:
         _row_popcounts = _row_popcounts_lut
-        return "lut"
-    _row_popcounts = _row_popcounts_native
-    return "native"
+        _POPCOUNT_BACKEND = "lut"
+    else:
+        _row_popcounts = _row_popcounts_native
+        _POPCOUNT_BACKEND = "native"
+    return _POPCOUNT_BACKEND
 
 
 #: The active per-row popcount kernel (rebindable via
 #: :func:`configure_popcount`); both choices return identical int64 counts.
+#: ``_POPCOUNT_BACKEND`` names the selection for the telemetry layer.
 _row_popcounts = _row_popcounts_lut
+_POPCOUNT_BACKEND = "lut"
 configure_popcount()
 
 

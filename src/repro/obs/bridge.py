@@ -1,0 +1,53 @@
+"""Adapters from the sim-layer metric types into an obs collector.
+
+The simulation layer grew its own lightweight metric containers long before
+``repro.obs`` existed: :class:`repro.sim.metrics.CounterSet` (monotonic named
+counters), :class:`repro.sim.metrics.MetricRecorder` (counters + time series)
+and :class:`repro.sim.trace.TraceLog` (structured events).  Rather than
+duplicate that vocabulary, these helpers *snapshot* sim-layer state into an
+obs collector -- counters land in the shared counter namespace (prefixed),
+series and trace shapes land in a report section -- so one report speaks a
+single counter vocabulary ahead of the batched-sim refactor.
+
+Each sim class exposes the adapter as a one-line ``snapshot_into`` method
+delegating here; this module is the only place that knows both sides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+
+def counters_into(collector: Any, counters: Mapping[str, int], prefix: str = "sim.") -> None:
+    """Add every named counter (``{name: value}``) under ``prefix``."""
+    for name, value in counters.items():
+        collector.count(prefix + name, int(value))
+
+
+def trace_into(collector: Any, entries: Iterable[Any], prefix: str = "trace.") -> None:
+    """Add one counter per trace *category* counting its recorded entries."""
+    totals: dict = {}
+    for entry in entries:
+        totals[entry.category] = totals.get(entry.category, 0) + 1
+    for category, total in totals.items():
+        collector.count(prefix + category, total)
+
+
+def recorder_section(collector: Any, recorder: Any, section: str = "sim") -> None:
+    """Snapshot a :class:`~repro.sim.metrics.MetricRecorder` wholesale.
+
+    Counters join the shared namespace (``sim.<name>``); the time series are
+    summarised -- name, length, last observation -- into the ``section``
+    payload, keeping the report bounded even for long campaigns.
+    """
+    counters_into(collector, recorder.counters.as_dict(), prefix=f"{section}.")
+    series = {}
+    for name in recorder.series_names():
+        ts = recorder.series(name)
+        last = ts.last()
+        series[name] = {
+            "points": len(ts),
+            "last_x": last[0] if last else None,
+            "last_value": last[1] if last else None,
+        }
+    collector.section(section, {"series": series})

@@ -1,0 +1,135 @@
+"""Render a collected telemetry run to a stable JSON document + text summary.
+
+The JSON report is the per-run provenance artifact the reproducibility
+tooling attaches to: a fixed five-map shape (``meta`` / ``counters`` /
+``gauges`` / ``spans`` / ``sections``) under a versioned ``schema``
+identifier, serialized with sorted keys so equal content is byte-equal.
+``python -m repro.obs.schema report.json`` validates a saved report against
+the checked-in schema (``report_schema.json``); ``python -m repro.runner
+telemetry report.json`` pretty-prints one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+#: Versioned identifier stamped into (and required from) every report.
+SCHEMA_ID = "repro.obs/report.v1"
+
+
+def render_report(
+    collector_or_snapshot: Any, *, meta: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """Build the canonical report document from a collector (or snapshot).
+
+    ``meta`` carries caller-supplied provenance (scenario name, spec hash,
+    workers, elapsed seconds, ...); span stats gain a derived ``mean_s`` so
+    readers never divide by zero themselves.
+    """
+    snapshot = (
+        collector_or_snapshot.snapshot()
+        if hasattr(collector_or_snapshot, "snapshot")
+        else dict(collector_or_snapshot)
+    )
+    spans: Dict[str, Dict[str, float]] = {}
+    for name, stats in snapshot.get("spans", {}).items():
+        count = int(stats["count"])
+        total = float(stats["total_s"])
+        spans[name] = {
+            "count": count,
+            "total_s": total,
+            "max_s": float(stats["max_s"]),
+            "mean_s": total / count if count else 0.0,
+        }
+    return {
+        "schema": SCHEMA_ID,
+        "label": str(snapshot.get("label", "")),
+        "meta": dict(meta or {}),
+        "counters": {str(k): int(v) for k, v in snapshot.get("counters", {}).items()},
+        "gauges": dict(snapshot.get("gauges", {})),
+        "spans": spans,
+        "sections": dict(snapshot.get("sections", {})),
+    }
+
+
+def dumps_report(report: Mapping[str, Any]) -> str:
+    """Serialize a report deterministically (sorted keys, 2-space indent)."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+def write_report(path: Union[str, Path], report: Mapping[str, Any]) -> Path:
+    """Write the stable JSON document to ``path`` (parents created)."""
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(dumps_report(report), encoding="utf-8")
+    return target
+
+
+def load_report(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a saved report, checking the schema identifier."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_ID:
+        raise ValueError(
+            f"{path}: not a {SCHEMA_ID} telemetry report "
+            f"(schema={payload.get('schema')!r})"
+            if isinstance(payload, dict)
+            else f"{path}: not a telemetry report object"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Human-readable summary
+# ----------------------------------------------------------------------
+def _grouped(names) -> Dict[str, list]:
+    """Group dotted names by their first segment, preserving sort order."""
+    groups: Dict[str, list] = {}
+    for name in sorted(names):
+        groups.setdefault(name.split(".", 1)[0], []).append(name)
+    return groups
+
+
+def format_report(report: Mapping[str, Any]) -> str:
+    """A terminal-friendly text summary of one report.
+
+    Spans sort by total time (where the wall-clock went), counters group by
+    subsystem prefix (``wave.*``, ``csr.*``, ``runner.*``, ...), gauges and
+    section names are listed verbatim.
+    """
+    lines = [f"telemetry report  label={report.get('label') or '-'}"]
+    meta = report.get("meta", {})
+    for key in sorted(meta):
+        lines.append(f"  meta.{key} = {meta[key]}")
+    spans = report.get("spans", {})
+    if spans:
+        lines.append("")
+        lines.append(
+            f"  {'span':<40} {'count':>8} {'total_s':>10} {'mean_s':>10} {'max_s':>10}"
+        )
+        by_total = sorted(spans.items(), key=lambda item: -item[1]["total_s"])
+        for name, stats in by_total:
+            lines.append(
+                f"  {name:<40} {stats['count']:>8} {stats['total_s']:>10.4f} "
+                f"{stats['mean_s']:>10.6f} {stats['max_s']:>10.6f}"
+            )
+    counters = report.get("counters", {})
+    if counters:
+        lines.append("")
+        for group, names in _grouped(counters).items():
+            lines.append(f"  [{group}]")
+            for name in names:
+                lines.append(f"    {name:<42} {counters[name]:>12}")
+    gauges = report.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("  gauges:")
+        for name in sorted(gauges):
+            lines.append(f"    {name:<42} {gauges[name]}")
+    sections = report.get("sections", {})
+    if sections:
+        lines.append("")
+        lines.append("  sections: " + ", ".join(sorted(sections)))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,111 @@
+"""Validate telemetry reports against the checked-in JSON schema.
+
+The report format is the contract between the runner's ``--telemetry``
+output and everything downstream (CI artifact checks, the benchmark
+trajectory's telemetry section, future reproducibility manifests), so it is
+pinned by ``report_schema.json`` next to this module and validated with the
+small self-contained checker below -- no third-party ``jsonschema``
+dependency, only the subset of draft-07 the schema actually uses (``type``,
+``const``, ``required``, ``properties``, ``additionalProperties``,
+``minimum``).
+
+Command line (the CI smoke runs exactly this)::
+
+    python -m repro.obs.schema report.json            # validate, exit 0/1
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Mapping
+
+#: The checked-in schema every report must satisfy.
+SCHEMA_PATH = Path(__file__).resolve().parent / "report_schema.json"
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; JSON Schema keeps them distinct.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+class SchemaError(ValueError):
+    """Raised (with every violation listed) when a document fails validation."""
+
+
+def load_schema(path: Path = SCHEMA_PATH) -> Dict[str, Any]:
+    """The schema document itself."""
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _check(value: Any, schema: Mapping[str, Any], where: str, errors: List[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[name](value) for name in allowed):
+            errors.append(
+                f"{where}: expected type {'/'.join(allowed)}, "
+                f"got {type(value).__name__}"
+            )
+            return
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{where}: expected {schema['const']!r}, got {value!r}")
+    minimum = schema.get("minimum")
+    if minimum is not None and isinstance(value, (int, float)) and value < minimum:
+        errors.append(f"{where}: {value} is below minimum {minimum}")
+    if not isinstance(value, dict):
+        return
+    for name in schema.get("required", []):
+        if name not in value:
+            errors.append(f"{where}: missing required key {name!r}")
+    properties = schema.get("properties", {})
+    additional = schema.get("additionalProperties", True)
+    for key, child in value.items():
+        child_where = f"{where}.{key}" if where else key
+        if key in properties:
+            _check(child, properties[key], child_where, errors)
+        elif isinstance(additional, Mapping):
+            _check(child, additional, child_where, errors)
+        elif additional is False:
+            errors.append(f"{where}: unexpected key {key!r}")
+
+
+def validate_report(report: Mapping[str, Any], schema: Mapping[str, Any] = None) -> None:
+    """Raise :class:`SchemaError` listing every violation (silent when valid)."""
+    if schema is None:
+        schema = load_schema()
+    errors: List[str] = []
+    _check(report, schema, "report", errors)
+    if errors:
+        raise SchemaError("; ".join(errors))
+
+
+def main(argv=None) -> int:
+    """``python -m repro.obs.schema report.json [...]`` -- validate report files."""
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        print("usage: python -m repro.obs.schema REPORT.json [...]", file=sys.stderr)
+        return 2
+    schema = load_schema()
+    failures = 0
+    for raw in paths:
+        try:
+            report = json.loads(Path(raw).read_text(encoding="utf-8"))
+            validate_report(report, schema)
+        except (OSError, json.JSONDecodeError, SchemaError) as error:
+            print(f"{raw}: INVALID -- {error}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"{raw}: valid {report.get('schema')}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

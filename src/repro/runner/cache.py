@@ -12,20 +12,31 @@ always safe to serve, repeated runs are near-instant, and a
 partially-cached sweep only computes the missing units.
 Writes are atomic (temp file + ``os.replace``) so parallel workers and
 concurrent sweeps never observe torn files.
+
+Lookups distinguish three outcomes -- **hit**, **miss** (no entry on disk)
+and **corrupt** (an entry existed but could not be decoded) -- counted on
+the instance and mirrored into the active telemetry collector
+(``runner.cache.hit`` / ``runner.cache.miss`` /
+``runner.cache.corrupt_evicted``).  A corrupt entry is evicted from disk and
+its recovery logged, never silently recomputed.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.obs.telemetry import current as _telemetry
 from repro.runner.spec import WorkUnit
 
 #: Default cache location, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+logger = logging.getLogger(__name__)
 
 
 class ResultCache:
@@ -35,6 +46,9 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: Entries that existed on disk but could not be decoded; each one
+        #: is evicted (and the recovery logged), then recomputed as a miss.
+        self.corrupt = 0
 
     # ------------------------------------------------------------------
     def _dir_for(self, scenario: str) -> Path:
@@ -48,22 +62,43 @@ class ResultCache:
         """Where the given unit's result lives on disk."""
         return self._dir_for(unit.scenario) / f"{unit.cache_key(version)}.json"
 
+    def _evict_corrupt(self, path: Path, reason: str) -> None:
+        """Drop an undecodable entry, counting and logging the recovery."""
+        self.corrupt += 1
+        _telemetry().count("runner.cache.corrupt_evicted")
+        path.unlink(missing_ok=True)
+        logger.warning(
+            "evicted corrupt cache entry %s (%s); the unit will be recomputed",
+            path,
+            reason,
+        )
+
     def get(self, unit: WorkUnit, version: str) -> Optional[Dict[str, float]]:
-        """Cached metrics for ``unit``, or ``None`` on a miss/corrupt entry."""
+        """Cached metrics for ``unit``, or ``None`` on a miss/corrupt entry.
+
+        The three outcomes are counted separately (``hits`` / ``misses`` /
+        ``corrupt``) and mirrored to telemetry; a corrupt entry is also
+        evicted from disk so the recomputed result can replace it.
+        """
         path = self.path_for(unit, version)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
             self.misses += 1
+            _telemetry().count("runner.cache.miss")
+            return None
+        except json.JSONDecodeError as error:
+            self._evict_corrupt(path, f"undecodable JSON: {error}")
             return None
         metrics = payload.get("metrics")
         try:
             result = {str(key): float(value) for key, value in metrics.items()}
         except (AttributeError, TypeError, ValueError):
-            self.misses += 1
+            self._evict_corrupt(path, "malformed metrics mapping")
             return None
         self.hits += 1
+        _telemetry().count("runner.cache.hit")
         return result
 
     def put(self, unit: WorkUnit, version: str, metrics: Dict[str, float]) -> Path:

@@ -1,4 +1,4 @@
-"""Command-line entry point: ``python -m repro.runner list|run|sweep``.
+"""Command-line entry point: ``python -m repro.runner list|run|sweep|telemetry``.
 
 Examples::
 
@@ -6,16 +6,25 @@ Examples::
     python -m repro.runner run soap-campaign --set n=200 --trials 4 --workers 4
     python -m repro.runner sweep fig6-partition-threshold \
         --grid size=200,500,1000 --trials 2 --workers 4 --csv fig6.csv
+    python -m repro.runner run soap-campaign --telemetry obs.json
+    python -m repro.runner telemetry obs.json
 
 ``run`` executes one scenario at its defaults plus ``--set`` overrides;
 ``sweep`` additionally crosses ``--grid`` axes.  Both cache per-unit results
 under ``--cache-dir`` (default ``.repro-cache``), so a repeated invocation is
 served from disk; pass ``--no-cache`` to force recomputation.
+
+``--telemetry PATH`` (or the ``REPRO_TELEMETRY`` environment variable)
+enables the :mod:`repro.obs` collector for the run and writes its JSON
+report to PATH afterwards -- an environment-level observation knob that
+never feeds unit seeds or cache keys, so an instrumented run is bit-identical
+to a dark one.  ``telemetry`` pretty-prints (and validates) a saved report.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -51,6 +60,16 @@ def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--csv", dest="csv_out", help="write aggregate rows as CSV")
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-unit progress lines"
+    )
+    parser.add_argument(
+        "--telemetry",
+        dest="telemetry_out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "collect run telemetry and write the JSON report to PATH "
+            "(defaults to $REPRO_TELEMETRY when that is set)"
+        ),
     )
 
 
@@ -88,6 +107,11 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="KEY=V1,V2,...",
         help="one grid axis (repeatable; crossed as a Cartesian product)",
     )
+
+    telemetry_parser = sub.add_parser(
+        "telemetry", help="validate and pretty-print a saved telemetry report"
+    )
+    telemetry_parser.add_argument("report", help="path to a --telemetry JSON report")
     return parser
 
 
@@ -114,6 +138,12 @@ def _cmd_run(args: argparse.Namespace, grid_args: Sequence[str]) -> int:
         return 2
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     progress = None if args.quiet else lambda line: print(line, file=sys.stderr)
+    telemetry_out = args.telemetry_out or os.environ.get("REPRO_TELEMETRY", "").strip() or None
+    collector = None
+    if telemetry_out:
+        from repro.obs import telemetry
+
+        collector = telemetry.enable(label=f"runner:{sc.name}")
     try:
         grid: Dict[str, List[Any]] = {}
         for axis in grid_args:
@@ -130,6 +160,11 @@ def _cmd_run(args: argparse.Namespace, grid_args: Sequence[str]) -> int:
     except (TypeError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if collector is not None:
+            from repro.obs import telemetry
+
+            telemetry.disable()
 
     from repro.analysis.reporting import render_result_rows
 
@@ -151,6 +186,40 @@ def _cmd_run(args: argparse.Namespace, grid_args: Sequence[str]) -> int:
 
         write_rows_csv(args.csv_out, rows)
         print(f"wrote {args.csv_out}")
+    if collector is not None:
+        from repro.obs.report import render_report, write_report
+
+        report = render_report(
+            collector,
+            meta={
+                "scenario": sc.name,
+                "spec_hash": spec.spec_hash(),
+                "trials": args.trials,
+                "seed": args.seed,
+                "workers": result.workers,
+                "elapsed_seconds": result.elapsed_seconds,
+                "cache_hits": result.cache_hits,
+                "cache_misses": result.cache_misses,
+            },
+        )
+        write_report(telemetry_out, report)
+        print(f"wrote telemetry report {telemetry_out}")
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.obs.report import format_report, load_report
+    from repro.obs.schema import validate_report
+
+    try:
+        report = load_report(args.report)
+        validate_report(report)
+    except (OSError, ValueError) as error:
+        # SchemaError subclasses ValueError: invalid shape and invalid JSON
+        # both land here with the violation list attached.
+        print(f"{args.report}: invalid telemetry report -- {error}", file=sys.stderr)
+        return 2
+    print(format_report(report), end="")
     return 0
 
 
@@ -164,6 +233,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args, grid_args=[])
     if args.command == "sweep":
         return _cmd_run(args, grid_args=args.grid)
+    if args.command == "telemetry":
+        return _cmd_telemetry(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -25,6 +25,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs.telemetry import current as _telemetry
 from repro.runner.cache import ResultCache
 from repro.runner.registry import get_scenario, resolve_for_worker
 from repro.runner.spec import ScenarioSpec, WorkUnit
@@ -72,7 +73,15 @@ def path_workers_policy() -> int:
 # ----------------------------------------------------------------------
 # Worker-side entry points (top-level so they pickle under any start method)
 # ----------------------------------------------------------------------
-def _worker_init(src_path: str, module: str, graph_backend: str, bfs_batch) -> None:
+#: Worker-side flag: whether the parent had telemetry enabled when the pool
+#: spun up.  When set, every shard runs under a fresh worker-local collector
+#: whose snapshot rides back to the parent with the shard's results.
+_WORKER_TELEMETRY = {"enabled": False}
+
+
+def _worker_init(
+    src_path: str, module: str, graph_backend: str, bfs_batch, telemetry: bool = False
+) -> None:
     """Pool initializer: make ``repro`` importable and load the scenario home.
 
     Warming the registry here (instead of in every unit) costs one import per
@@ -81,6 +90,8 @@ def _worker_init(src_path: str, module: str, graph_backend: str, bfs_batch) -> N
     ``backend.use()`` / ``use_bfs_batch()`` lives in process globals that
     ``spawn``/``forkserver`` children do not inherit, and the cache keys
     record the parent's policy -- workers must actually compute under it.
+    The parent's telemetry state is shipped the same way (a pure observation
+    flag: it feeds no seed, parameter or cache key).
     """
     if src_path and src_path not in sys.path:
         sys.path.insert(0, src_path)
@@ -89,6 +100,7 @@ def _worker_init(src_path: str, module: str, graph_backend: str, bfs_batch) -> N
 
     backend.use(graph_backend)
     backend.use_bfs_batch(bfs_batch)
+    _WORKER_TELEMETRY["enabled"] = bool(telemetry)
     registry._ensure_builtins()
     if module and module != "__main__":
         try:
@@ -103,12 +115,14 @@ def _worker_init(src_path: str, module: str, graph_backend: str, bfs_batch) -> N
 _PATH_POOL_CSR: Dict[str, Any] = {}
 
 
-def _path_pool_init(src_path: str, indptr, indices, alive) -> None:
+def _path_pool_init(src_path: str, indptr, indices, alive, telemetry: bool = False) -> None:
     """Pool initializer: rebuild a worker-local CSR from the shipped arrays.
 
     The wave kernels only touch ``indptr`` / ``indices`` / ``alive`` (node
     labels never enter a shard), so a positional-identity node list is
-    enough.
+    enough.  ``telemetry`` mirrors the parent's collection state into the
+    worker (observation only -- shard contents and accumulators are
+    untouched).
     """
     if src_path and src_path not in sys.path:
         sys.path.insert(0, src_path)
@@ -118,13 +132,32 @@ def _path_pool_init(src_path: str, indptr, indices, alive) -> None:
     _PATH_POOL_CSR["csr"] = CSRGraph(
         list(range(n)), {}, indptr, indices, alive=alive
     )
+    _PATH_POOL_CSR["telemetry"] = bool(telemetry)
 
 
 def _path_shard_accumulate(sources):
-    """Worker task: one shard's exact ``(ecc, totals)`` int64 accumulators."""
+    """Worker task: one shard's exact ``(ecc, totals)`` int64 accumulators.
+
+    Returns ``(ecc, totals, telemetry_snapshot)``; the snapshot is ``None``
+    with telemetry off, else the shard's worker-local collection (the
+    ``runner.path_shard`` accumulate span plus the wave engine's own
+    counters) for the parent to merge.
+    """
     from repro.graphs import fast
 
-    return fast.accumulate_path_shard(_PATH_POOL_CSR["csr"], sources)
+    if not _PATH_POOL_CSR.get("telemetry"):
+        ecc, totals = fast.accumulate_path_shard(_PATH_POOL_CSR["csr"], sources)
+        return ecc, totals, None
+    from repro.obs import telemetry
+
+    collector = telemetry.enable(label="path-shard")
+    try:
+        collector.count("runner.path_shard.sources", int(len(sources)))
+        with collector.span("runner.path_shard"):
+            ecc, totals = fast.accumulate_path_shard(_PATH_POOL_CSR["csr"], sources)
+    finally:
+        telemetry.disable()
+    return ecc, totals, collector.snapshot()
 
 
 def run_unit(scenario_name: str, module: str, params: Mapping[str, Any], seed: int) -> Dict[str, float]:
@@ -137,12 +170,32 @@ def _run_shard(
     scenario_name: str,
     module: str,
     shard: Sequence[Tuple[int, Mapping[str, Any], int]],
-) -> List[Tuple[int, Dict[str, float]]]:
-    """Execute a batch of ``(index, params, seed)`` units in one worker call."""
-    return [
-        (index, run_unit(scenario_name, module, params, seed))
-        for index, params, seed in shard
-    ]
+) -> Tuple[List[Tuple[int, Dict[str, float]]], Optional[Dict[str, Any]]]:
+    """Execute a batch of ``(index, params, seed)`` units in one worker call.
+
+    Returns ``(results, telemetry_snapshot)``; the snapshot is ``None``
+    unless the parent enabled telemetry, in which case the shard ran under a
+    fresh worker-local collector (per-unit ``runner.unit`` spans plus
+    whatever the scenario's instrumented subsystems recorded) that the
+    parent merges.  Collection is shard-scoped precisely so merging the
+    returned snapshots can never double-count a long-lived worker.
+    """
+    if not _WORKER_TELEMETRY["enabled"]:
+        return [
+            (index, run_unit(scenario_name, module, params, seed))
+            for index, params, seed in shard
+        ], None
+    from repro.obs import telemetry
+
+    collector = telemetry.enable(label="worker-shard")
+    try:
+        results = []
+        for index, params, seed in shard:
+            with collector.span("runner.unit"):
+                results.append((index, run_unit(scenario_name, module, params, seed)))
+    finally:
+        telemetry.disable()
+    return results, collector.snapshot()
 
 
 # ----------------------------------------------------------------------
@@ -242,6 +295,11 @@ def execute(
     spec = spec.resolved(sc.defaults)
     units = spec.work_units()
     started = time.perf_counter()
+    tel = _telemetry()
+    if tel.enabled:
+        tel.gauge("runner.scenario", spec.name)
+        tel.gauge("runner.workers", workers)
+        tel.gauge("runner.units", len(units))
 
     results: Dict[int, Dict[str, float]] = {}
     pending: List[WorkUnit] = []
@@ -266,12 +324,20 @@ def execute(
 
     if pending and workers == 1:
         for unit in pending:
-            finish_unit(unit.index, sc.call(seed=unit.seed, **unit.params))
+            with tel.span("runner.unit"):
+                metrics = sc.call(seed=unit.seed, **unit.params)
+            finish_unit(unit.index, metrics)
     elif pending:
         shards = _shards(pending, shard_size)
         max_workers = min(workers, len(shards))
+        if tel.enabled:
+            # The fan-out shape: shard count, effective width, pool size.
+            tel.gauge("runner.shards", len(shards))
+            tel.gauge("runner.shard_size", shard_size)
+            tel.gauge("runner.pool_workers", max_workers)
         from repro.graphs import backend
 
+        spinup_started = time.perf_counter()
         with ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_worker_init,
@@ -280,16 +346,28 @@ def execute(
                 sc.module,
                 backend.policy(),
                 backend.bfs_batch_policy(),
+                tel.enabled,
             ),
         ) as pool:
             futures = {
                 pool.submit(_run_shard, spec.name, sc.module, shard)
                 for shard in shards
             }
+            first_result = True
             while futures:
                 done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                if first_result:
+                    # Spawn + interpreter boot + scenario-module import, as
+                    # seen from the parent: pool creation to first shard back.
+                    tel.record_span(
+                        "runner.pool_spinup", time.perf_counter() - spinup_started
+                    )
+                    first_result = False
                 for future in done:
-                    for unit_index, metrics in future.result():
+                    shard_results, shard_snapshot = future.result()
+                    if shard_snapshot is not None:
+                        tel.merge_snapshot(shard_snapshot)
+                    for unit_index, metrics in shard_results:
                         finish_unit(unit_index, metrics)
 
     # Deterministic aggregation order: unit schedule order, never completion
@@ -301,6 +379,8 @@ def execute(
     for unit in units:
         aggregates[unit.point_index].push(results[unit.index])
 
+    elapsed = time.perf_counter() - started
+    tel.record_span("runner.execute", elapsed)
     return RunResult(
         spec=spec,
         unit_metrics=ordered,
@@ -309,7 +389,7 @@ def execute(
         cache_hits=cache_hits,
         cache_misses=len(pending),
         workers=workers,
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=elapsed,
     )
 
 
@@ -351,6 +431,7 @@ def sharded_full_path_metrics(
     def fan_out(csr, sources):
         import numpy as np
 
+        tel = _telemetry()
         per_shard = shard_size or -(-max(int(sources.size), 1) // workers)
         shards = [
             sources[offset:offset + per_shard]
@@ -360,16 +441,31 @@ def sharded_full_path_metrics(
         totals = np.zeros(csr.n, dtype=np.int64)
         if not shards:
             return ecc, totals
+        if tel.enabled:
+            tel.gauge("runner.path_workers", min(workers, len(shards)))
+            tel.gauge("runner.path_shards", len(shards))
+        spinup_started = time.perf_counter()
         with ProcessPoolExecutor(
             max_workers=min(workers, len(shards)),
             initializer=_path_pool_init,
-            initargs=(_repro_src_path(), csr.indptr, csr.indices, csr.alive),
+            initargs=(
+                _repro_src_path(), csr.indptr, csr.indices, csr.alive, tel.enabled
+            ),
         ) as pool:
             # Completion order is irrelevant: integer max/sum merges are
             # associative and commutative *exactly*.
-            for shard_ecc, shard_totals in pool.map(
+            first_result = True
+            for shard_ecc, shard_totals, shard_snapshot in pool.map(
                 _path_shard_accumulate, shards
             ):
+                if first_result:
+                    tel.record_span(
+                        "runner.path_pool_spinup",
+                        time.perf_counter() - spinup_started,
+                    )
+                    first_result = False
+                if shard_snapshot is not None:
+                    tel.merge_snapshot(shard_snapshot)
                 np.maximum(ecc, shard_ecc, out=ecc)
                 totals += shard_totals
         return ecc, totals

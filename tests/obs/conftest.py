@@ -1,0 +1,15 @@
+"""Obs-suite fixtures: never leak an active collector across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    """Guarantee every test starts and ends with telemetry disabled."""
+    telemetry.disable()
+    yield
+    telemetry.disable()

@@ -1,0 +1,74 @@
+"""Sim-layer metric types bridge into an obs collector without duplication."""
+
+from __future__ import annotations
+
+from repro.obs.report import render_report
+from repro.obs.schema import validate_report
+from repro.obs.telemetry import Collector
+from repro.sim.metrics import CounterSet, MetricRecorder
+from repro.sim.trace import TraceLog
+
+
+class TestCounterSetBridge:
+    def test_counters_land_under_sim_prefix(self):
+        counters = CounterSet()
+        counters.increment("joins", 3)
+        counters.increment("leaves")
+        collector = Collector()
+        counters.snapshot_into(collector)
+        assert collector.counter("sim.joins") == 3
+        assert collector.counter("sim.leaves") == 1
+
+    def test_custom_prefix(self):
+        counters = CounterSet()
+        counters.increment("clones")
+        collector = Collector()
+        counters.snapshot_into(collector, prefix="soap.")
+        assert collector.counter("soap.clones") == 1
+
+    def test_repeated_snapshots_accumulate_like_counters(self):
+        counters = CounterSet()
+        counters.increment("ticks", 2)
+        collector = Collector()
+        counters.snapshot_into(collector)
+        counters.snapshot_into(collector)
+        assert collector.counter("sim.ticks") == 4
+
+
+class TestTraceLogBridge:
+    def test_per_category_counts(self):
+        log = TraceLog()
+        log.record(0.0, "rotation", "bot rotated")
+        log.record(1.0, "rotation", "bot rotated")
+        log.record(2.0, "soap", "clone admitted")
+        collector = Collector()
+        log.snapshot_into(collector)
+        assert collector.counter("trace.rotation") == 2
+        assert collector.counter("trace.soap") == 1
+
+    def test_empty_log_adds_nothing(self):
+        collector = Collector()
+        TraceLog().snapshot_into(collector)
+        assert collector.snapshot()["counters"] == {}
+
+
+class TestMetricRecorderBridge:
+    def test_counters_and_series_summaries(self):
+        recorder = MetricRecorder()
+        recorder.counters.increment("neutralized", 5)
+        recorder.record("population", 0.0, 100.0)
+        recorder.record("population", 1.0, 97.0)
+        collector = Collector()
+        recorder.snapshot_into(collector)
+        assert collector.counter("sim.neutralized") == 5
+        section = collector.snapshot()["sections"]["sim"]
+        pop = section["series"]["population"]
+        assert pop == {"points": 2, "last_x": 1.0, "last_value": 97.0}
+
+    def test_bridged_collector_renders_a_valid_report(self):
+        recorder = MetricRecorder()
+        recorder.counters.increment("targets_attacked", 12)
+        recorder.record("benign_population", 3.0, 62.0)
+        collector = Collector(label="bridge")
+        recorder.snapshot_into(collector)
+        validate_report(render_report(collector, meta={"scenario": "soap-under-churn"}))

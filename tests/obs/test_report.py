@@ -1,0 +1,151 @@
+"""Report rendering, stable serialization, and schema validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.report import (
+    SCHEMA_ID,
+    dumps_report,
+    format_report,
+    load_report,
+    render_report,
+    write_report,
+)
+from repro.obs.schema import SchemaError, load_schema, main as schema_main, validate_report
+from repro.obs.telemetry import Collector
+
+
+def _sample_collector() -> Collector:
+    c = Collector(label="unit-test")
+    c.count("wave.levels", 12)
+    c.count("wave.dispatch.dense", 9)
+    c.count("wave.dispatch.pull", 3)
+    c.gauge("wave.popcount_backend", "native")
+    c.record_span("runner.unit", 0.5)
+    c.record_span("runner.unit", 1.5)
+    c.section("sim", {"series": {"population": {"points": 4}}})
+    return c
+
+
+class TestRenderReport:
+    def test_shape_and_schema_id(self):
+        report = render_report(_sample_collector(), meta={"scenario": "s"})
+        assert report["schema"] == SCHEMA_ID
+        assert report["label"] == "unit-test"
+        assert report["meta"] == {"scenario": "s"}
+        assert report["counters"]["wave.levels"] == 12
+        assert report["gauges"]["wave.popcount_backend"] == "native"
+        assert report["sections"]["sim"]["series"]["population"]["points"] == 4
+
+    def test_spans_gain_mean(self):
+        report = render_report(_sample_collector())
+        unit = report["spans"]["runner.unit"]
+        assert unit["count"] == 2
+        assert unit["mean_s"] == pytest.approx(1.0)
+        assert unit["max_s"] == pytest.approx(1.5)
+
+    def test_accepts_raw_snapshot(self):
+        snapshot = _sample_collector().snapshot()
+        report = render_report(snapshot)
+        assert report["counters"]["wave.dispatch.dense"] == 9
+
+    def test_dumps_is_deterministic(self):
+        a = dumps_report(render_report(_sample_collector()))
+        b = dumps_report(render_report(_sample_collector()))
+        assert a == b
+        assert a.endswith("\n")
+        assert json.loads(a)["schema"] == SCHEMA_ID
+
+    def test_write_load_round_trip(self, tmp_path):
+        report = render_report(_sample_collector(), meta={"seed": 0})
+        path = write_report(tmp_path / "nested" / "report.json", report)
+        assert load_report(path) == report
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"schema": "someone-else/v9"}', encoding="utf-8")
+        with pytest.raises(ValueError, match="not a repro.obs/report.v1"):
+            load_report(path)
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(ValueError, match="not a telemetry report"):
+            load_report(path)
+
+
+class TestFormatReport:
+    def test_summary_mentions_everything(self):
+        text = format_report(render_report(_sample_collector(), meta={"trials": 2}))
+        assert "label=unit-test" in text
+        assert "meta.trials = 2" in text
+        assert "runner.unit" in text
+        assert "[wave]" in text  # counters grouped by subsystem
+        assert "wave.dispatch.dense" in text
+        assert "wave.popcount_backend" in text
+        assert "sections: sim" in text
+
+    def test_spans_sorted_by_total_time(self):
+        c = Collector()
+        c.record_span("small", 0.1)
+        c.record_span("big", 9.0)
+        text = format_report(render_report(c))
+        assert text.index("big") < text.index("small")
+
+
+class TestSchemaValidation:
+    def test_rendered_report_is_valid(self):
+        validate_report(render_report(_sample_collector(), meta={"workers": 2}))
+
+    def test_empty_collector_report_is_valid(self):
+        validate_report(render_report(Collector()))
+
+    def test_missing_required_key_fails(self):
+        report = render_report(_sample_collector())
+        del report["counters"]
+        with pytest.raises(SchemaError, match="counters"):
+            validate_report(report)
+
+    def test_wrong_schema_const_fails(self):
+        report = render_report(_sample_collector())
+        report["schema"] = "repro.obs/report.v2"
+        with pytest.raises(SchemaError, match="schema"):
+            validate_report(report)
+
+    def test_non_integer_counter_fails(self):
+        report = render_report(_sample_collector())
+        report["counters"]["wave.levels"] = 1.5
+        with pytest.raises(SchemaError, match="wave.levels"):
+            validate_report(report)
+
+    def test_unexpected_top_level_key_fails(self):
+        report = render_report(_sample_collector())
+        report["extra"] = 1
+        with pytest.raises(SchemaError, match="extra"):
+            validate_report(report)
+
+    def test_negative_span_time_fails(self):
+        report = render_report(_sample_collector())
+        report["spans"]["runner.unit"]["total_s"] = -1.0
+        with pytest.raises(SchemaError, match="minimum"):
+            validate_report(report)
+
+    def test_span_missing_stat_fails(self):
+        report = render_report(_sample_collector())
+        del report["spans"]["runner.unit"]["mean_s"]
+        with pytest.raises(SchemaError, match="mean_s"):
+            validate_report(report)
+
+    def test_checked_in_schema_loads(self):
+        schema = load_schema()
+        assert schema["properties"]["schema"]["const"] == SCHEMA_ID
+
+    def test_cli_validator_exit_codes(self, tmp_path, capsys):
+        good = write_report(tmp_path / "good.json", render_report(Collector()))
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "repro.obs/report.v1"}', encoding="utf-8")
+        assert schema_main([str(good)]) == 0
+        assert "valid" in capsys.readouterr().out
+        assert schema_main([str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+        assert schema_main([]) == 2

@@ -135,6 +135,55 @@ class TestCacheStorage:
         )
         assert cache.get(unit, "1") is None
 
+    def test_corrupt_entry_counted_apart_and_evicted(self, tmp_path, caplog):
+        """Corrupt entries are not misses: counted, logged, removed from disk."""
+        import logging
+
+        cache = ResultCache(tmp_path)
+        unit = unit_of(ScenarioSpec(name="s", params={"n": 10}))
+        path = cache.put(unit, "1", {"metric": 1.0})
+        path.write_text("{not json", encoding="utf-8")
+        with caplog.at_level(logging.WARNING, logger="repro.runner.cache"):
+            assert cache.get(unit, "1") is None
+        assert cache.corrupt == 1
+        assert cache.misses == 0 and cache.hits == 0
+        assert not path.exists()  # evicted, so the recompute can replace it
+        assert any("evicted corrupt cache entry" in r.message for r in caplog.records)
+        # The slot now behaves as an ordinary (countable) miss...
+        assert cache.get(unit, "1") is None
+        assert cache.misses == 1
+        # ...and a recompute fills it back in cleanly.
+        cache.put(unit, "1", {"metric": 2.0})
+        assert cache.get(unit, "1") == {"metric": 2.0}
+        assert (cache.hits, cache.misses, cache.corrupt) == (1, 1, 1)
+
+    def test_malformed_metrics_mapping_counts_as_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unit = unit_of(ScenarioSpec(name="s", params={"n": 10}))
+        path = cache.put(unit, "1", {"metric": 1.0})
+        path.write_text(
+            path.read_text(encoding="utf-8").replace("1.0", "null"), encoding="utf-8"
+        )
+        assert cache.get(unit, "1") is None
+        assert cache.corrupt == 1 and cache.misses == 0
+        assert not path.exists()
+
+    def test_outcomes_mirrored_into_telemetry(self, tmp_path):
+        from repro.obs import telemetry
+
+        cache = ResultCache(tmp_path)
+        unit = unit_of(ScenarioSpec(name="s", params={"n": 10}))
+        with telemetry.collecting() as collector:
+            cache.get(unit, "1")  # miss
+            path = cache.put(unit, "1", {"metric": 1.0})
+            cache.get(unit, "1")  # hit
+            path.write_text("{not json", encoding="utf-8")
+            cache.get(unit, "1")  # corrupt (evicted)
+        counters = collector.snapshot()["counters"]
+        assert counters["runner.cache.miss"] == 1
+        assert counters["runner.cache.hit"] == 1
+        assert counters["runner.cache.corrupt_evicted"] == 1
+
     def test_clear_by_scenario(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put(unit_of(ScenarioSpec(name="a")), "1", {"m": 1.0})

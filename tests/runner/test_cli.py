@@ -59,6 +59,73 @@ class TestRun:
         assert "[1 cached, 0 computed]" in capsys.readouterr().out
 
 
+class TestTelemetry:
+    def _run_with_report(self, tmp_path, capsys, extra=()):
+        report_path = tmp_path / "obs.json"
+        args = [
+            "run", "fig3-walkthrough", "--seed", "5", "--quiet", "--no-cache",
+            "--telemetry", str(report_path), *extra,
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert f"wrote telemetry report {report_path}" in out
+        return report_path, out
+
+    def test_run_writes_schema_valid_report_with_meta(self, tmp_path, capsys):
+        from repro.obs.report import load_report
+        from repro.obs.schema import validate_report
+
+        report_path, _ = self._run_with_report(tmp_path, capsys)
+        report = load_report(report_path)
+        validate_report(report)
+        assert report["label"] == "runner:fig3-walkthrough"
+        assert report["meta"]["scenario"] == "fig3-walkthrough"
+        assert report["meta"]["seed"] == 5
+        assert report["spans"]["runner.execute"]["count"] == 1
+        assert report["spans"]["runner.unit"]["count"] == 1
+
+    def test_collector_is_disabled_after_the_run(self, tmp_path, capsys):
+        from repro.obs import telemetry
+
+        self._run_with_report(tmp_path, capsys)
+        assert not telemetry.enabled()
+
+    def test_env_var_enables_collection(self, tmp_path, capsys, monkeypatch):
+        from repro.obs import telemetry
+        from repro.obs.report import load_report
+
+        report_path = tmp_path / "env.json"
+        monkeypatch.setenv(telemetry.ENV_VAR, str(report_path))
+        assert main(["run", "fig3-walkthrough", "--quiet", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert load_report(report_path)["meta"]["scenario"] == "fig3-walkthrough"
+
+    def test_telemetry_results_match_dark_run(self, tmp_path, capsys):
+        args = ["run", "fig3-walkthrough", "--seed", "5", "--quiet", "--no-cache"]
+        assert main(args) == 0
+        dark = capsys.readouterr().out
+        _, lit = self._run_with_report(tmp_path, capsys)
+        # Same table, same spec hash; only the report line is new.
+        assert dark.splitlines()[0] in lit
+        assert "spec hash" in dark
+        assert dark[dark.index("spec hash"):].split()[2] in lit
+
+    def test_pretty_print_subcommand(self, tmp_path, capsys):
+        report_path, _ = self._run_with_report(tmp_path, capsys)
+        assert main(["telemetry", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report" in out
+        assert "runner.execute" in out
+        assert "meta.scenario = fig3-walkthrough" in out
+
+    def test_pretty_print_rejects_invalid_reports(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "repro.obs/report.v1"}', encoding="utf-8")
+        assert main(["telemetry", str(bad)]) == 2
+        assert "invalid telemetry report" in capsys.readouterr().err
+        assert main(["telemetry", str(tmp_path / "absent.json")]) == 2
+
+
 class TestSweep:
     def test_sweep_grid_axes(self, tmp_path, capsys):
         code = main(
