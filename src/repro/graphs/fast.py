@@ -54,7 +54,7 @@ from __future__ import annotations
 import random
 import sys
 import time
-from itertools import chain
+from itertools import chain, count
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -110,6 +110,14 @@ ELL_PAD_FACTOR = 4
 #: rebuilds from scratch to compact the index space.
 GHOST_SLACK = 1024
 
+#: Process-wide epoch source for CSR snapshots.  Every snapshot *built from
+#: scratch* gets a fresh epoch; snapshots produced by delta patching inherit
+#: their base's epoch.  Two snapshots of the same graph therefore share an
+#: epoch **iff** they share a compaction lineage (identical index space up
+#: to appends), which is what lets the runner pool decide whether a remote
+#: shared-memory mirror can be delta-patched or must re-attach.
+_EPOCH_COUNTER = count(1)
+
 
 class CSRGraph:
     """Immutable CSR snapshot of an :class:`UndirectedGraph`.
@@ -128,7 +136,7 @@ class CSRGraph:
     id), but ghosts are dropped from ``index_of``.
     """
 
-    __slots__ = ("nodes", "index_of", "indptr", "indices", "alive", "_ell", "_scratch")
+    __slots__ = ("nodes", "index_of", "indptr", "indices", "alive", "epoch", "_ell", "_scratch")
 
     def __init__(
         self,
@@ -143,6 +151,9 @@ class CSRGraph:
         self.indptr = indptr
         self.indices = indices
         self.alive = alive
+        #: Compaction-lineage stamp: fresh per from-scratch build, inherited
+        #: across delta patches (see :data:`_EPOCH_COUNTER`).
+        self.epoch = next(_EPOCH_COUNTER)
         #: Lazily built transposed-ELL neighbour table for the dense wave
         #: step (``False`` = not built yet, ``None`` = unsuitable).
         self._ell = False
@@ -195,14 +206,22 @@ def build_csr(graph: UndirectedGraph) -> CSRGraph:
     return CSRGraph(nodes, index_of, indptr, indices)
 
 
-def _apply_delta(csr: CSRGraph, ops: Sequence[Tuple], graph: UndirectedGraph) -> Optional[CSRGraph]:
-    """Patch ``csr`` into a snapshot of ``graph`` using the mutation log.
+def _resolve_delta(
+    csr: CSRGraph, ops: Sequence[Tuple], graph: UndirectedGraph
+) -> Optional[Tuple[List[NodeId], Dict[NodeId, int], Dict[str, object]]]:
+    """Resolve a mutation-log window into an index-space patch.
 
-    Returns ``None`` when the delta cannot be applied cleanly (a node id
+    The node-id half of delta patching: map the logged node/edge touches
+    onto ``csr``'s index space, settling edge presence against the *graph*
+    (ground truth), and return ``(nodes, index_of, patch)`` where ``patch``
+    is a pure-array recipe consumable by :func:`apply_index_patch` -- also
+    remotely, which is how the runner pool ships mutations to its workers'
+    shared-memory mirrors without re-pickling whole CSR arrays.
+
+    Returns ``None`` when the window cannot be applied cleanly (a node id
     removed and re-added within the window, log/graph inconsistencies, or
     ghost pressure past the compaction threshold) -- the caller then falls
-    back to :func:`build_csr`.  Edge presence is settled against the *graph*
-    (ground truth), so the log only needs to say which edges were touched.
+    back to :func:`build_csr`.
     """
     node_added: List[NodeId] = []
     node_added_set: Set[NodeId] = set()
@@ -233,11 +252,6 @@ def _apply_delta(csr: CSRGraph, ops: Sequence[Tuple], graph: UndirectedGraph) ->
     nodes = list(csr.nodes)
     index_of = dict(csr.index_of)
     n_old = csr.n
-    alive = (
-        csr.alive.copy()
-        if csr.alive is not None
-        else np.ones(n_old, dtype=bool)
-    )
     if node_added:
         # A logged "+n" may target an id that was already live in the old
         # snapshot (``add_node`` only logs real insertions, but an id ghosted
@@ -249,12 +263,12 @@ def _apply_delta(csr: CSRGraph, ops: Sequence[Tuple], graph: UndirectedGraph) ->
         for node in appended:
             index_of[node] = len(nodes)
             nodes.append(node)
-        alive = np.concatenate([alive, np.ones(len(appended), dtype=bool)])
+    removed_positions: List[int] = []
     for node in node_removed:
         position = index_of.pop(node, None)
         if position is None:
             return None
-        alive[position] = False
+        removed_positions.append(position)
 
     removals: List[Tuple[int, int]] = []
     additions: List[Tuple[int, int]] = []
@@ -275,28 +289,99 @@ def _apply_delta(csr: CSRGraph, ops: Sequence[Tuple], graph: UndirectedGraph) ->
         elif was_present and not present_now:
             removals.append((iu, iv))
 
-    n_new = len(nodes)
-    keep = np.ones(old_indices.size, dtype=bool)
-    for iu, iv in removals:
+    patch = {
+        "n_old": n_old,
+        "n_new": len(nodes),
+        "removed": np.asarray(removed_positions, dtype=np.int64),
+        "removals": np.asarray(removals, dtype=np.int64).reshape(-1, 2),
+        "additions": np.asarray(additions, dtype=np.int64).reshape(-1, 2),
+    }
+    return nodes, index_of, patch
+
+
+def resolve_index_patch(
+    csr: CSRGraph, ops: Sequence[Tuple], graph: UndirectedGraph
+) -> Optional[Dict[str, object]]:
+    """The index-space patch alone (for remote mirrors), or ``None``.
+
+    Same resolution and rejection policy as the in-process cache path
+    (:func:`_resolve_delta` feeding :func:`_apply_delta`); the runner pool
+    broadcasts the returned dict to its workers, which apply it with
+    :func:`apply_index_patch` against their shared-memory arrays.
+    """
+    resolved = _resolve_delta(csr, ops, graph)
+    if resolved is None:
+        return None
+    return resolved[2]
+
+
+def apply_index_patch(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    alive: Optional[np.ndarray],
+    patch: Dict[str, object],
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Pure-array half of delta patching: new ``(indptr, indices, alive)``.
+
+    Label-free by construction, so the parent cache and every pool worker's
+    shared-memory mirror run the *same* surgery from the same patch and land
+    on byte-identical arrays: removed positions are masked ghosts, appended
+    nodes extend the index space, and the edge arrays are rebuilt with a
+    keep-mask plus a stable src-sort.  Returns ``None`` when an edge slated
+    for removal is missing from the arrays (snapshot divergence) -- the
+    in-process caller rebuilds, a remote mirror must re-attach.
+    """
+    n_old = int(patch["n_old"])
+    n_new = int(patch["n_new"])
+    alive = alive.copy() if alive is not None else np.ones(n_old, dtype=bool)
+    if n_new > n_old:
+        alive = np.concatenate([alive, np.ones(n_new - n_old, dtype=bool)])
+    removed = patch["removed"]
+    if removed.size:
+        alive[removed] = False
+
+    keep = np.ones(indices.size, dtype=bool)
+    for iu, iv in patch["removals"].tolist():
         for a, b in ((iu, iv), (iv, iu)):
-            start, end = old_indptr[a], old_indptr[a + 1]
-            slots = np.flatnonzero(old_indices[start:end] == b)
+            start, end = indptr[a], indptr[a + 1]
+            slots = np.flatnonzero(indices[start:end] == b)
             if slots.size == 0:
                 return None  # log/snapshot disagreement
             keep[start + slots[0]] = False
 
-    src = np.repeat(np.arange(n_old, dtype=np.int64), np.diff(old_indptr))[keep]
-    dst = old_indices[keep].astype(np.int64, copy=False)
-    if additions:
-        add = np.asarray(additions, dtype=np.int64)
-        src = np.concatenate([src, add[:, 0], add[:, 1]])
-        dst = np.concatenate([dst, add[:, 1], add[:, 0]])
+    src = np.repeat(np.arange(n_old, dtype=np.int64), np.diff(indptr))[keep]
+    dst = indices[keep].astype(np.int64, copy=False)
+    additions = patch["additions"]
+    if additions.size:
+        src = np.concatenate([src, additions[:, 0], additions[:, 1]])
+        dst = np.concatenate([dst, additions[:, 1], additions[:, 0]])
     order = np.argsort(src, kind="stable")
-    indices = dst[order].astype(np.int32, copy=False)
+    new_indices = dst[order].astype(np.int32, copy=False)
     new_degrees = np.bincount(src, minlength=n_new)
-    indptr = np.zeros(n_new + 1, dtype=np.int64)
-    np.cumsum(new_degrees, out=indptr[1:])
-    return CSRGraph(nodes, index_of, indptr, indices, alive=alive)
+    new_indptr = np.zeros(n_new + 1, dtype=np.int64)
+    np.cumsum(new_degrees, out=new_indptr[1:])
+    return new_indptr, new_indices, alive
+
+
+def _apply_delta(csr: CSRGraph, ops: Sequence[Tuple], graph: UndirectedGraph) -> Optional[CSRGraph]:
+    """Patch ``csr`` into a snapshot of ``graph`` using the mutation log.
+
+    Returns ``None`` when the delta cannot be applied cleanly (see
+    :func:`_resolve_delta` / :func:`apply_index_patch`) -- the caller then
+    falls back to :func:`build_csr`.  The patched snapshot *inherits* its
+    base's epoch: patching never compacts, so the index spaces agree.
+    """
+    resolved = _resolve_delta(csr, ops, graph)
+    if resolved is None:
+        return None
+    nodes, index_of, patch = resolved
+    arrays = apply_index_patch(csr.indptr, csr.indices, csr.alive, patch)
+    if arrays is None:
+        return None
+    indptr, indices, alive = arrays
+    result = CSRGraph(nodes, index_of, indptr, indices, alive=alive)
+    result.epoch = csr.epoch
+    return result
 
 
 def csr_of(graph: UndirectedGraph) -> CSRGraph:
@@ -1204,8 +1289,10 @@ def full_path_metrics(graph: UndirectedGraph, *, shard_runner=None) -> Dict:
 
     ``shard_runner`` (used by
     :func:`repro.runner.executor.sharded_full_path_metrics`) replaces the
-    serial accumulation: it receives ``(csr, sources)`` and must return the
-    merged ``(ecc, totals)`` accumulators.  Because the accumulators are
+    serial accumulation: it receives ``(working, csr, sources)`` -- the
+    working graph backing ``csr``, so a persistent pool can key its
+    shared-memory publications and delta-track mutations -- and must return
+    the merged ``(ecc, totals)`` accumulators.  Because the accumulators are
     exact integers, any split of the source set merges to the serial result
     bit for bit.
     """
@@ -1226,7 +1313,7 @@ def full_path_metrics(graph: UndirectedGraph, *, shard_runner=None) -> Dict:
     if shard_runner is None:
         ecc, totals = accumulate_path_shard(csr, live)
     else:
-        ecc, totals = shard_runner(csr, live)
+        ecc, totals = shard_runner(working, csr, live)
     summary["components"] = component_count
     summary["largest_fraction"] = n_working / n
     summary["diameter"] = float(int(ecc[live].max())) if n_working else 0.0

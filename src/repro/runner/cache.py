@@ -13,12 +13,16 @@ partially-cached sweep only computes the missing units.
 Writes are atomic (temp file + ``os.replace``) so parallel workers and
 concurrent sweeps never observe torn files.
 
-Lookups distinguish three outcomes -- **hit**, **miss** (no entry on disk)
-and **corrupt** (an entry existed but could not be decoded) -- counted on
-the instance and mirrored into the active telemetry collector
-(``runner.cache.hit`` / ``runner.cache.miss`` /
-``runner.cache.corrupt_evicted``).  A corrupt entry is evicted from disk and
-its recovery logged, never silently recomputed.
+Lookups distinguish four outcomes -- **hit**, **miss** (no entry on disk),
+**corrupt** (an entry existed but could not be decoded) and **unreadable**
+(an entry may exist but the filesystem refused to serve it: permissions,
+EMFILE, a directory squatting on the path) -- counted on the instance and
+mirrored into the active telemetry collector (``runner.cache.hit`` /
+``runner.cache.miss`` / ``runner.cache.corrupt_evicted`` /
+``runner.cache.unreadable``).  A corrupt entry is evicted from disk and its
+recovery logged, never silently recomputed; an unreadable entry is *not*
+evicted (the bytes may be fine) but is logged, so an ailing cache root
+cannot silently recompute a whole sweep while looking like a cold cache.
 """
 
 from __future__ import annotations
@@ -49,6 +53,9 @@ class ResultCache:
         #: Entries that existed on disk but could not be decoded; each one
         #: is evicted (and the recovery logged), then recomputed as a miss.
         self.corrupt = 0
+        #: Entries the filesystem refused to serve (``OSError`` other than
+        #: "not found"); logged and recomputed, never evicted.
+        self.unreadable = 0
 
     # ------------------------------------------------------------------
     def _dir_for(self, scenario: str) -> Path:
@@ -84,11 +91,24 @@ class ResultCache:
         try:
             with path.open("r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except OSError:
+        except FileNotFoundError:
             self.misses += 1
             _telemetry().count("runner.cache.miss")
             return None
-        except json.JSONDecodeError as error:
+        except OSError as error:
+            # Only "not found" is a miss.  Anything else (EACCES, EMFILE, a
+            # directory squatting on the path...) means the cache root is
+            # ailing: count it apart and log it, so a permissions problem
+            # cannot silently recompute a whole sweep.
+            self.unreadable += 1
+            _telemetry().count("runner.cache.unreadable")
+            logger.warning(
+                "unreadable cache entry %s (%s); the unit will be recomputed",
+                path,
+                error,
+            )
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
             self._evict_corrupt(path, f"undecodable JSON: {error}")
             return None
         metrics = payload.get("metrics")
@@ -130,7 +150,12 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def clear(self, scenario: Optional[str] = None) -> int:
-        """Delete cached entries (for one scenario, or everything)."""
+        """Delete cached entries (for one scenario, or everything).
+
+        Also sweeps stale ``.tmp-*`` files left behind by writes that
+        crashed between :func:`tempfile.mkstemp` and :func:`os.replace`;
+        they are not entries, so they never count toward the return value.
+        """
         removed = 0
         if not self.root.exists():
             return removed
@@ -141,12 +166,24 @@ class ResultCache:
             if not directory.is_dir():
                 continue
             for entry in directory.glob("*.json"):
+                if entry.name.startswith("."):
+                    continue  # a stale temp file, swept (uncounted) below
                 entry.unlink(missing_ok=True)
                 removed += 1
+            for stale in directory.glob(".tmp-*"):
+                stale.unlink(missing_ok=True)
         return removed
 
     def entry_count(self) -> int:
-        """Number of cached unit results on disk."""
+        """Number of cached unit results on disk.
+
+        Dot-prefixed names are excluded explicitly: a crashed ``put`` can
+        leave ``.tmp-*.json`` files behind, and whether ``glob`` matches
+        hidden files varies across pathlib versions -- an orphaned temp
+        must never masquerade as an entry either way.
+        """
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(
+            1 for path in self.root.glob("*/*.json") if not path.name.startswith(".")
+        )

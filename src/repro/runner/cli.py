@@ -170,9 +170,13 @@ def _cmd_run(args: argparse.Namespace, grid_args: Sequence[str]) -> int:
 
     rows = result.rows()
     print(render_result_rows(rows))
+    corrupt_note = (
+        f", {result.cache_corrupt} corrupt evicted" if result.cache_corrupt else ""
+    )
     print(
         f"\n{len(result.unit_metrics)} unit(s) "
-        f"[{result.cache_hits} cached, {result.cache_misses} computed] "
+        f"[{result.cache_hits} cached, {result.cache_misses} computed"
+        f"{corrupt_note}] "
         f"in {result.elapsed_seconds:.2f}s with {result.workers} worker(s); "
         f"spec hash {spec.spec_hash()}"
     )
@@ -200,6 +204,7 @@ def _cmd_run(args: argparse.Namespace, grid_args: Sequence[str]) -> int:
                 "elapsed_seconds": result.elapsed_seconds,
                 "cache_hits": result.cache_hits,
                 "cache_misses": result.cache_misses,
+                "cache_corrupt": result.cache_corrupt,
             },
         )
         write_report(telemetry_out, report)

@@ -3,8 +3,8 @@
 The executor turns a :class:`~repro.runner.spec.ScenarioSpec` into its flat
 work-unit schedule, serves whatever it can from the
 :class:`~repro.runner.cache.ResultCache`, and computes the remainder either
-in-process or on a ``ProcessPoolExecutor``.  Three properties hold by
-construction:
+in-process or on the invocation-wide persistent worker pool
+(:mod:`repro.runner.pool`).  Three properties hold by construction:
 
 * **determinism** -- every unit's seed is derived from the spec alone, and
   results are re-ordered by unit index before aggregation, so ``workers=N``
@@ -18,10 +18,10 @@ construction:
 from __future__ import annotations
 
 import importlib
+import logging
 import os
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -32,6 +32,8 @@ from repro.runner.spec import ScenarioSpec, WorkUnit
 from repro.runner.stats import MetricAggregator
 
 ProgressFn = Callable[[str], None]
+
+logger = logging.getLogger(__name__)
 
 #: Work units handed to each pool submission; batching amortises pickling and
 #: process round-trips for sweeps with many tiny units.
@@ -82,16 +84,19 @@ _WORKER_TELEMETRY = {"enabled": False}
 def _worker_init(
     src_path: str, module: str, graph_backend: str, bfs_batch, telemetry: bool = False
 ) -> None:
-    """Pool initializer: make ``repro`` importable and load the scenario home.
+    """Apply parent policies inside a worker (initializer or per-task).
 
-    Warming the registry here (instead of in every unit) costs one import per
-    worker process, not one per shard.  The parent's *resolved* graph-backend
-    and wave-width policies are re-forced in the worker: forced state set via
-    ``backend.use()`` / ``use_bfs_batch()`` lives in process globals that
-    ``spawn``/``forkserver`` children do not inherit, and the cache keys
-    record the parent's policy -- workers must actually compute under it.
-    The parent's telemetry state is shipped the same way (a pure observation
-    flag: it feeds no seed, parameter or cache key).
+    The persistent pool (:mod:`repro.runner.pool`) calls this per *task*
+    with ``src_path=""``: the pool outlives any one campaign, so the
+    parent's *resolved* graph-backend and wave-width policies are re-forced
+    for every shard -- forced state set via ``backend.use()`` /
+    ``use_bfs_batch()`` lives in process globals that ``spawn`` /
+    ``forkserver`` children do not inherit, and the cache keys record the
+    parent's policy, so workers must actually compute under it.  The
+    parent's telemetry state is shipped the same way (a pure observation
+    flag: it feeds no seed, parameter or cache key).  A scenario home
+    module that fails to import raises
+    :class:`~repro.core.errors.ConfigError` naming the module.
     """
     if src_path and src_path not in sys.path:
         sys.path.insert(0, src_path)
@@ -105,59 +110,19 @@ def _worker_init(
     if module and module != "__main__":
         try:
             importlib.import_module(module)
-        except ImportError:
-            pass
+        except ImportError as error:
+            # A broken scenario home must fail loudly *here*, naming the
+            # module -- not later as a baffling unknown-scenario error when
+            # the first shard tries to resolve its scenario.
+            from repro.core.errors import ConfigError
 
-
-#: Worker-side state for source-sharded path-metric campaigns: the CSR
-#: mirror is shipped once per worker (pool initializer), each task then only
-#: carries its source slice.
-_PATH_POOL_CSR: Dict[str, Any] = {}
-
-
-def _path_pool_init(src_path: str, indptr, indices, alive, telemetry: bool = False) -> None:
-    """Pool initializer: rebuild a worker-local CSR from the shipped arrays.
-
-    The wave kernels only touch ``indptr`` / ``indices`` / ``alive`` (node
-    labels never enter a shard), so a positional-identity node list is
-    enough.  ``telemetry`` mirrors the parent's collection state into the
-    worker (observation only -- shard contents and accumulators are
-    untouched).
-    """
-    if src_path and src_path not in sys.path:
-        sys.path.insert(0, src_path)
-    from repro.graphs.fast import CSRGraph
-
-    n = indptr.size - 1
-    _PATH_POOL_CSR["csr"] = CSRGraph(
-        list(range(n)), {}, indptr, indices, alive=alive
-    )
-    _PATH_POOL_CSR["telemetry"] = bool(telemetry)
-
-
-def _path_shard_accumulate(sources):
-    """Worker task: one shard's exact ``(ecc, totals)`` int64 accumulators.
-
-    Returns ``(ecc, totals, telemetry_snapshot)``; the snapshot is ``None``
-    with telemetry off, else the shard's worker-local collection (the
-    ``runner.path_shard`` accumulate span plus the wave engine's own
-    counters) for the parent to merge.
-    """
-    from repro.graphs import fast
-
-    if not _PATH_POOL_CSR.get("telemetry"):
-        ecc, totals = fast.accumulate_path_shard(_PATH_POOL_CSR["csr"], sources)
-        return ecc, totals, None
-    from repro.obs import telemetry
-
-    collector = telemetry.enable(label="path-shard")
-    try:
-        collector.count("runner.path_shard.sources", int(len(sources)))
-        with collector.span("runner.path_shard"):
-            ecc, totals = fast.accumulate_path_shard(_PATH_POOL_CSR["csr"], sources)
-    finally:
-        telemetry.disable()
-    return ecc, totals, collector.snapshot()
+            logger.exception(
+                "scenario home module %r failed to import in a worker", module
+            )
+            raise ConfigError(
+                f"scenario home module {module!r} failed to import in a "
+                f"worker: {error}"
+            ) from error
 
 
 def run_unit(scenario_name: str, module: str, params: Mapping[str, Any], seed: int) -> Dict[str, float]:
@@ -213,6 +178,10 @@ class RunResult:
     points: List[Dict[str, Any]] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Cache entries that existed but could not be decoded: evicted and
+    #: recomputed (a subset of ``cache_misses``), reported apart so a sweep
+    #: with a rotting cache is visible in the run summary.
+    cache_corrupt: int = 0
     workers: int = 1
     elapsed_seconds: float = 0.0
 
@@ -301,9 +270,28 @@ def execute(
         tel.gauge("runner.workers", workers)
         tel.gauge("runner.units", len(units))
 
+    # Streaming aggregation state: per-unit results are pushed into the
+    # Welford accumulators as they land -- but strictly in unit schedule
+    # order (an in-order drain over ``results``), never completion order.
+    # That drain order is half of the parallel==serial guarantee (the other
+    # half is spec-derived unit seeds); memory stays O(points x metrics).
+    points = spec.points()
+    aggregates = [MetricAggregator() for _ in points]
     results: Dict[int, Dict[str, float]] = {}
+    drained = 0
+
+    def drain_ready() -> None:
+        nonlocal drained
+        while drained < len(units):
+            metrics = results.get(drained)
+            if metrics is None:
+                return
+            aggregates[units[drained].point_index].push(metrics)
+            drained += 1
+
     pending: List[WorkUnit] = []
     hits_before = cache.hits if cache else 0
+    corrupt_before = cache.corrupt if cache else 0
     for unit in units:
         cached = cache.get(unit, sc.version) if cache else None
         if cached is not None:
@@ -311,11 +299,13 @@ def execute(
         else:
             pending.append(unit)
     cache_hits = (cache.hits - hits_before) if cache else 0
+    drain_ready()
 
     def finish_unit(unit_index: int, metrics: Dict[str, float]) -> None:
         results[unit_index] = metrics
         if cache is not None:
             cache.put(units[unit_index], sc.version, metrics)
+        drain_ready()
         if progress is not None:
             progress(
                 f"[{spec.name}] unit {unit_index + 1}/{len(units)} done "
@@ -336,48 +326,28 @@ def execute(
             tel.gauge("runner.shard_size", shard_size)
             tel.gauge("runner.pool_workers", max_workers)
         from repro.graphs import backend
+        from repro.runner.pool import get_pool
 
-        spinup_started = time.perf_counter()
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_worker_init,
-            initargs=(
-                _repro_src_path(),
-                sc.module,
-                backend.policy(),
-                backend.bfs_batch_policy(),
-                tel.enabled,
-            ),
-        ) as pool:
-            futures = {
-                pool.submit(_run_shard, spec.name, sc.module, shard)
-                for shard in shards
-            }
-            first_result = True
-            while futures:
-                done, futures = wait(futures, return_when=FIRST_COMPLETED)
-                if first_result:
-                    # Spawn + interpreter boot + scenario-module import, as
-                    # seen from the parent: pool creation to first shard back.
-                    tel.record_span(
-                        "runner.pool_spinup", time.perf_counter() - spinup_started
-                    )
-                    first_result = False
-                for future in done:
-                    shard_results, shard_snapshot = future.result()
-                    if shard_snapshot is not None:
-                        tel.merge_snapshot(shard_snapshot)
-                    for unit_index, metrics in shard_results:
-                        finish_unit(unit_index, metrics)
+        # Everything policy-like ships per task: the persistent pool
+        # outlives this campaign, so workers re-force the parent's resolved
+        # policies for every shard instead of baking them in at spin-up.
+        ctx = {
+            "module": sc.module,
+            "backend": backend.policy(),
+            "bfs_batch": backend.bfs_batch_policy(),
+            "telemetry": tel.enabled,
+        }
 
-    # Deterministic aggregation order: unit schedule order, never completion
-    # order -- this is half of the parallel==serial guarantee (the other half
-    # is spec-derived unit seeds).
-    points = spec.points()
-    aggregates = [MetricAggregator() for _ in points]
+        def on_shard(shard_results, shard_snapshot) -> None:
+            if shard_snapshot is not None:
+                tel.merge_snapshot(shard_snapshot)
+            for unit_index, metrics in shard_results:
+                finish_unit(unit_index, metrics)
+
+        get_pool(workers).run_unit_shards(ctx, spec.name, shards, on_shard)
+
+    drain_ready()
     ordered = [results[unit.index] for unit in units]
-    for unit in units:
-        aggregates[unit.point_index].push(results[unit.index])
 
     elapsed = time.perf_counter() - started
     tel.record_span("runner.execute", elapsed)
@@ -388,6 +358,7 @@ def execute(
         points=points,
         cache_hits=cache_hits,
         cache_misses=len(pending),
+        cache_corrupt=(cache.corrupt - corrupt_before) if cache else 0,
         workers=workers,
         elapsed_seconds=elapsed,
     )
@@ -413,6 +384,12 @@ def sharded_full_path_metrics(
     ``ceil(sources / workers)`` split).  Requires the fast graph backend
     (numpy); the serial ``workers=1`` call is just
     ``fast.full_path_metrics(graph)``.
+
+    ``workers > 1`` runs on the invocation-wide persistent pool
+    (:func:`repro.runner.pool.get_pool`): the CSR arrays are published via
+    shared memory once, consecutive checkpoints broadcast only delta
+    patches (or re-attach after an overflow/compaction), and pool spin-up
+    is paid once per invocation instead of once per checkpoint.
     """
     from repro.graphs import backend, fast
 
@@ -428,8 +405,10 @@ def sharded_full_path_metrics(
     if workers == 1:
         return fast.full_path_metrics(graph)
 
-    def fan_out(csr, sources):
+    def fan_out(working, csr, sources):
         import numpy as np
+
+        from repro.runner.pool import get_pool
 
         tel = _telemetry()
         per_shard = shard_size or -(-max(int(sources.size), 1) // workers)
@@ -444,30 +423,27 @@ def sharded_full_path_metrics(
         if tel.enabled:
             tel.gauge("runner.path_workers", min(workers, len(shards)))
             tel.gauge("runner.path_shards", len(shards))
-        spinup_started = time.perf_counter()
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(shards)),
-            initializer=_path_pool_init,
-            initargs=(
-                _repro_src_path(), csr.indptr, csr.indices, csr.alive, tel.enabled
-            ),
-        ) as pool:
-            # Completion order is irrelevant: integer max/sum merges are
-            # associative and commutative *exactly*.
-            first_result = True
-            for shard_ecc, shard_totals, shard_snapshot in pool.map(
-                _path_shard_accumulate, shards
-            ):
-                if first_result:
-                    tel.record_span(
-                        "runner.path_pool_spinup",
-                        time.perf_counter() - spinup_started,
-                    )
-                    first_result = False
-                if shard_snapshot is not None:
-                    tel.merge_snapshot(shard_snapshot)
-                np.maximum(ecc, shard_ecc, out=ecc)
-                totals += shard_totals
+        ctx = {
+            "backend": backend.policy(),
+            "bfs_batch": backend.bfs_batch_policy(),
+            "telemetry": tel.enabled,
+        }
+
+        # Completion order is irrelevant: integer max/sum merges are
+        # associative and commutative *exactly*.
+        def on_result(shard_ecc, shard_totals, shard_snapshot) -> None:
+            if shard_snapshot is not None:
+                tel.merge_snapshot(shard_snapshot)
+            if shard_ecc.shape != ecc.shape:
+                raise RuntimeError(
+                    "pool worker returned accumulators of shape "
+                    f"{shard_ecc.shape}, expected {ecc.shape}: worker mirror "
+                    "diverged from the parent CSR"
+                )
+            np.maximum(ecc, shard_ecc, out=ecc)
+            np.add(totals, shard_totals, out=totals)
+
+        get_pool(workers).run_path_shards(working, csr, shards, ctx, on_result)
         return ecc, totals
 
     return fast.full_path_metrics(graph, shard_runner=fan_out)

@@ -1,0 +1,682 @@
+"""Persistent worker pools with shared-memory CSR broadcast.
+
+Checkpointed campaigns used to pay process-pool spin-up *and* full CSR
+pickling at every checkpoint: ``execute()`` and
+``sharded_full_path_metrics`` each built a throwaway
+:class:`~concurrent.futures.ProcessPoolExecutor` per call.  This module
+keeps one pool alive per runner invocation instead and separates
+worker-resident state from per-task inputs:
+
+* **Pool lifetime** -- :func:`get_pool` hands out one :class:`WorkerPool`
+  per worker count; the underlying executor is created lazily on first use
+  and survives across campaigns and checkpoints, so ``runner.pool_spinup``
+  is recorded once per invocation, not once per campaign.  Pools are
+  context managers and an ``atexit`` guard closes whatever is left, so
+  shared-memory segments never outlive the parent even on a crashed run.
+* **Shared-memory CSR publication** -- :meth:`WorkerPool.publish_csr`
+  publishes a snapshot's ``indptr`` / ``indices`` / ``alive`` arrays via
+  :mod:`multiprocessing.shared_memory` under a *generation* stamp.  Workers
+  attach once, then every later generation ships only the index-space
+  patch resolved from the graph's mutation delta log
+  (:meth:`repro.graphs.adjacency.UndirectedGraph.delta_since` with a
+  pool-private consumer mark, resolved by
+  :func:`repro.graphs.fast.resolve_index_patch`); workers replay patches
+  with the *same* array surgery the parent cache uses
+  (:func:`repro.graphs.fast.apply_index_patch`), so the mirror's index
+  space stays byte-identical to the parent's.  On log overflow, a
+  compaction (epoch change) or a too-long patch chain the publication
+  re-attaches with fresh segments.
+* **Failure paths** -- a killed worker breaks the executor; the pool
+  respawns it once and retries only the tasks whose results have not been
+  merged yet (exactly-once delivery: accumulator merges are not
+  idempotent).  A second break, or a task raising, surfaces as
+  :class:`PoolError` / :class:`PoolTaskError` carrying the failing shard's
+  unit context.
+
+Everything is observation-instrumented via :mod:`repro.obs.telemetry`:
+``runner.pool_spinup`` span, ``runner.pool.generation`` gauge, publish
+attach/patch/reattach and worker-side shm attach/patch/reattach counters,
+and a ``runner.pool.bytes_shipped`` counter for the broadcast volume.
+"""
+
+from __future__ import annotations
+
+import atexit
+import time
+import uuid
+import weakref
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.telemetry import current as _telemetry
+
+#: Name prefix of every shared-memory segment the pool creates.  Tests (and
+#: humans) can audit ``/dev/shm`` for leaks by this prefix.
+SHM_PREFIX = "repro-pool-"
+
+#: Longest attach-plus-patches sync chain shipped per task before the
+#: publication re-attaches: a fresh worker replays the whole chain, so an
+#: unbounded chain would eventually cost more than re-shipping the arrays.
+MAX_SYNC_CHAIN = 32
+
+#: Live shared-memory publications kept per pool (LRU).  Checkpointed
+#: campaigns publish one graph at a time; the cap bounds ``/dev/shm`` usage
+#: when callers interleave several graphs.
+MAX_PUBLICATIONS = 4
+
+#: How many times one task batch survives a broken (killed-worker) executor
+#: before the run is abandoned.
+MAX_RESPAWNS = 1
+
+
+class PoolError(RuntimeError):
+    """The pool itself failed (broken twice, unreplayable sync chain...)."""
+
+
+class PoolTaskError(PoolError):
+    """One task failed in a worker; the message carries its unit context."""
+
+
+# ----------------------------------------------------------------------
+# Worker-side state and entry points (top-level so they pickle)
+# ----------------------------------------------------------------------
+#: Worker-resident CSR mirrors keyed by publication token.  The pcse-style
+#: state/rate split: the mirror (attached segments + patched arrays + the
+#: lazily built wave tables on the ``CSRGraph``) is long-lived worker state,
+#: while each task carries only its source slice and a tiny sync chain.
+_MIRRORS: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+#: Worker-side cap matching :data:`MAX_PUBLICATIONS`.
+_MAX_MIRRORS = MAX_PUBLICATIONS
+
+
+def _pool_worker_boot(src_path: str) -> None:
+    """Pool initializer: make ``repro`` importable and warm the registry.
+
+    Deliberately minimal -- everything policy-like (graph backend, wave
+    width, telemetry, scenario home module) arrives *per task* via
+    :func:`_apply_worker_context`, because a persistent pool outlives any
+    single campaign's policies.
+    """
+    import sys
+
+    if src_path and src_path not in sys.path:
+        sys.path.insert(0, src_path)
+    from repro.runner import registry
+
+    registry._ensure_builtins()
+
+
+def _apply_worker_context(ctx: Dict[str, Any]) -> None:
+    """Re-force the parent's per-campaign policies inside the worker."""
+    from repro.runner import executor
+
+    executor._worker_init(
+        "", ctx.get("module", ""), ctx["backend"], ctx["bfs_batch"], ctx["telemetry"]
+    )
+    if not ctx["telemetry"]:
+        # A forked worker may have inherited a live parent collector; a
+        # dark campaign must not keep feeding it.
+        from repro.obs import telemetry
+
+        telemetry.disable()
+
+
+def _pool_run_shard(ctx: Dict[str, Any], scenario_name: str, shard):
+    """Worker task: one batch of work units under the shipped context."""
+    from repro.runner import executor
+
+    _apply_worker_context(ctx)
+    return executor._run_shard(scenario_name, ctx.get("module", ""), shard)
+
+
+def _attach_segment(meta: Dict[str, Any]):
+    """Attach one published array; returns ``(shm, ndarray-view)``."""
+    import numpy as np
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=meta["name"])
+    try:
+        # Attaching registers the segment with the resource tracker on
+        # Python < 3.13.  Under spawn/forkserver each worker runs its *own*
+        # tracker, which would unlink the parent-owned segment when the
+        # worker exits -- so unregister there.  Under fork the tracker is
+        # shared with the parent and its name set is deduplicated, so a
+        # worker-side unregister would strip the parent's own registration
+        # (the parent's later unlink-time unregister then trips a KeyError
+        # inside the tracker); leave the shared entry alone.
+        import multiprocessing
+
+        if multiprocessing.get_start_method(allow_none=True) != "fork":
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+    array = np.ndarray(
+        tuple(meta["shape"]), dtype=np.dtype(meta["dtype"]), buffer=shm.buf
+    )
+    return shm, array
+
+
+def _close_mirror_segments(state: Dict[str, Any]) -> None:
+    for shm in state.get("segments", ()):
+        try:
+            shm.close()
+        except Exception:
+            pass
+    state["segments"] = []
+
+
+def _rebuild_mirror_csr(state: Dict[str, Any]) -> None:
+    """(Re)wrap the mirror arrays in a CSRGraph, dropping stale wave tables."""
+    from repro.graphs.fast import CSRGraph
+
+    n = state["indptr"].size - 1
+    state["csr"] = CSRGraph(
+        list(range(n)), {}, state["indptr"], state["indices"], alive=state["alive"]
+    )
+
+
+def _patch_mirror(state: Dict[str, Any], patch: Dict[str, Any]) -> None:
+    from repro.graphs import fast
+
+    arrays = fast.apply_index_patch(
+        state["indptr"], state["indices"], state["alive"], patch
+    )
+    if arrays is None:
+        raise PoolError(
+            "pool delta patch diverged from the published snapshot "
+            "(worker mirror and parent CSR disagree)"
+        )
+    state["indptr"], state["indices"], state["alive"] = arrays
+    # The patched arrays are private copies; the attach-generation segments
+    # are no longer referenced by this mirror.
+    _close_mirror_segments(state)
+    _rebuild_mirror_csr(state)
+
+
+def _sync_mirror(token: str, generation: int, chain: List[Dict[str, Any]], tel) -> Dict[str, Any]:
+    """Bring this worker's mirror of ``token`` up to ``generation``.
+
+    Fast path: the mirror is current (nothing to do) or behind by patches
+    present in the chain (replay them).  Slow path: attach (or re-attach)
+    from the chain's head segments, then replay the remaining patches.
+    """
+    state = _MIRRORS.get(token)
+    if state is not None and state["generation"] == generation:
+        _MIRRORS.move_to_end(token)
+        return state
+    patches = {
+        entry["generation"]: entry for entry in chain if entry["kind"] == "patch"
+    }
+    if state is not None and state["generation"] < generation:
+        wanted = range(state["generation"] + 1, generation + 1)
+        if all(gen in patches for gen in wanted):
+            for gen in wanted:
+                _patch_mirror(state, patches[gen]["payload"])
+            state["generation"] = generation
+            if tel is not None:
+                tel.count("runner.pool.shm_patch", len(wanted))
+            _MIRRORS.move_to_end(token)
+            return state
+
+    head = chain[0]
+    if head["kind"] != "attach":
+        raise PoolError(f"pool sync chain for {token} has no attach head")
+    reattach = state is not None
+    if state is not None:
+        _close_mirror_segments(state)
+    segments: List[Any] = []
+    arrays: Dict[str, Any] = {}
+    for field in ("indptr", "indices", "alive"):
+        meta = head["arrays"].get(field)
+        if meta is None:
+            arrays[field] = None
+            continue
+        shm, array = _attach_segment(meta)
+        segments.append(shm)
+        arrays[field] = array
+    state = {
+        "generation": head["generation"],
+        "segments": segments,
+        "indptr": arrays["indptr"],
+        "indices": arrays["indices"],
+        "alive": arrays["alive"],
+    }
+    _rebuild_mirror_csr(state)
+    _MIRRORS[token] = state
+    _MIRRORS.move_to_end(token)
+    while len(_MIRRORS) > _MAX_MIRRORS:
+        _, evicted = _MIRRORS.popitem(last=False)
+        _close_mirror_segments(evicted)
+    if tel is not None:
+        tel.count("runner.pool.shm_reattach" if reattach else "runner.pool.shm_attach")
+    for gen in range(head["generation"] + 1, generation + 1):
+        entry = patches.get(gen)
+        if entry is None:
+            raise PoolError(
+                f"pool sync chain for {token} is missing generation {gen}"
+            )
+        _patch_mirror(state, entry["payload"])
+        if tel is not None:
+            tel.count("runner.pool.shm_patch")
+    state["generation"] = generation
+    return state
+
+
+def _pool_path_shard(
+    ctx: Dict[str, Any], token: str, generation: int, chain: List[Dict[str, Any]], sources
+):
+    """Worker task: one source shard's exact ``(ecc, totals)`` accumulators.
+
+    Returns ``(ecc, totals, telemetry_snapshot)``; the snapshot is ``None``
+    with telemetry off, else the shard's worker-local collection (mirror
+    sync counters, the ``runner.path_shard`` accumulate span, the wave
+    engine's own counters) for the parent to merge.
+    """
+    from repro.graphs import fast
+
+    _apply_worker_context(ctx)
+    if not ctx["telemetry"]:
+        state = _sync_mirror(token, generation, chain, None)
+        ecc, totals = fast.accumulate_path_shard(state["csr"], sources)
+        return ecc, totals, None
+    from repro.obs import telemetry
+
+    collector = telemetry.enable(label="path-shard")
+    try:
+        state = _sync_mirror(token, generation, chain, collector)
+        collector.count("runner.path_shard.sources", int(len(sources)))
+        with collector.span("runner.path_shard"):
+            ecc, totals = fast.accumulate_path_shard(state["csr"], sources)
+    finally:
+        telemetry.disable()
+    return ecc, totals, collector.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Parent-side publication bookkeeping
+# ----------------------------------------------------------------------
+def _unlink_segments(segments: List[Any]) -> None:
+    """Close and unlink shared-memory segments (idempotent, swallow races)."""
+    for shm in segments:
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except Exception:
+            pass
+    segments.clear()
+
+
+class _Publication:
+    """One graph's live shared-memory broadcast state."""
+
+    __slots__ = (
+        "token",
+        "consumer",
+        "stamp",
+        "epoch",
+        "generation",
+        "chain",
+        "segments",
+        "base_csr",
+        "graph_ref",
+        "finalizer",
+    )
+
+
+class WorkerPool:
+    """A persistent :class:`ProcessPoolExecutor` plus CSR publications.
+
+    Obtain instances through :func:`get_pool`; direct construction is fine
+    for tests.  Usable as a context manager; :meth:`close` is idempotent
+    and also runs from the module ``atexit`` guard.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._spinup_started = 0.0
+        self._spinup_pending = False
+        self._pubs: "OrderedDict[int, _Publication]" = OrderedDict()
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Shut the executor down and unlink every published segment."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        for key in list(self._pubs):
+            self._drop_publication(key)
+
+    # -- executor -------------------------------------------------------
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise PoolError("worker pool is closed")
+        if self._executor is None:
+            from repro.runner.executor import _repro_src_path
+
+            self._spinup_started = time.perf_counter()
+            self._spinup_pending = True
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_pool_worker_boot,
+                initargs=(_repro_src_path(),),
+            )
+        return self._executor
+
+    def _recreate_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    def _note_first_result(self) -> None:
+        if self._spinup_pending:
+            # Pool creation to first task back, as seen from the parent --
+            # recorded once per executor lifetime, i.e. once per invocation
+            # (plus once per respawn after a killed worker).
+            _telemetry().record_span(
+                "runner.pool_spinup", time.perf_counter() - self._spinup_started
+            )
+            self._spinup_pending = False
+
+    # -- task fan-out ---------------------------------------------------
+    def _run_tasks(
+        self,
+        fn: Callable[..., Any],
+        tasks: Dict[int, Tuple],
+        on_done: Callable[[int, Any], None],
+        describe: Callable[[int], str],
+    ) -> None:
+        """Run every task, exactly-once merging results as they land.
+
+        A :class:`BrokenProcessPool` (killed worker) respawns the executor
+        and resubmits only the tasks whose results were not merged yet;
+        a second break raises :class:`PoolError`.  Any task exception is
+        re-raised as :class:`PoolTaskError` carrying ``describe(key)``.
+        """
+        remaining = dict(tasks)
+        respawns = 0
+        while remaining:
+            executor = self._ensure_executor()
+            broken = False
+            futures: Dict[Any, int] = {}
+            try:
+                for key, args in remaining.items():
+                    futures[executor.submit(fn, *args)] = key
+            except (BrokenProcessPool, RuntimeError):
+                broken = True
+            pending = set(futures)
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        key = futures[future]
+                        try:
+                            result = future.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            continue
+                        except PoolError:
+                            raise
+                        except Exception as error:
+                            raise PoolTaskError(describe(key)) from error
+                        self._note_first_result()
+                        remaining.pop(key)
+                        on_done(key, result)
+            except BaseException:
+                for future in pending:
+                    future.cancel()
+                raise
+            if broken:
+                respawns += 1
+                if respawns > MAX_RESPAWNS:
+                    raise PoolError(
+                        f"worker pool broke {respawns} times (worker killed or "
+                        f"crashed); {len(remaining)} task(s) unfinished; first "
+                        f"pending: {describe(next(iter(remaining)))}"
+                    )
+                _telemetry().count("runner.pool.respawn")
+                self._recreate_executor()
+
+    def run_unit_shards(
+        self,
+        ctx: Dict[str, Any],
+        scenario_name: str,
+        shards: Sequence[Sequence[Tuple]],
+        on_shard: Callable[[Any, Any], None],
+    ) -> None:
+        """Fan work-unit shards out; ``on_shard(results, snapshot)`` streams back."""
+        tasks = {i: (ctx, scenario_name, shard) for i, shard in enumerate(shards)}
+
+        def describe(key: int) -> str:
+            return (
+                f"scenario {scenario_name!r} shard failed in a pool worker; "
+                f"units (index, params, seed): {list(shards[key])!r}"
+            )
+
+        self._run_tasks(
+            _pool_run_shard, tasks, lambda key, result: on_shard(*result), describe
+        )
+
+    def run_path_shards(
+        self,
+        graph,
+        csr,
+        shards: Sequence[Any],
+        ctx: Dict[str, Any],
+        on_result: Callable[[Any, Any, Any], None],
+    ) -> None:
+        """Fan path-metric source shards out over the published CSR mirror."""
+        pub = self.publish_csr(graph, csr)
+        chain = list(pub.chain)
+        tasks = {
+            i: (ctx, pub.token, pub.generation, chain, shard)
+            for i, shard in enumerate(shards)
+        }
+
+        def describe(key: int) -> str:
+            shard = shards[key]
+            return (
+                f"path-metric shard {key} ({len(shard)} sources) failed in a "
+                f"pool worker (publication {pub.token}, generation "
+                f"{pub.generation})"
+            )
+
+        self._run_tasks(
+            _pool_path_shard, tasks, lambda key, result: on_result(*result), describe
+        )
+
+    # -- shared-memory publication --------------------------------------
+    def publish_csr(self, graph, csr) -> _Publication:
+        """Make ``csr`` (a snapshot of ``graph``) available to the workers.
+
+        First sight of a graph creates shared-memory segments and an attach
+        chain head.  Later calls ship only the delta patch when the graph's
+        log covers the interval *and* the parent cache kept the same index
+        space (same epoch, i.e. no compacting rebuild in between); anything
+        else -- overflowed log, compaction, over-long chain -- re-attaches
+        with fresh segments.
+        """
+        if self._closed:
+            raise PoolError("worker pool is closed")
+        tel = _telemetry()
+        key = id(graph)
+        pub = self._pubs.get(key)
+        if pub is not None and pub.graph_ref() is not graph:
+            # id() reuse after the original graph died: drop the corpse.
+            self._drop_publication(key)
+            pub = None
+        stamp = graph.mutation_stamp
+        epoch = getattr(csr, "epoch", -1)
+        if pub is not None and pub.stamp == stamp and pub.epoch == epoch:
+            self._pubs.move_to_end(key)
+            return pub
+
+        if pub is None:
+            pub = self._attach_publication(key, graph, csr)
+            if tel.enabled:
+                tel.count("runner.pool.publish_attach")
+        else:
+            from repro.graphs import fast
+
+            patch = None
+            if epoch == pub.epoch and len(pub.chain) < MAX_SYNC_CHAIN:
+                ops = graph.delta_since(pub.stamp, consumer=pub.consumer)
+                if ops is not None:
+                    patch = fast.resolve_index_patch(pub.base_csr, ops, graph)
+            if patch is None:
+                self._reattach_publication(pub, csr)
+                if tel.enabled:
+                    tel.count("runner.pool.publish_reattach")
+            else:
+                pub.generation += 1
+                pub.chain.append(
+                    {"kind": "patch", "generation": pub.generation, "payload": patch}
+                )
+                if tel.enabled:
+                    tel.count("runner.pool.publish_patch")
+                    tel.count(
+                        "runner.pool.bytes_shipped",
+                        sum(
+                            int(value.nbytes)
+                            for value in patch.values()
+                            if hasattr(value, "nbytes")
+                        ),
+                    )
+        pub.stamp = stamp
+        pub.epoch = epoch
+        pub.base_csr = csr
+        graph.reset_delta_log(consumer=pub.consumer)
+        if tel.enabled:
+            tel.gauge("runner.pool.generation", pub.generation)
+        self._pubs.move_to_end(key)
+        while len(self._pubs) > MAX_PUBLICATIONS:
+            oldest = next(iter(self._pubs))
+            self._drop_publication(oldest)
+        return pub
+
+    def _create_segments(self, csr) -> Tuple[List[Any], Dict[str, Any], int]:
+        import numpy as np
+        from multiprocessing import shared_memory
+
+        segments: List[Any] = []
+        metas: Dict[str, Any] = {}
+        shipped = 0
+        for name, array in (
+            ("indptr", csr.indptr),
+            ("indices", csr.indices),
+            ("alive", csr.alive),
+        ):
+            if array is None:
+                metas[name] = None
+                continue
+            data = np.ascontiguousarray(array)
+            shm = shared_memory.SharedMemory(
+                create=True,
+                size=max(1, int(data.nbytes)),
+                name=SHM_PREFIX + uuid.uuid4().hex[:16],
+            )
+            view = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
+            view[:] = data
+            segments.append(shm)
+            metas[name] = {
+                "name": shm.name,
+                "shape": list(data.shape),
+                "dtype": str(data.dtype),
+            }
+            shipped += int(data.nbytes)
+        return segments, metas, shipped
+
+    def _attach_publication(self, key: int, graph, csr) -> _Publication:
+        pub = _Publication()
+        pub.token = uuid.uuid4().hex[:12]
+        pub.consumer = f"pool:{pub.token}"
+        pub.generation = 1
+        pub.segments = []
+        segments, metas, shipped = self._create_segments(csr)
+        pub.segments.extend(segments)
+        pub.chain = [{"kind": "attach", "generation": 1, "arrays": metas}]
+        pub.graph_ref = weakref.ref(graph)
+        # Deterministic /dev/shm release even when the graph dies before the
+        # pool closes (checkpoint subgraphs are short-lived): the finalizer
+        # captures the mutable segment list, never the graph.
+        pub.finalizer = weakref.finalize(graph, _unlink_segments, pub.segments)
+        self._pubs[key] = pub
+        tel = _telemetry()
+        if tel.enabled:
+            tel.count("runner.pool.bytes_shipped", shipped)
+        return pub
+
+    def _reattach_publication(self, pub: _Publication, csr) -> None:
+        _unlink_segments(pub.segments)
+        segments, metas, shipped = self._create_segments(csr)
+        pub.segments.extend(segments)
+        pub.generation += 1
+        pub.chain = [
+            {"kind": "attach", "generation": pub.generation, "arrays": metas}
+        ]
+        tel = _telemetry()
+        if tel.enabled:
+            tel.count("runner.pool.bytes_shipped", shipped)
+
+    def _drop_publication(self, key: int) -> None:
+        pub = self._pubs.pop(key, None)
+        if pub is None:
+            return
+        graph = pub.graph_ref()
+        if graph is not None:
+            try:
+                graph.drop_delta_consumer(pub.consumer)
+            except Exception:
+                pass
+        # Runs _unlink_segments at most once; a later graph-death no-ops.
+        pub.finalizer()
+
+
+# ----------------------------------------------------------------------
+# Module-level pool registry (one pool per worker count per invocation)
+# ----------------------------------------------------------------------
+_POOLS: Dict[int, WorkerPool] = {}
+
+
+def get_pool(workers: int) -> WorkerPool:
+    """The invocation-wide persistent pool for ``workers`` processes."""
+    pool = _POOLS.get(workers)
+    if pool is None or pool.closed:
+        pool = WorkerPool(workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Close every registered pool (idempotent; also the ``atexit`` guard)."""
+    for pool in list(_POOLS.values()):
+        pool.close()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)

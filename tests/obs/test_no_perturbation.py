@@ -92,7 +92,13 @@ class TestRunnerDifferential:
         assert snap["spans"]["runner.execute"]["count"] == 1
 
     def test_pooled_scenario_bit_identical_and_worker_spans_merge(self):
+        from repro.runner.pool import shutdown_pools
+
         dark = run_scenario("soap-under-churn", **self.SCENARIO)
+        # The pool is persistent (one spin-up per invocation, not per
+        # campaign); retire any pool a previous test left warm so the
+        # spin-up span lands inside this collector deterministically.
+        shutdown_pools()
         with telemetry.collecting() as collector:
             lit = run_scenario("soap-under-churn", workers=2, **self.SCENARIO)
         assert lit.unit_metrics == dark.unit_metrics
@@ -131,6 +137,11 @@ class TestShardedPathMetricsDifferential:
     def test_sharded_bit_identical_with_merged_worker_collectors(
         self, graph, dark, workers
     ):
+        from repro.runner.pool import shutdown_pools
+
+        # Pools persist across campaigns; retire any warm pool so this
+        # collector observes the (single) spin-up span itself.
+        shutdown_pools()
         with backend.using("fast"):
             with telemetry.collecting() as collector:
                 lit = sharded_full_path_metrics(graph, workers=workers)
@@ -142,7 +153,7 @@ class TestShardedPathMetricsDifferential:
         # shard source counters add back up to the full population.
         assert snap["spans"]["runner.path_shard"]["count"] == shards
         assert snap["counters"]["runner.path_shard.sources"] == 600
-        assert snap["spans"]["runner.path_pool_spinup"]["count"] == 1
+        assert snap["spans"]["runner.pool_spinup"]["count"] == 1
 
     def test_sharded_dark_run_still_bit_identical(self, graph, dark):
         """The telemetry plumbing itself must not perturb an uninstrumented run."""

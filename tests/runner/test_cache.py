@@ -1,5 +1,7 @@
 """Tests for the on-disk unit-result cache and its keying."""
 
+import pytest
+
 from repro.runner.cache import ResultCache
 from repro.runner.spec import ScenarioSpec
 
@@ -209,3 +211,94 @@ class TestCacheStorage:
         assert (tmp_path / "cache") in path.parents
         cache.clear("..")
         assert (tmp_path / "outside.json").exists()
+
+
+class TestUnreadableEntries:
+    """Only "not found" is a miss; any other OSError is counted apart."""
+
+    def test_unreadable_entry_is_not_a_miss_and_not_evicted(self, tmp_path, caplog):
+        import logging
+
+        cache = ResultCache(tmp_path)
+        unit = unit_of(ScenarioSpec(name="s", params={"n": 10}))
+        path = cache.path_for(unit, "1")
+        # A directory squatting on the entry path raises IsADirectoryError
+        # (an OSError that is not FileNotFoundError) on open -- the same
+        # failure class as EACCES/EMFILE, but reproducible when the test
+        # suite runs as root.
+        path.mkdir(parents=True)
+        with caplog.at_level(logging.WARNING, logger="repro.runner.cache"):
+            assert cache.get(unit, "1") is None
+        assert cache.unreadable == 1
+        assert (cache.hits, cache.misses, cache.corrupt) == (0, 0, 0)
+        assert path.exists()  # never evicted: the bytes may be fine
+        assert any("unreadable cache entry" in r.message for r in caplog.records)
+
+    def test_unreadable_mirrored_into_telemetry(self, tmp_path):
+        from repro.obs import telemetry
+
+        cache = ResultCache(tmp_path)
+        unit = unit_of(ScenarioSpec(name="s", params={"n": 10}))
+        cache.path_for(unit, "1").mkdir(parents=True)
+        with telemetry.collecting() as collector:
+            cache.get(unit, "1")
+        counters = collector.snapshot()["counters"]
+        assert counters["runner.cache.unreadable"] == 1
+        assert "runner.cache.miss" not in counters
+
+
+class TestCrashedWriteTemps:
+    """``put`` crashes between mkstemp and os.replace leave ``.tmp-*`` files."""
+
+    @staticmethod
+    def _plant_stale_temp(cache, unit):
+        path = cache.put(unit, "1", {"m": 1.0})
+        stale = path.parent / ".tmp-deadbeef.json"
+        stale.write_text('{"half": ', encoding="utf-8")
+        return path, stale
+
+    def test_simulated_crash_mid_put_leaves_only_a_dot_temp(self, tmp_path, monkeypatch):
+        import os as _os
+
+        cache = ResultCache(tmp_path)
+        unit = unit_of(ScenarioSpec(name="s", params={"n": 10}))
+
+        def crash(src, dst):
+            raise KeyboardInterrupt  # the worker died right here
+
+        monkeypatch.setattr("repro.runner.cache.os.replace", crash)
+        with pytest.raises(KeyboardInterrupt):
+            cache.put(unit, "1", {"m": 1.0})
+        monkeypatch.undo()
+        # The atomic-write contract held: no entry appeared...
+        assert cache.entry_count() == 0
+        # ...and put()'s own BaseException cleanup already removed the temp,
+        # so the sweep below is for the harder crash (SIGKILL) where even
+        # that handler never ran.
+        assert list(cache.root.glob("*/.tmp-*")) == []
+
+    def test_entry_count_ignores_stale_temps(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unit = unit_of(ScenarioSpec(name="s", params={"n": 10}))
+        self._plant_stale_temp(cache, unit)
+        # Whether pathlib's glob matches dotfiles varies by version; an
+        # orphaned temp must never masquerade as a cached result either way.
+        assert cache.entry_count() == 1
+
+    def test_clear_sweeps_stale_temps_without_counting_them(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unit = unit_of(ScenarioSpec(name="s", params={"n": 10}))
+        path, stale = self._plant_stale_temp(cache, unit)
+        assert cache.clear() == 1  # the real entry, not the temp
+        assert not path.exists()
+        assert not stale.exists()
+
+    def test_clear_by_scenario_sweeps_that_directory_only(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unit_a = unit_of(ScenarioSpec(name="a"))
+        unit_b = unit_of(ScenarioSpec(name="b"))
+        _, stale_a = self._plant_stale_temp(cache, unit_a)
+        _, stale_b = self._plant_stale_temp(cache, unit_b)
+        assert cache.clear("a") == 1
+        assert not stale_a.exists()
+        assert stale_b.exists()

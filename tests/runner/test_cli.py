@@ -58,6 +58,24 @@ class TestRun:
         assert main(args) == 0
         assert "[1 cached, 0 computed]" in capsys.readouterr().out
 
+    def test_corrupt_entry_reported_in_summary(self, tmp_path, capsys):
+        """A planted undecodable entry shows up as ``corrupt evicted``."""
+        cache_dir = tmp_path / "cache"
+        args = [
+            "run", "fig3-walkthrough", "--seed", "5", "--quiet",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        victim = next(cache_dir.glob("*/*.json"))
+        victim.write_bytes(b"\x80not json")
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "[0 cached, 1 computed, 1 corrupt evicted]" in out
+        # The eviction repaired the cache: the next run is clean again.
+        assert main(args) == 0
+        assert "[1 cached, 0 computed]" in capsys.readouterr().out
+
 
 class TestTelemetry:
     def _run_with_report(self, tmp_path, capsys, extra=()):

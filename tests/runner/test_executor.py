@@ -187,6 +187,30 @@ class TestCaching:
         assert extended.cache_hits == 1
         assert extended.cache_misses == 1
 
+    def test_corrupt_entry_surfaces_in_run_result(self, tmp_path):
+        """A planted undecodable entry is evicted, recomputed, and reported."""
+        cache = ResultCache(tmp_path)
+        first = run_scenario(
+            "ablation-repair-policy", grid={"policy": ["clique", "none"]},
+            trials=1, cache=cache, **FAST,
+        )
+        assert first.cache_corrupt == 0
+        victim = next(tmp_path.glob("*/*.json"))
+        victim.write_bytes(b"\x80not json")
+        second = run_scenario(
+            "ablation-repair-policy", grid={"policy": ["clique", "none"]},
+            trials=1, cache=cache, **FAST,
+        )
+        assert second.cache_corrupt == 1
+        assert second.cache_hits == 1 and second.cache_misses == 1
+        assert second.unit_metrics == first.unit_metrics
+        # The eviction let the recompute repair the entry in place.
+        third = run_scenario(
+            "ablation-repair-policy", grid={"policy": ["clique", "none"]},
+            trials=1, cache=cache, **FAST,
+        )
+        assert third.cache_corrupt == 0 and third.cache_hits == 2
+
     def test_explicit_default_value_hits_same_entry_as_omitted(self, tmp_path):
         # Cache keys are derived from the *resolved* parameter set, so
         # passing a parameter at its registered default is the same run.
