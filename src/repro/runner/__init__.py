@@ -10,6 +10,11 @@ reproduction:
   bit-identical results either way;
 * :mod:`~repro.runner.cache` -- per-unit on-disk JSON cache keyed by a stable
   hash of the unit's full identity;
+* :mod:`~repro.runner.journal` -- crash-safe per-campaign progress journals
+  behind ``--resume`` (bit-identical replay of completed units);
+* :mod:`~repro.runner.faults` -- deterministic fault injection
+  (``REPRO_FAULTS`` / ``--inject-faults``) for chaos-testing the pool,
+  executor and cache failure paths;
 * :mod:`~repro.runner.stats` -- streaming Welford aggregation with
   confidence intervals;
 * :mod:`~repro.runner.scenarios` -- built-in scenarios: paper-figure wrappers
@@ -33,7 +38,10 @@ Quickstart::
 
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.executor import RunResult, execute, run_scenario
+from repro.runner.faults import InjectedFault, fault_point
 from repro.runner.grid import expand_grid
+from repro.runner.journal import CampaignJournal, journal_header
+from repro.runner.pool import PoolError, PoolTaskError, TransientTaskError
 from repro.runner.registry import (
     Scenario,
     ScenarioError,
@@ -46,19 +54,26 @@ from repro.runner.spec import ScenarioSpec, WorkUnit
 from repro.runner.stats import MetricAggregator, StreamingStat, summarize_trials
 
 __all__ = [
+    "CampaignJournal",
     "DEFAULT_CACHE_DIR",
+    "InjectedFault",
     "MetricAggregator",
+    "PoolError",
+    "PoolTaskError",
     "ResultCache",
     "RunResult",
     "Scenario",
     "ScenarioError",
     "ScenarioSpec",
     "StreamingStat",
+    "TransientTaskError",
     "WorkUnit",
     "all_scenarios",
     "execute",
     "expand_grid",
+    "fault_point",
     "get_scenario",
+    "journal_header",
     "run_scenario",
     "scenario",
     "scenario_names",

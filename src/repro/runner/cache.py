@@ -23,6 +23,12 @@ mirrored into the active telemetry collector (``runner.cache.hit`` /
 recovery logged, never silently recomputed; an unreadable entry is *not*
 evicted (the bytes may be fine) but is logged, so an ailing cache root
 cannot silently recompute a whole sweep while looking like a cold cache.
+Writes the filesystem refuses are equally non-fatal: the result is already
+in memory, so :meth:`ResultCache.put` counts the failure (**unwritable** /
+``runner.cache.write_failed``), logs it and lets the campaign finish.
+Both I/O paths carry :func:`repro.runner.faults.fault_point` sites
+(``cache.read`` / ``cache.write``) so chaos tests can drive them
+deterministically.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.obs.telemetry import current as _telemetry
+from repro.runner.faults import fault_point
 from repro.runner.spec import WorkUnit
 
 #: Default cache location, relative to the current working directory.
@@ -56,6 +63,9 @@ class ResultCache:
         #: Entries the filesystem refused to serve (``OSError`` other than
         #: "not found"); logged and recomputed, never evicted.
         self.unreadable = 0
+        #: Entries the filesystem refused to persist; the result stays in
+        #: memory and the campaign continues (logged, never fatal).
+        self.unwritable = 0
 
     # ------------------------------------------------------------------
     def _dir_for(self, scenario: str) -> Path:
@@ -89,6 +99,7 @@ class ResultCache:
         """
         path = self.path_for(unit, version)
         try:
+            fault_point("cache.read")
             with path.open("r", encoding="utf-8") as handle:
                 payload = json.load(handle)
         except FileNotFoundError:
@@ -121,10 +132,16 @@ class ResultCache:
         _telemetry().count("runner.cache.hit")
         return result
 
-    def put(self, unit: WorkUnit, version: str, metrics: Dict[str, float]) -> Path:
-        """Atomically persist one unit result."""
+    def put(self, unit: WorkUnit, version: str, metrics: Dict[str, float]) -> Optional[Path]:
+        """Atomically persist one unit result.
+
+        A filesystem that refuses the write (``OSError``: read-only root,
+        ENOSPC, permissions...) must not fail the campaign -- the result is
+        already in memory.  The failure is counted (``unwritable`` /
+        ``runner.cache.write_failed``) and logged, and ``None`` is
+        returned; the unit simply recomputes on the next cold run.
+        """
         path = self.path_for(unit, version)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload: Dict[str, Any] = {
             "scenario": unit.scenario,
             "version": version,
@@ -133,19 +150,31 @@ class ResultCache:
             "seed": unit.seed,
             "metrics": metrics,
         }
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".json"
-        )
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(tmp_name, path)
-        except BaseException:
+            fault_point("cache.write")
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=".json"
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, sort_keys=True)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError as error:
+            self.unwritable += 1
+            _telemetry().count("runner.cache.write_failed")
+            logger.warning(
+                "failed to persist cache entry %s (%s); continuing without it",
+                path,
+                error,
+            )
+            return None
         return path
 
     # ------------------------------------------------------------------

@@ -19,6 +19,26 @@ enables the :mod:`repro.obs` collector for the run and writes its JSON
 report to PATH afterwards -- an environment-level observation knob that
 never feeds unit seeds or cache keys, so an instrumented run is bit-identical
 to a dark one.  ``telemetry`` pretty-prints (and validates) a saved report.
+
+Crash safety: unless ``--no-journal`` is given, every cached run journals
+completed units under ``<cache-dir>/journals/<spec-hash>.jsonl`` (override
+with ``--journal PATH``); after a crash or ^C, ``--resume`` replays the
+journal's units verbatim and finishes the remainder, bit-identical to an
+uninterrupted run.  ``--inject-faults SPEC`` arms the deterministic fault
+plane (:mod:`repro.runner.faults`) for chaos testing.
+
+Exit codes are distinct per failure class so scripts and CI can tell them
+apart:
+
+* ``0``   success
+* ``2``   usage errors (unknown scenario, bad ``--set``/``--grid`` values)
+* ``3``   configuration errors (:class:`~repro.core.errors.ConfigError`:
+  bad environment policy, malformed fault spec, journal mismatch on resume)
+* ``4``   the worker pool failed (:class:`~repro.runner.pool.PoolError`)
+* ``5``   a task failed inside a worker
+  (:class:`~repro.runner.pool.PoolTaskError`)
+* ``130`` interrupted (^C); pools are torn down and the journal stays
+  resumable
 """
 
 from __future__ import annotations
@@ -69,6 +89,35 @@ def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
         help=(
             "collect run telemetry and write the JSON report to PATH "
             "(defaults to $REPRO_TELEMETRY when that is set)"
+        ),
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "journal completed units to PATH (default: "
+            "<cache-dir>/journals/<spec-hash>.jsonl unless --no-cache)"
+        ),
+    )
+    parser.add_argument(
+        "--no-journal", action="store_true", help="disable the campaign journal"
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "replay the journal's completed units and finish the remainder "
+            "(bit-identical to an uninterrupted run)"
+        ),
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "arm deterministic fault injection, e.g. 'pool.task=kill@2' "
+            "(see repro.runner.faults; also $REPRO_FAULTS)"
         ),
     )
 
@@ -130,12 +179,39 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Distinct exit codes per failure class (documented in the module docstring).
+EXIT_USAGE = 2
+EXIT_CONFIG = 3
+EXIT_POOL = 4
+EXIT_TASK = 5
+EXIT_INTERRUPTED = 130
+
+
+def _journal_path(args: argparse.Namespace, spec: ScenarioSpec) -> Optional[str]:
+    """Where this invocation journals (``None`` when journaling is off)."""
+    if args.no_journal:
+        return None
+    if args.journal:
+        return args.journal
+    if args.no_cache:
+        # No cache directory to anchor the default path under; journaling
+        # stays opt-in via an explicit --journal.
+        return None
+    from pathlib import Path
+
+    return str(Path(args.cache_dir) / "journals" / f"{spec.spec_hash()}.jsonl")
+
+
 def _cmd_run(args: argparse.Namespace, grid_args: Sequence[str]) -> int:
+    from repro.core.errors import ConfigError
+    from repro.runner import faults
+    from repro.runner.pool import PoolError, PoolTaskError
+
     try:
         sc = get_scenario(args.scenario)
     except ScenarioError as error:
         print(str(error), file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     progress = None if args.quiet else lambda line: print(line, file=sys.stderr)
     telemetry_out = args.telemetry_out or os.environ.get("REPRO_TELEMETRY", "").strip() or None
@@ -144,7 +220,10 @@ def _cmd_run(args: argparse.Namespace, grid_args: Sequence[str]) -> int:
         from repro.obs import telemetry
 
         collector = telemetry.enable(label=f"runner:{sc.name}")
+    journal = None
     try:
+        if args.inject_faults is not None:
+            faults.install(args.inject_faults)
         grid: Dict[str, List[Any]] = {}
         for axis in grid_args:
             name, values = parse_grid_axis(axis)
@@ -156,10 +235,32 @@ def _cmd_run(args: argparse.Namespace, grid_args: Sequence[str]) -> int:
             trials=args.trials,
             seed=args.seed,
         )
-        result = execute(spec, workers=args.workers, cache=cache, progress=progress)
+        journal = _journal_path(args, spec)
+        result = execute(
+            spec,
+            workers=args.workers,
+            cache=cache,
+            progress=progress,
+            journal=journal,
+            resume=args.resume,
+        )
+    except ConfigError as error:
+        print(f"config error: {error}", file=sys.stderr)
+        return EXIT_CONFIG
+    except PoolTaskError as error:
+        # Before PoolError: PoolTaskError subclasses it.
+        print(f"task failed: {error}", file=sys.stderr)
+        return EXIT_TASK
+    except PoolError as error:
+        print(f"worker pool failed: {error}", file=sys.stderr)
+        return EXIT_POOL
+    except KeyboardInterrupt:
+        note = f"; resume with --resume (journal: {journal})" if journal else ""
+        print(f"interrupted{note}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except (TypeError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     finally:
         if collector is not None:
             from repro.obs import telemetry
@@ -173,10 +274,11 @@ def _cmd_run(args: argparse.Namespace, grid_args: Sequence[str]) -> int:
     corrupt_note = (
         f", {result.cache_corrupt} corrupt evicted" if result.cache_corrupt else ""
     )
+    replay_note = f", {result.replayed} replayed" if result.replayed else ""
     print(
         f"\n{len(result.unit_metrics)} unit(s) "
         f"[{result.cache_hits} cached, {result.cache_misses} computed"
-        f"{corrupt_note}] "
+        f"{corrupt_note}{replay_note}] "
         f"in {result.elapsed_seconds:.2f}s with {result.workers} worker(s); "
         f"spec hash {spec.spec_hash()}"
     )
@@ -193,20 +295,27 @@ def _cmd_run(args: argparse.Namespace, grid_args: Sequence[str]) -> int:
     if collector is not None:
         from repro.obs.report import render_report, write_report
 
-        report = render_report(
-            collector,
-            meta={
-                "scenario": sc.name,
-                "spec_hash": spec.spec_hash(),
-                "trials": args.trials,
-                "seed": args.seed,
-                "workers": result.workers,
-                "elapsed_seconds": result.elapsed_seconds,
-                "cache_hits": result.cache_hits,
-                "cache_misses": result.cache_misses,
-                "cache_corrupt": result.cache_corrupt,
-            },
-        )
+        meta: Dict[str, Any] = {
+            "scenario": sc.name,
+            "spec_hash": spec.spec_hash(),
+            "trials": args.trials,
+            "seed": args.seed,
+            "workers": result.workers,
+            "elapsed_seconds": result.elapsed_seconds,
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
+            "cache_corrupt": result.cache_corrupt,
+        }
+        if result.journal_path is not None:
+            meta["journal"] = {
+                "path": result.journal_path,
+                "resumed": bool(args.resume),
+                "replayed": result.replayed,
+                "units": len(result.unit_metrics),
+            }
+        if args.inject_faults:
+            meta["injected_faults"] = args.inject_faults
+        report = render_report(collector, meta=meta)
         write_report(telemetry_out, report)
         print(f"wrote telemetry report {telemetry_out}")
     return 0

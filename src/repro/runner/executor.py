@@ -184,6 +184,10 @@ class RunResult:
     cache_corrupt: int = 0
     workers: int = 1
     elapsed_seconds: float = 0.0
+    #: Units replayed verbatim from the campaign journal (``--resume``).
+    replayed: int = 0
+    #: Where this campaign journaled its progress (``None`` when off).
+    journal_path: Optional[str] = None
 
     def rows(self) -> List[Dict[str, Any]]:
         """One reporting/export row per grid point: params + aggregate metrics.
@@ -243,12 +247,26 @@ def execute(
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressFn] = None,
     shard_size: int = DEFAULT_SHARD_SIZE,
+    journal: Optional[Any] = None,
+    resume: bool = False,
 ) -> RunResult:
     """Run every (grid point x trial) unit of ``spec`` and aggregate.
 
     ``workers=1`` runs in-process; ``workers>1`` shards the cache-miss units
     across a :class:`~concurrent.futures.ProcessPoolExecutor`.  Pass a
     :class:`ResultCache` to serve repeats from disk and persist fresh results.
+
+    ``journal`` (a path) records every completed unit into an append-only
+    :class:`~repro.runner.journal.CampaignJournal`; with ``resume=True`` the
+    journal's recorded units are replayed verbatim first (header-validated
+    against this spec and environment), so a campaign interrupted by a
+    crash or ^C finishes with aggregates bit-identical to an uninterrupted
+    run.  ``resume=True`` without a journal raises
+    :class:`~repro.core.errors.ConfigError`.
+
+    ``KeyboardInterrupt`` mid-campaign tears the worker pools down
+    deterministically (workers SIGKILLed, every ``repro-pool-*``
+    shared-memory segment unlinked) before re-raising.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -269,6 +287,28 @@ def execute(
         tel.gauge("runner.scenario", spec.name)
         tel.gauge("runner.workers", workers)
         tel.gauge("runner.units", len(units))
+
+    # Crash-safety bookkeeping: the journal records every completed unit as
+    # it lands; --resume replays the recorded units verbatim (validated
+    # against this resolved spec + environment) before touching the cache.
+    from repro.core.errors import ConfigError
+    from repro.runner import faults
+
+    jrnl = None
+    replay: Dict[int, Dict[str, float]] = {}
+    if journal is not None:
+        from repro.runner.journal import CampaignJournal, journal_header
+
+        jrnl = CampaignJournal(journal)
+        header = journal_header(spec, sc.version, len(units))
+        if resume:
+            replay = jrnl.resume_state(header)
+        jrnl.open(header, resume=resume)
+    elif resume:
+        raise ConfigError(
+            "resume requested but no journal given; pass a journal path "
+            "(the CLI derives one under <cache-dir>/journals)"
+        )
 
     # Streaming aggregation state: per-unit results are pushed into the
     # Welford accumulators as they land -- but strictly in unit schedule
@@ -293,9 +333,16 @@ def execute(
     hits_before = cache.hits if cache else 0
     corrupt_before = cache.corrupt if cache else 0
     for unit in units:
+        if unit.index in replay:
+            # Journal replay wins over the cache: the record is the very
+            # result this campaign already computed and merged once.
+            results[unit.index] = replay[unit.index]
+            continue
         cached = cache.get(unit, sc.version) if cache else None
         if cached is not None:
             results[unit.index] = cached
+            if jrnl is not None:
+                jrnl.record_unit(unit.index, cached)
         else:
             pending.append(unit)
     cache_hits = (cache.hits - hits_before) if cache else 0
@@ -305,49 +352,69 @@ def execute(
         results[unit_index] = metrics
         if cache is not None:
             cache.put(units[unit_index], sc.version, metrics)
+        if jrnl is not None:
+            jrnl.record_unit(unit_index, metrics)
         drain_ready()
+        faults.fault_point("executor.unit")
         if progress is not None:
             progress(
                 f"[{spec.name}] unit {unit_index + 1}/{len(units)} done "
                 f"({len(results)}/{len(units)} complete)"
             )
 
-    if pending and workers == 1:
-        for unit in pending:
-            with tel.span("runner.unit"):
-                metrics = sc.call(seed=unit.seed, **unit.params)
-            finish_unit(unit.index, metrics)
-    elif pending:
-        shards = _shards(pending, shard_size)
-        max_workers = min(workers, len(shards))
-        if tel.enabled:
-            # The fan-out shape: shard count, effective width, pool size.
-            tel.gauge("runner.shards", len(shards))
-            tel.gauge("runner.shard_size", shard_size)
-            tel.gauge("runner.pool_workers", max_workers)
-        from repro.graphs import backend
-        from repro.runner.pool import get_pool
+    try:
+        if pending and workers == 1:
+            for unit in pending:
+                with tel.span("runner.unit"):
+                    metrics = sc.call(seed=unit.seed, **unit.params)
+                finish_unit(unit.index, metrics)
+        elif pending:
+            shards = _shards(pending, shard_size)
+            max_workers = min(workers, len(shards))
+            if tel.enabled:
+                # The fan-out shape: shard count, effective width, pool size.
+                tel.gauge("runner.shards", len(shards))
+                tel.gauge("runner.shard_size", shard_size)
+                tel.gauge("runner.pool_workers", max_workers)
+            from repro.graphs import backend
+            from repro.runner.pool import get_pool
 
-        # Everything policy-like ships per task: the persistent pool
-        # outlives this campaign, so workers re-force the parent's resolved
-        # policies for every shard instead of baking them in at spin-up.
-        ctx = {
-            "module": sc.module,
-            "backend": backend.policy(),
-            "bfs_batch": backend.bfs_batch_policy(),
-            "telemetry": tel.enabled,
-        }
+            # Everything policy-like ships per task: the persistent pool
+            # outlives this campaign, so workers re-force the parent's
+            # resolved policies for every shard instead of baking them in
+            # at spin-up.
+            ctx = {
+                "module": sc.module,
+                "backend": backend.policy(),
+                "bfs_batch": backend.bfs_batch_policy(),
+                "telemetry": tel.enabled,
+            }
 
-        def on_shard(shard_results, shard_snapshot) -> None:
-            if shard_snapshot is not None:
-                tel.merge_snapshot(shard_snapshot)
-            for unit_index, metrics in shard_results:
-                finish_unit(unit_index, metrics)
+            def on_shard(shard_results, shard_snapshot) -> None:
+                if shard_snapshot is not None:
+                    tel.merge_snapshot(shard_snapshot)
+                for unit_index, metrics in shard_results:
+                    finish_unit(unit_index, metrics)
 
-        get_pool(workers).run_unit_shards(ctx, spec.name, shards, on_shard)
+            get_pool(workers).run_unit_shards(ctx, spec.name, shards, on_shard)
+    except KeyboardInterrupt:
+        # Deterministic interruption: kill the pools (unlinking every
+        # repro-pool-* shm segment) and leave the journal resumable.
+        from repro.runner.pool import shutdown_pools
+
+        logger.warning(
+            "interrupted mid-campaign; terminating worker pools%s",
+            "" if jrnl is None else f" (resume with the journal at {jrnl.path})",
+        )
+        shutdown_pools(terminate=True)
+        if jrnl is not None:
+            jrnl.close()
+        raise
 
     drain_ready()
     ordered = [results[unit.index] for unit in units]
+    if jrnl is not None:
+        jrnl.finish()
 
     elapsed = time.perf_counter() - started
     tel.record_span("runner.execute", elapsed)
@@ -361,6 +428,8 @@ def execute(
         cache_corrupt=(cache.corrupt - corrupt_before) if cache else 0,
         workers=workers,
         elapsed_seconds=elapsed,
+        replayed=len(replay),
+        journal_path=str(jrnl.path) if jrnl is not None else None,
     )
 
 
@@ -443,7 +512,16 @@ def sharded_full_path_metrics(
             np.maximum(ecc, shard_ecc, out=ecc)
             np.add(totals, shard_totals, out=totals)
 
-        get_pool(workers).run_path_shards(working, csr, shards, ctx, on_result)
+        try:
+            get_pool(workers).run_path_shards(working, csr, shards, ctx, on_result)
+        except KeyboardInterrupt:
+            from repro.runner.pool import shutdown_pools
+
+            logger.warning(
+                "interrupted mid path-metric fan-out; terminating worker pools"
+            )
+            shutdown_pools(terminate=True)
+            raise
         return ecc, totals
 
     return fast.full_path_metrics(graph, shard_runner=fan_out)
@@ -459,6 +537,8 @@ def run_scenario(
     workers: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressFn] = None,
+    journal: Optional[Any] = None,
+    resume: bool = False,
 ) -> RunResult:
     """Convenience wrapper: build the spec and execute it in one call."""
     spec = ScenarioSpec(
@@ -468,4 +548,11 @@ def run_scenario(
         trials=trials,
         seed=seed,
     )
-    return execute(spec, workers=workers, cache=cache, progress=progress)
+    return execute(
+        spec,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+        journal=journal,
+        resume=resume,
+    )

@@ -1,0 +1,194 @@
+"""Atomic per-campaign journals: crash-safe progress records and ``--resume``.
+
+A journal is one append-only JSONL file per campaign.  The first line is a
+**header** pinning everything that determines the campaign's output -- the
+resolved spec hash, scenario name and version, master seed, trials, unit
+count, and the active execution environment (graph backend / wave width /
+popcount policy, the same knobs :meth:`repro.runner.spec.WorkUnit.key_material`
+folds into cache keys).  Every completed work unit appends one
+``{"unit": index, "metrics": {...}}`` record (flushed immediately, so a
+SIGKILL mid-campaign loses at most the unit in flight), and a finished
+campaign appends a ``{"complete": true}`` marker.
+
+``python -m repro.runner run --resume`` replays the recorded units verbatim
+-- JSON round-trips IEEE doubles exactly, and the executor drains results
+in unit-schedule order either way -- so a resumed campaign's aggregates are
+**bit-identical** to an uninterrupted run.  Resume refuses a journal whose
+header does not match the current campaign (different spec, scenario
+version, or execution environment) with a
+:class:`~repro.core.errors.ConfigError` naming the mismatched fields.
+
+Crash tolerance on load: a process killed mid-append can leave one
+truncated trailing line; it is dropped (with a warning) and the unit simply
+recomputes.  Anything undecodable *before* the end means real corruption
+and fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+logger = logging.getLogger(__name__)
+
+#: Versioned identifier stamped into (and required from) every journal header.
+JOURNAL_SCHEMA = "repro.runner/journal.v1"
+
+
+def journal_header(spec, version: str, unit_count: int) -> Dict[str, Any]:
+    """The header record for one campaign: identity plus execution env.
+
+    ``spec`` must already be resolved against the scenario's defaults --
+    the executor builds the header from the same spec its unit seeds derive
+    from, so a default edit (new resolved hash) or a version bump can never
+    replay stale results.
+    """
+    from repro.graphs import backend
+
+    return {
+        "journal": JOURNAL_SCHEMA,
+        "scenario": spec.name,
+        "version": version,
+        "spec_hash": spec.spec_hash(),
+        "seed": spec.seed,
+        "trials": spec.trials,
+        "units": unit_count,
+        "graph_backend": backend.policy(),
+        "bfs_batch": backend.bfs_batch_policy(),
+        "popcount_lut": backend.popcount_lut_forced(),
+    }
+
+
+class CampaignJournal:
+    """One campaign's append-only progress journal on disk."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    # -- reading -------------------------------------------------------
+    def _read(self) -> Tuple[Optional[Dict[str, Any]], Dict[int, Dict[str, float]], bool]:
+        """Parse the file: ``(header, {unit_index: metrics}, complete)``.
+
+        Tolerates exactly one undecodable *trailing* line (a crash between
+        write and flush); earlier garbage raises ``ConfigError``.
+        """
+        from repro.core.errors import ConfigError
+
+        header: Optional[Dict[str, Any]] = None
+        units: Dict[int, Dict[str, float]] = {}
+        complete = False
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines):
+                    logger.warning(
+                        "journal %s: dropping truncated trailing record "
+                        "(crash mid-append); the unit will recompute",
+                        self.path,
+                    )
+                    break
+                raise ConfigError(
+                    f"journal {self.path} is corrupt at line {lineno}; "
+                    "delete it to start the campaign from scratch"
+                ) from None
+            if header is None:
+                if not isinstance(record, dict) or record.get("journal") != JOURNAL_SCHEMA:
+                    raise ConfigError(
+                        f"journal {self.path} has no {JOURNAL_SCHEMA} header; "
+                        "delete it to start the campaign from scratch"
+                    )
+                header = record
+            elif record.get("complete"):
+                complete = True
+            elif "unit" in record:
+                units[int(record["unit"])] = {
+                    str(key): float(value)
+                    for key, value in record.get("metrics", {}).items()
+                }
+        return header, units, complete
+
+    def resume_state(self, header: Mapping[str, Any]) -> Dict[int, Dict[str, float]]:
+        """Validate the on-disk journal against ``header`` and load its units.
+
+        Raises ``ConfigError`` when there is nothing to resume or the
+        journal belongs to a different campaign/environment.
+        """
+        from repro.core.errors import ConfigError
+
+        if not self.path.exists():
+            raise ConfigError(
+                f"nothing to resume: no journal at {self.path} "
+                "(run without --resume first)"
+            )
+        recorded, units, _complete = self._read()
+        if recorded is None:
+            raise ConfigError(
+                f"nothing to resume: journal {self.path} has no readable header"
+            )
+        mismatched = sorted(
+            key for key in header if recorded.get(key) != header[key]
+        )
+        if mismatched:
+            detail = ", ".join(
+                f"{key}: journal={recorded.get(key)!r} vs campaign={header[key]!r}"
+                for key in mismatched
+            )
+            raise ConfigError(
+                f"journal {self.path} does not match this campaign ({detail}); "
+                "delete it or rerun without --resume"
+            )
+        total = int(header["units"])
+        out_of_range = [index for index in units if not 0 <= index < total]
+        if out_of_range:
+            raise ConfigError(
+                f"journal {self.path} records out-of-range unit(s) "
+                f"{sorted(out_of_range)} for a {total}-unit campaign"
+            )
+        return units
+
+    # -- writing -------------------------------------------------------
+    def open(self, header: Mapping[str, Any], *, resume: bool = False) -> None:
+        """Start journaling: fresh runs truncate and write the header,
+        resumed runs append below the existing records."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and self.path.exists():
+            self._handle = self.path.open("a", encoding="utf-8")
+            return
+        self._handle = self.path.open("w", encoding="utf-8")
+        self._append(header, fsync=True)
+
+    def _append(self, record: Mapping[str, Any], *, fsync: bool = False) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        # Flush every record: a SIGKILLed parent then loses at most the
+        # line being written, and the tolerant loader drops that one.
+        self._handle.flush()
+        if fsync:
+            os.fsync(self._handle.fileno())
+
+    def record_unit(self, index: int, metrics: Mapping[str, float]) -> None:
+        """Append one completed unit's metrics."""
+        self._append({"unit": index, "metrics": dict(metrics)})
+
+    def finish(self) -> None:
+        """Mark the campaign complete and close the file."""
+        self._append({"complete": True}, fsync=True)
+        self.close()
+
+    def close(self) -> None:
+        """Close the handle (idempotent; an unfinished journal stays resumable)."""
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+            finally:
+                self._handle.close()
+                self._handle = None

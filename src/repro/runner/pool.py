@@ -27,21 +27,40 @@ worker-resident state from per-task inputs:
   compaction (epoch change) or a too-long patch chain the publication
   re-attaches with fresh segments.
 * **Failure paths** -- a killed worker breaks the executor; the pool
-  respawns it once and retries only the tasks whose results have not been
-  merged yet (exactly-once delivery: accumulator merges are not
-  idempotent).  A second break, or a task raising, surfaces as
-  :class:`PoolError` / :class:`PoolTaskError` carrying the failing shard's
-  unit context.
+  respawns it once (after a deterministic backoff) and retries only the
+  tasks whose results have not been merged yet (exactly-once delivery:
+  accumulator merges are not idempotent).  A *hung* worker is caught by
+  the task watchdog: when ``REPRO_TASK_TIMEOUT`` is set and no task
+  completes within that many seconds, the pool's workers are SIGKILLed
+  (``runner.watchdog.kill``) and the break flows into the same
+  respawn-and-retry machinery.  Worker-side *transient* failures (a
+  shared-memory attach refused by the OS) are retried per task up to
+  ``REPRO_TASK_RETRIES`` times (``runner.retry``).  Once the pool is
+  declared unhealthy -- respawned more than :data:`MAX_RESPAWNS` times --
+  the remaining tasks are **drained serially in-parent**
+  (``runner.degraded_serial`` + a warning) instead of failing the
+  campaign; every recovery path preserves unit seeds, cache keys and the
+  in-order Welford drain, so a degraded campaign stays bit-identical to a
+  clean one.  Set ``REPRO_DEGRADED_SERIAL=0`` to fail fast with
+  :class:`PoolError` instead; a task raising a real exception still
+  surfaces as :class:`PoolTaskError` carrying the failing shard's unit
+  context.
 
 Everything is observation-instrumented via :mod:`repro.obs.telemetry`:
 ``runner.pool_spinup`` span, ``runner.pool.generation`` gauge, publish
 attach/patch/reattach and worker-side shm attach/patch/reattach counters,
-and a ``runner.pool.bytes_shipped`` counter for the broadcast volume.
+a ``runner.pool.bytes_shipped`` counter for the broadcast volume, and the
+failure-path counters above.  Deterministic chaos tests drive these paths
+via :mod:`repro.runner.faults` (sites ``pool.task`` / ``pool.path_task`` /
+``pool.shm_attach``).
 """
 
 from __future__ import annotations
 
 import atexit
+import logging
+import os
+import signal
 import time
 import uuid
 import weakref
@@ -51,6 +70,8 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.telemetry import current as _telemetry
+
+logger = logging.getLogger(__name__)
 
 #: Name prefix of every shared-memory segment the pool creates.  Tests (and
 #: humans) can audit ``/dev/shm`` for leaks by this prefix.
@@ -67,8 +88,28 @@ MAX_SYNC_CHAIN = 32
 MAX_PUBLICATIONS = 4
 
 #: How many times one task batch survives a broken (killed-worker) executor
-#: before the run is abandoned.
+#: before the pool is declared unhealthy (degraded-serial drain or
+#: :class:`PoolError`, per ``REPRO_DEGRADED_SERIAL``).
 MAX_RESPAWNS = 1
+
+#: Per-task deadline in seconds (float).  When set, the watchdog SIGKILLs
+#: the pool's workers after that long without *any* task completing --
+#: turning a hung worker into the (recoverable) killed-worker path.  Unset
+#: = no deadline, matching the pre-watchdog behaviour.
+TASK_TIMEOUT_ENV_VAR = "REPRO_TASK_TIMEOUT"
+
+#: How many times one task survives a worker-side *transient* failure
+#: (:class:`TransientTaskError`, e.g. a refused shm attach) before it is
+#: abandoned as :class:`PoolTaskError`.  Default 1.
+TASK_RETRIES_ENV_VAR = "REPRO_TASK_RETRIES"
+
+#: Base of the deterministic respawn backoff: respawn ``k`` sleeps
+#: ``base * 2**(k-1)`` seconds.  Default 0.05; 0 disables the sleep.
+RETRY_BACKOFF_ENV_VAR = "REPRO_RETRY_BACKOFF"
+
+#: ``0``/``false`` makes an unhealthy pool raise :class:`PoolError`
+#: instead of draining the remaining shards serially in-parent.
+DEGRADED_SERIAL_ENV_VAR = "REPRO_DEGRADED_SERIAL"
 
 
 class PoolError(RuntimeError):
@@ -77,6 +118,89 @@ class PoolError(RuntimeError):
 
 class PoolTaskError(PoolError):
     """One task failed in a worker; the message carries its unit context."""
+
+
+class TransientTaskError(RuntimeError):
+    """A worker-side failure worth retrying (the environment refused, the
+    task itself did not fail).  Crosses the process boundary by pickling;
+    the parent resubmits the task up to the ``REPRO_TASK_RETRIES`` budget.
+    """
+
+
+def _positive_float_env(name: str) -> Optional[float]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    from repro.core.errors import ConfigError
+
+    try:
+        value = float(raw)
+    except ValueError:
+        value = -1.0
+    if value <= 0:
+        raise ConfigError(
+            f"invalid {name}={raw!r}; expected a positive number of seconds"
+        )
+    return value
+
+
+def task_timeout_policy() -> Optional[float]:
+    """The per-task watchdog deadline in seconds, or ``None`` when unset."""
+    return _positive_float_env(TASK_TIMEOUT_ENV_VAR)
+
+
+def task_retries_policy() -> int:
+    """Transient-failure retries per task (default 1)."""
+    raw = os.environ.get(TASK_RETRIES_ENV_VAR, "").strip()
+    if not raw:
+        return 1
+    from repro.core.errors import ConfigError
+
+    try:
+        value = int(raw)
+    except ValueError:
+        value = -1
+    if value < 0:
+        raise ConfigError(
+            f"invalid {TASK_RETRIES_ENV_VAR}={raw!r}; expected a "
+            "non-negative integer"
+        )
+    return value
+
+
+def retry_backoff_policy() -> float:
+    """Base seconds of the deterministic respawn backoff (default 0.05)."""
+    raw = os.environ.get(RETRY_BACKOFF_ENV_VAR, "").strip()
+    if not raw:
+        return 0.05
+    from repro.core.errors import ConfigError
+
+    try:
+        value = float(raw)
+    except ValueError:
+        value = -1.0
+    if value < 0:
+        raise ConfigError(
+            f"invalid {RETRY_BACKOFF_ENV_VAR}={raw!r}; expected a "
+            "non-negative number of seconds"
+        )
+    return value
+
+
+def degraded_serial_policy() -> bool:
+    """Whether an unhealthy pool drains remaining shards in-parent (default)."""
+    raw = os.environ.get(DEGRADED_SERIAL_ENV_VAR, "").strip().lower()
+    if not raw:
+        return True
+    if raw in ("1", "true", "yes", "on"):
+        return True
+    if raw in ("0", "false", "no", "off"):
+        return False
+    from repro.core.errors import ConfigError
+
+    raise ConfigError(
+        f"invalid {DEGRADED_SERIAL_ENV_VAR}={raw!r}; expected 0/1"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -126,18 +250,34 @@ def _apply_worker_context(ctx: Dict[str, Any]) -> None:
 
 def _pool_run_shard(ctx: Dict[str, Any], scenario_name: str, shard):
     """Worker task: one batch of work units under the shipped context."""
-    from repro.runner import executor
+    from repro.runner import executor, faults
 
+    faults.fault_point("pool.task")
     _apply_worker_context(ctx)
     return executor._run_shard(scenario_name, ctx.get("module", ""), shard)
 
 
 def _attach_segment(meta: Dict[str, Any]):
-    """Attach one published array; returns ``(shm, ndarray-view)``."""
+    """Attach one published array; returns ``(shm, ndarray-view)``.
+
+    An ``OSError`` here -- the OS refusing the attach, or the injected
+    ``pool.shm_attach`` fault -- is *transient*: the segment exists and the
+    parent is healthy, so the failure surfaces as
+    :class:`TransientTaskError` and the parent retries the task within its
+    ``REPRO_TASK_RETRIES`` budget instead of failing the campaign.
+    """
     import numpy as np
     from multiprocessing import shared_memory
 
-    shm = shared_memory.SharedMemory(name=meta["name"])
+    from repro.runner import faults
+
+    try:
+        faults.fault_point("pool.shm_attach")
+        shm = shared_memory.SharedMemory(name=meta["name"])
+    except OSError as error:
+        raise TransientTaskError(
+            f"failed to attach shared-memory segment {meta['name']!r}: {error}"
+        ) from error
     try:
         # Attaching registers the segment with the resource tracker on
         # Python < 3.13.  Under spawn/forkserver each worker runs its *own*
@@ -231,14 +371,20 @@ def _sync_mirror(token: str, generation: int, chain: List[Dict[str, Any]], tel) 
         _close_mirror_segments(state)
     segments: List[Any] = []
     arrays: Dict[str, Any] = {}
-    for field in ("indptr", "indices", "alive"):
-        meta = head["arrays"].get(field)
-        if meta is None:
-            arrays[field] = None
-            continue
-        shm, array = _attach_segment(meta)
-        segments.append(shm)
-        arrays[field] = array
+    try:
+        for field in ("indptr", "indices", "alive"):
+            meta = head["arrays"].get(field)
+            if meta is None:
+                arrays[field] = None
+                continue
+            shm, array = _attach_segment(meta)
+            segments.append(shm)
+            arrays[field] = array
+    except BaseException:
+        # A half-attached mirror must not leak handles while the parent
+        # retries the task.
+        _close_mirror_segments({"segments": segments})
+        raise
     state = {
         "generation": head["generation"],
         "segments": segments,
@@ -279,6 +425,9 @@ def _pool_path_shard(
     """
     from repro.graphs import fast
 
+    from repro.runner import faults
+
+    faults.fault_point("pool.path_task")
     _apply_worker_context(ctx)
     if not ctx["telemetry"]:
         state = _sync_mirror(token, generation, chain, None)
@@ -372,6 +521,27 @@ class WorkerPool:
         for key in list(self._pubs):
             self._drop_publication(key)
 
+    def terminate(self) -> None:
+        """Close *now*: SIGKILL workers, never wait, unlink every segment.
+
+        The interrupt path (``KeyboardInterrupt``/SIGINT mid-campaign):
+        a hung or busy worker must not block the shutdown, and no
+        ``repro-pool-*`` segment may survive in ``/dev/shm``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            for process in list(getattr(self._executor, "_processes", {}).values()):
+                try:
+                    os.kill(process.pid, signal.SIGKILL)
+                except (ProcessLookupError, OSError):
+                    pass
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        for key in list(self._pubs):
+            self._drop_publication(key)
+
     # -- executor -------------------------------------------------------
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._closed:
@@ -404,25 +574,95 @@ class WorkerPool:
             self._spinup_pending = False
 
     # -- task fan-out ---------------------------------------------------
+    def _watchdog_kill(self, timeout: float) -> None:
+        """No task finished within the deadline: SIGKILL the pool's workers.
+
+        Killing breaks the executor, which routes the hung tasks into the
+        ordinary respawn-and-retry (or degraded-serial) machinery -- the
+        one recovery path the pool already guarantees is exactly-once.
+        """
+        if self._executor is None:
+            return
+        processes = list(getattr(self._executor, "_processes", {}).values())
+        pids = [process.pid for process in processes]
+        logger.warning(
+            "watchdog: no task completed within %.3gs; killing %d pool "
+            "worker(s) %s and retrying unfinished shards",
+            timeout,
+            len(pids),
+            pids,
+        )
+        _telemetry().count("runner.watchdog.kill")
+        for process in processes:
+            try:
+                os.kill(process.pid, signal.SIGKILL)
+            except (ProcessLookupError, OSError):
+                pass
+
+    def _drain_serially(
+        self,
+        remaining: Dict[int, Tuple],
+        fallback: Callable[[int], Any],
+        on_done: Callable[[int, Any], None],
+    ) -> None:
+        """Graceful degradation: finish the leftover tasks in-parent.
+
+        Runs after the pool is declared unhealthy.  The fallback computes
+        the *same* work from the same ``(index, params, seed)`` inputs, and
+        results are merged through the same ``on_done``, so seeds, cache
+        keys and the Welford drain order are untouched -- a degraded
+        campaign is bit-identical to a clean one, just slower.
+        """
+        logger.warning(
+            "worker pool declared unhealthy after repeated failures; "
+            "finishing %d remaining task(s) serially in-parent "
+            "(set %s=0 to fail fast instead)",
+            len(remaining),
+            DEGRADED_SERIAL_ENV_VAR,
+        )
+        _telemetry().count("runner.degraded_serial", len(remaining))
+        self._recreate_executor()
+        for key in sorted(remaining):
+            result = fallback(key)
+            remaining.pop(key)
+            on_done(key, result)
+
     def _run_tasks(
         self,
         fn: Callable[..., Any],
         tasks: Dict[int, Tuple],
         on_done: Callable[[int, Any], None],
         describe: Callable[[int], str],
+        fallback: Optional[Callable[[int], Any]] = None,
     ) -> None:
         """Run every task, exactly-once merging results as they land.
 
-        A :class:`BrokenProcessPool` (killed worker) respawns the executor
-        and resubmits only the tasks whose results were not merged yet;
-        a second break raises :class:`PoolError`.  Any task exception is
-        re-raised as :class:`PoolTaskError` carrying ``describe(key)``.
+        A :class:`BrokenProcessPool` (killed worker -- or the watchdog
+        killing a hung one) respawns the executor after a deterministic
+        backoff and resubmits only the tasks whose results were not merged
+        yet; once respawns are exhausted the remaining tasks drain serially
+        in-parent through ``fallback`` (or raise :class:`PoolError` when
+        degradation is disabled or no fallback exists).  A worker-side
+        :class:`TransientTaskError` resubmits just that task within its
+        retry budget.  Any other task exception is re-raised as
+        :class:`PoolTaskError` carrying ``describe(key)``.
         """
+        from repro.runner import faults
+
+        # Parse the fault spec in-parent before the first worker exists, so
+        # the whole process tree shares one set of invocation counters.
+        faults.ensure_loaded()
+        tel = _telemetry()
+        timeout = task_timeout_policy()
+        max_retries = task_retries_policy()
+        backoff = retry_backoff_policy()
         remaining = dict(tasks)
+        retries: Dict[int, int] = {}
         respawns = 0
         while remaining:
             executor = self._ensure_executor()
             broken = False
+            retried = False
             futures: Dict[Any, int] = {}
             try:
                 for key, args in remaining.items():
@@ -430,9 +670,27 @@ class WorkerPool:
             except (BrokenProcessPool, RuntimeError):
                 broken = True
             pending = set(futures)
+            last_progress = time.monotonic()
+            watchdog_fired = False
             try:
                 while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    if timeout is None:
+                        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    else:
+                        budget = timeout - (time.monotonic() - last_progress)
+                        done, pending = wait(
+                            pending,
+                            timeout=max(budget, 0.05),
+                            return_when=FIRST_COMPLETED,
+                        )
+                        if not done:
+                            if (
+                                not watchdog_fired
+                                and time.monotonic() - last_progress >= timeout
+                            ):
+                                watchdog_fired = True
+                                self._watchdog_kill(timeout)
+                            continue
                     for future in done:
                         key = futures[future]
                         try:
@@ -440,10 +698,27 @@ class WorkerPool:
                         except BrokenProcessPool:
                             broken = True
                             continue
+                        except TransientTaskError as error:
+                            attempts = retries.get(key, 0)
+                            if attempts >= max_retries:
+                                raise PoolTaskError(describe(key)) from error
+                            retries[key] = attempts + 1
+                            retried = True
+                            tel.count("runner.retry")
+                            logger.warning(
+                                "transient failure (attempt %d/%d) in %s: %s; "
+                                "retrying",
+                                attempts + 1,
+                                max_retries,
+                                describe(key),
+                                error,
+                            )
+                            continue
                         except PoolError:
                             raise
                         except Exception as error:
                             raise PoolTaskError(describe(key)) from error
+                        last_progress = time.monotonic()
                         self._note_first_result()
                         remaining.pop(key)
                         on_done(key, result)
@@ -454,13 +729,26 @@ class WorkerPool:
             if broken:
                 respawns += 1
                 if respawns > MAX_RESPAWNS:
+                    if fallback is not None and degraded_serial_policy():
+                        self._drain_serially(remaining, fallback, on_done)
+                        return
                     raise PoolError(
                         f"worker pool broke {respawns} times (worker killed or "
                         f"crashed); {len(remaining)} task(s) unfinished; first "
                         f"pending: {describe(next(iter(remaining)))}"
                     )
-                _telemetry().count("runner.pool.respawn")
+                tel.count("runner.pool.respawn")
+                if backoff > 0:
+                    time.sleep(backoff * (2 ** (respawns - 1)))
                 self._recreate_executor()
+            elif remaining and not retried:
+                # Every future drained without a break or a scheduled
+                # retry, yet tasks are unfinished -- a logic error; loop
+                # again would spin forever.
+                raise PoolError(
+                    f"{len(remaining)} task(s) unaccounted for after a "
+                    f"clean drain; first: {describe(next(iter(remaining)))}"
+                )
 
     def run_unit_shards(
         self,
@@ -478,8 +766,23 @@ class WorkerPool:
                 f"units (index, params, seed): {list(shards[key])!r}"
             )
 
+        def fallback(key: int):
+            # Degraded-serial drain: the same (index, params, seed) units
+            # run in-parent under the parent's own (already active)
+            # policies -- no worker context to re-force, no snapshot to
+            # merge (instrumented code feeds the live collector directly).
+            from repro.runner import executor as executor_mod
+
+            return executor_mod._run_shard(
+                scenario_name, ctx.get("module", ""), shards[key]
+            )
+
         self._run_tasks(
-            _pool_run_shard, tasks, lambda key, result: on_shard(*result), describe
+            _pool_run_shard,
+            tasks,
+            lambda key, result: on_shard(*result),
+            describe,
+            fallback=fallback,
         )
 
     def run_path_shards(
@@ -506,8 +809,21 @@ class WorkerPool:
                 f"{pub.generation})"
             )
 
+        def fallback(key: int):
+            # Degraded-serial drain against the parent's own CSR (the
+            # authoritative copy the publication mirrors); integer
+            # accumulators merge identically wherever they were computed.
+            from repro.graphs import fast
+
+            ecc, totals = fast.accumulate_path_shard(csr, shards[key])
+            return ecc, totals, None
+
         self._run_tasks(
-            _pool_path_shard, tasks, lambda key, result: on_result(*result), describe
+            _pool_path_shard,
+            tasks,
+            lambda key, result: on_result(*result),
+            describe,
+            fallback=fallback,
         )
 
     # -- shared-memory publication --------------------------------------
@@ -672,10 +988,17 @@ def get_pool(workers: int) -> WorkerPool:
     return pool
 
 
-def shutdown_pools() -> None:
-    """Close every registered pool (idempotent; also the ``atexit`` guard)."""
+def shutdown_pools(*, terminate: bool = False) -> None:
+    """Close every registered pool (idempotent; also the ``atexit`` guard).
+
+    ``terminate=True`` is the interrupt path: workers are SIGKILLed and the
+    shutdown never waits, so a hung worker cannot block a ^C.
+    """
     for pool in list(_POOLS.values()):
-        pool.close()
+        if terminate:
+            pool.terminate()
+        else:
+            pool.close()
     _POOLS.clear()
 
 

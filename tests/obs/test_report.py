@@ -140,6 +140,45 @@ class TestSchemaValidation:
         schema = load_schema()
         assert schema["properties"]["schema"]["const"] == SCHEMA_ID
 
+    def test_crash_safety_counters_and_journal_meta_validate(self):
+        """The fault/retry/degradation counters and journal metadata are
+        add-only: a report carrying all of them stays schema-valid."""
+        c = Collector(label="chaos")
+        for name in (
+            "runner.fault.injected",
+            "runner.watchdog.kill",
+            "runner.retry",
+            "runner.degraded_serial",
+            "runner.pool.respawn",
+            "runner.cache.write_failed",
+        ):
+            c.count(name, 2)
+        report = render_report(
+            c,
+            meta={
+                "journal": {
+                    "path": "/tmp/c.jsonl",
+                    "resumed": True,
+                    "replayed": 5,
+                    "units": 8,
+                },
+                "injected_faults": "pool.task=kill@2",
+            },
+        )
+        validate_report(report)
+
+    @pytest.mark.parametrize(
+        "counter",
+        ["runner.watchdog.kill", "runner.retry", "runner.degraded_serial"],
+    )
+    def test_non_integer_crash_safety_counter_fails(self, counter):
+        c = Collector()
+        c.count(counter)
+        report = render_report(c)
+        report["counters"][counter] = 0.5
+        with pytest.raises(SchemaError, match=counter.replace(".", r"\.")):
+            validate_report(report)
+
     def test_cli_validator_exit_codes(self, tmp_path, capsys):
         good = write_report(tmp_path / "good.json", render_report(Collector()))
         bad = tmp_path / "bad.json"

@@ -2,7 +2,15 @@
 
 import json
 
-from repro.runner.cli import main
+import pytest
+
+from repro.runner.cli import (
+    EXIT_CONFIG,
+    EXIT_POOL,
+    EXIT_TASK,
+    EXIT_USAGE,
+    main,
+)
 
 
 class TestList:
@@ -142,6 +150,128 @@ class TestTelemetry:
         assert main(["telemetry", str(bad)]) == 2
         assert "invalid telemetry report" in capsys.readouterr().err
         assert main(["telemetry", str(tmp_path / "absent.json")]) == 2
+
+
+class TestExitCodes:
+    """Each failure class exits with its own documented code."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_faults(self, monkeypatch):
+        from repro.runner import faults
+        from repro.runner.pool import shutdown_pools
+
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        monkeypatch.delenv(faults.STATE_ENV_VAR, raising=False)
+        faults.reset()
+        yield
+        shutdown_pools()
+        faults.reset()
+
+    def test_usage_error_is_2(self, capsys):
+        assert main(["run", "nope", "--no-cache"]) == EXIT_USAGE
+        capsys.readouterr()
+
+    def test_malformed_fault_spec_is_3(self, capsys):
+        code = main(
+            ["run", "fig3-walkthrough", "--no-cache", "--quiet",
+             "--inject-faults", "pool.task=explode"]
+        )
+        assert code == EXIT_CONFIG
+        assert "config error" in capsys.readouterr().err
+
+    def test_invalid_policy_env_is_3(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "soon")
+        code = main(
+            ["run", "fig3-walkthrough", "--no-cache", "--quiet",
+             "--workers", "2"]
+        )
+        assert code == EXIT_CONFIG
+        assert "REPRO_TASK_TIMEOUT" in capsys.readouterr().err
+
+    def test_pool_failure_is_4(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DEGRADED_SERIAL", "0")
+        code = main(
+            ["run", "fig3-walkthrough", "--no-cache", "--quiet",
+             "--workers", "2",
+             "--inject-faults", "pool.task=kill@1,pool.task=kill@2"]
+        )
+        assert code == EXIT_POOL
+        assert "worker pool failed" in capsys.readouterr().err
+
+    def test_task_failure_is_5(self, capsys):
+        from repro.runner.registry import scenario, unregister
+
+        @scenario(name="test-cli-raises", defaults={})
+        def raises(*, seed: int):
+            raise ValueError(f"boom seed={seed}")
+
+        try:
+            code = main(
+                ["run", "test-cli-raises", "--no-cache", "--quiet",
+                 "--trials", "2", "--workers", "2"]
+            )
+        finally:
+            unregister("test-cli-raises")
+        assert code == EXIT_TASK
+        assert "task failed" in capsys.readouterr().err
+
+    def test_resume_mismatch_is_3(self, tmp_path, capsys):
+        journal = tmp_path / "j.jsonl"
+        args = ["run", "fig3-walkthrough", "--no-cache", "--quiet",
+                "--journal", str(journal)]
+        assert main(args + ["--seed", "5"]) == 0
+        capsys.readouterr()
+        code = main(args + ["--seed", "6", "--resume"])
+        assert code == EXIT_CONFIG
+        assert "does not match this campaign" in capsys.readouterr().err
+
+
+class TestJournalFlow:
+    def test_cached_run_journals_under_the_cache_dir(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = ["run", "fig3-walkthrough", "--seed", "5", "--quiet",
+                "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        capsys.readouterr()
+        journals = list((cache_dir / "journals").glob("*.jsonl"))
+        assert len(journals) == 1
+        # --resume replays the completed unit and reports it.
+        assert main(args + ["--resume"]) == 0
+        assert "1 replayed" in capsys.readouterr().out
+
+    def test_no_journal_flag_disables_journaling(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = ["run", "fig3-walkthrough", "--seed", "5", "--quiet",
+                "--cache-dir", str(cache_dir), "--no-journal"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert not (cache_dir / "journals").exists()
+
+    def test_telemetry_meta_records_journal_and_faults(self, tmp_path, capsys):
+        from repro.obs.report import load_report
+        from repro.obs.schema import validate_report
+        from repro.runner import faults
+
+        report_path = tmp_path / "obs.json"
+        journal = tmp_path / "j.jsonl"
+        args = ["run", "fig3-walkthrough", "--seed", "5", "--quiet",
+                "--no-cache", "--journal", str(journal),
+                "--telemetry", str(report_path),
+                "--inject-faults", "cache.read=delay(0.001)@99"]
+        try:
+            assert main(args) == 0
+        finally:
+            faults.reset()
+        capsys.readouterr()
+        report = load_report(report_path)
+        validate_report(report)
+        assert report["meta"]["journal"] == {
+            "path": str(journal),
+            "resumed": False,
+            "replayed": 0,
+            "units": 1,
+        }
+        assert report["meta"]["injected_faults"] == "cache.read=delay(0.001)@99"
 
 
 class TestSweep:

@@ -1,0 +1,372 @@
+"""Deterministic fault injection and the recovery paths it drives.
+
+The crash-safety contract, each clause locked by a differential against a
+fault-free run:
+
+* the spec grammar fails loudly (``ConfigError``) on typos, and armed
+  clauses fire at exact per-site invocation counts (cross-process);
+* a killed worker, a hung worker (watchdog), and a transient shm-attach
+  failure all recover with aggregates **bit-identical** to a clean run --
+  under the default backend, ``REPRO_GRAPH_BACKEND=fast`` and the forced
+  popcount-LUT matrix alike;
+* exhausted recovery degrades to a serial in-parent drain (or, with
+  ``REPRO_DEGRADED_SERIAL=0``, a fail-fast :class:`PoolError`);
+* an interrupt mid-campaign (the SIGINT path, injected deterministically)
+  exits 130, leaves no ``repro-pool-*`` segment in ``/dev/shm``, and the
+  journal resumes bit-identically;
+* cache read/write faults are absorbed (recompute / in-memory result),
+  never fatal.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.graphs import backend
+from repro.obs import telemetry
+from repro.runner import faults
+from repro.runner.cache import ResultCache
+from repro.runner.executor import run_scenario
+from repro.runner.pool import (
+    SHM_PREFIX,
+    PoolError,
+    PoolTaskError,
+    shutdown_pools,
+)
+from repro.runner.spec import ScenarioSpec
+
+np = pytest.importorskip("numpy")
+
+
+def _pool_segments():
+    return glob.glob(f"/dev/shm/{SHM_PREFIX}*")
+
+
+@pytest.fixture(autouse=True)
+def _clean_plane(monkeypatch):
+    """Each test starts with no armed faults, cold pools, and no leaks."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    monkeypatch.delenv(faults.STATE_ENV_VAR, raising=False)
+    faults.reset()
+    shutdown_pools()
+    yield
+    shutdown_pools()
+    faults.reset()
+    assert _pool_segments() == []
+
+
+class TestSpecGrammar:
+    def test_defaults_fill_in(self):
+        (clause,) = faults.parse_spec("pool.task=kill")
+        assert clause.site == "pool.task"
+        assert clause.action == "kill"
+        assert clause.arg is None
+        assert clause.at == 1
+
+    def test_full_clause_and_multiple(self):
+        clauses = faults.parse_spec("pool.task=delay(0.2)@3, cache.read=oserror@2")
+        assert [c.spec() for c in clauses] == [
+            "pool.task=delay(0.2)@3",
+            "cache.read=oserror@2",
+        ]
+
+    @pytest.mark.parametrize(
+        "spec, fragment",
+        [
+            ("nope.site=kill", "unknown fault site"),
+            ("pool.task=explode", "unknown fault action"),
+            ("pool.task=delay(fast)", "non-numeric argument"),
+            ("pool.task=kill@0", "invocation >= 1"),
+            ("garbage", "invalid fault clause"),
+        ],
+    )
+    def test_malformed_specs_fail_loudly(self, spec, fragment):
+        with pytest.raises(ConfigError, match=fragment):
+            faults.parse_spec(spec)
+
+    def test_install_rejects_bad_spec_and_arms_good_one(self):
+        with pytest.raises(ConfigError):
+            faults.install("pool.task=explode")
+        plane = faults.install("cache.read=raise@2")
+        assert plane is not None
+        assert faults.active() is plane
+        faults.install("")
+        assert faults.active() is None
+
+
+class TestInvocationCounters:
+    def test_fires_exactly_at_the_armed_invocation(self):
+        faults.install("cache.read=raise@2")
+        faults.fault_point("cache.read")  # invocation 1: silent
+        with pytest.raises(faults.InjectedFault):
+            faults.fault_point("cache.read")  # invocation 2: fires
+        faults.fault_point("cache.read")  # invocation 3: spent
+
+    def test_sites_count_independently(self):
+        faults.install("cache.read=raise@1")
+        faults.fault_point("cache.write")  # different site: no effect
+        with pytest.raises(faults.InjectedFault):
+            faults.fault_point("cache.read")
+
+    def test_reinstall_restarts_the_counters(self):
+        faults.install("cache.read=raise@1")
+        with pytest.raises(faults.InjectedFault):
+            faults.fault_point("cache.read")
+        faults.install("cache.read=raise@1")
+        with pytest.raises(faults.InjectedFault):
+            faults.fault_point("cache.read")
+
+
+class TestCacheFaults:
+    def _unit(self):
+        spec = ScenarioSpec(name="fig3-walkthrough", params={}, trials=1, seed=5)
+        return spec.work_units()[0]
+
+    def test_read_fault_recomputes_and_counts_unreadable(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unit = self._unit()
+        cache.put(unit, "v", {"m": 1.0})
+        faults.install("cache.read=oserror@1")
+        assert cache.get(unit, "v") is None
+        assert cache.unreadable == 1
+        # The entry was not evicted; the next (unfaulted) read serves it.
+        assert cache.get(unit, "v") == {"m": 1.0}
+
+    def test_write_fault_is_absorbed_and_counted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unit = self._unit()
+        faults.install("cache.write=oserror@1")
+        with telemetry.collecting() as collector:
+            assert cache.put(unit, "v", {"m": 1.0}) is None
+        assert cache.unwritable == 1
+        assert collector.snapshot()["counters"]["runner.cache.write_failed"] == 1
+        # Nothing landed on disk; a later write succeeds.
+        assert cache.get(unit, "v") is None
+        assert cache.put(unit, "v", {"m": 1.0}) is not None
+
+    def test_campaign_survives_an_unwritable_cache(self, tmp_path):
+        faults.install("cache.write=oserror@1")
+        result = run_scenario(
+            "fig3-walkthrough", trials=2, seed=5, cache=ResultCache(tmp_path)
+        )
+        clean = run_scenario("fig3-walkthrough", trials=2, seed=5)
+        assert result.unit_metrics == clean.unit_metrics
+
+
+#: (backend policy override, force the popcount LUT) -- the satellite matrix.
+BACKEND_MATRIX = [
+    pytest.param((None, False), id="backend-auto"),
+    pytest.param(("fast", False), id="backend-fast"),
+    pytest.param(("fast", True), id="backend-fast-lut"),
+]
+
+
+def _campaign(**overrides):
+    """A 6-unit campaign at shard_size=1 so every unit is its own pool task
+    (``pool.task`` invocation counts then address individual units)."""
+    from repro.runner.executor import execute
+
+    kwargs = dict(workers=1, cache=None)
+    kwargs.update(overrides)
+    spec = ScenarioSpec(
+        name="soap-campaign", params={"n": 30}, grid={}, trials=6, seed=3
+    )
+    return execute(spec, shard_size=1, **kwargs)
+
+
+@pytest.fixture
+def forced_backend(request, monkeypatch):
+    """Apply one (backend, LUT) matrix point for the duration of a test."""
+    policy, lut = request.param
+    if lut:
+        monkeypatch.setenv(backend.POPCOUNT_LUT_ENV_VAR, "1")
+    if policy is None:
+        yield
+        return
+    with backend.using(policy):
+        yield
+
+
+class TestPoolChaosDifferentials:
+    def test_killed_worker_recovers_bit_identically(self):
+        baseline = _campaign(workers=2)
+        shutdown_pools()
+        faults.install("pool.task=kill@2")
+        with telemetry.collecting() as collector:
+            result = _campaign(workers=2)
+        assert result.unit_metrics == baseline.unit_metrics
+        assert collector.snapshot()["counters"]["runner.pool.respawn"] == 1
+
+    @pytest.mark.parametrize("forced_backend", BACKEND_MATRIX, indirect=True)
+    def test_watchdog_converts_a_hang_into_recovery(
+        self, forced_backend, monkeypatch
+    ):
+        baseline = _campaign(workers=1)
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "2")
+        faults.install("pool.task=hang@1")
+        with telemetry.collecting() as collector:
+            result = _campaign(workers=2)
+        assert result.unit_metrics == baseline.unit_metrics
+        counters = collector.snapshot()["counters"]
+        assert counters["runner.watchdog.kill"] >= 1
+        assert counters["runner.pool.respawn"] == 1
+
+    def test_transient_shm_attach_failure_retries_once(self):
+        graph = _sharded_graph()
+        with backend.using("fast"):
+            from repro.graphs import fast
+
+            serial = fast.full_path_metrics(graph)
+            faults.install("pool.shm_attach=oserror@1")
+            from repro.runner.executor import sharded_full_path_metrics
+
+            with telemetry.collecting() as collector:
+                sharded = sharded_full_path_metrics(graph, workers=2)
+        assert sharded == serial
+        assert collector.snapshot()["counters"]["runner.retry"] == 1
+
+    def test_exhausted_transient_retries_surface_as_task_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEGRADED_SERIAL", "0")
+        graph = _sharded_graph()
+        # Default budget is 1 retry; fail the first attach of both attempts.
+        faults.install("pool.shm_attach=oserror@1,pool.shm_attach=oserror@2")
+        with backend.using("fast"):
+            from repro.runner.executor import sharded_full_path_metrics
+
+            with pytest.raises(PoolTaskError, match="path-metric shard"):
+                sharded_full_path_metrics(
+                    graph, workers=2, shard_size=10_000
+                )
+
+    @pytest.mark.parametrize("forced_backend", BACKEND_MATRIX, indirect=True)
+    def test_unhealthy_pool_degrades_to_serial_bit_identically(
+        self, forced_backend
+    ):
+        baseline = _campaign(workers=1)
+        faults.install("pool.task=kill@1,pool.task=kill@2,pool.task=kill@3")
+        with telemetry.collecting() as collector:
+            result = _campaign(workers=2)
+        assert result.unit_metrics == baseline.unit_metrics
+        assert collector.snapshot()["counters"]["runner.degraded_serial"] >= 1
+
+    def test_degraded_serial_preserves_path_metric_exactness(self):
+        graph = _sharded_graph()
+        with backend.using("fast"):
+            from repro.graphs import fast
+            from repro.runner.executor import sharded_full_path_metrics
+
+            serial = fast.full_path_metrics(graph)
+            faults.install(
+                "pool.path_task=kill@1,pool.path_task=kill@2,"
+                "pool.path_task=kill@3"
+            )
+            with telemetry.collecting() as collector:
+                sharded = sharded_full_path_metrics(graph, workers=2)
+        assert sharded == serial
+        assert collector.snapshot()["counters"]["runner.degraded_serial"] >= 1
+
+    def test_degradation_disabled_fails_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEGRADED_SERIAL", "0")
+        faults.install("pool.task=kill@1,pool.task=kill@2,pool.task=kill@3")
+        with pytest.raises(PoolError, match="unfinished"):
+            _campaign(workers=2)
+
+    def test_retry_does_not_perturb_cache_keys(self, tmp_path):
+        """A recovered campaign populates the same cache a clean one reads."""
+        faults.install("pool.task=kill@2")
+        chaotic = _campaign(workers=2, cache=ResultCache(tmp_path))
+        shutdown_pools()
+        faults.install("")
+        replayed = _campaign(workers=2, cache=ResultCache(tmp_path))
+        assert replayed.cache_hits == len(replayed.unit_metrics)
+        assert replayed.unit_metrics == chaotic.unit_metrics
+
+
+def _sharded_graph():
+    from repro.graphs.generators import k_regular_graph
+
+    return k_regular_graph(80, 4, seed=9)
+
+
+class TestPolicyKnobs:
+    @pytest.mark.parametrize(
+        "var, value",
+        [
+            ("REPRO_TASK_TIMEOUT", "-1"),
+            ("REPRO_TASK_TIMEOUT", "soon"),
+            ("REPRO_TASK_RETRIES", "-2"),
+            ("REPRO_RETRY_BACKOFF", "never"),
+            ("REPRO_DEGRADED_SERIAL", "maybe"),
+        ],
+    )
+    def test_invalid_values_raise_config_error(self, var, value, monkeypatch):
+        from repro.runner import pool as pool_mod
+
+        monkeypatch.setenv(var, value)
+        policies = {
+            "REPRO_TASK_TIMEOUT": pool_mod.task_timeout_policy,
+            "REPRO_TASK_RETRIES": pool_mod.task_retries_policy,
+            "REPRO_RETRY_BACKOFF": pool_mod.retry_backoff_policy,
+            "REPRO_DEGRADED_SERIAL": pool_mod.degraded_serial_policy,
+        }
+        with pytest.raises(ConfigError, match=var):
+            policies[var]()
+
+
+class TestInterruptTeardown:
+    """The SIGINT path, driven deterministically via an injected interrupt."""
+
+    def _run_cli(self, tmp_path, *extra):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+        env.pop(faults.ENV_VAR, None)
+        env.pop(faults.STATE_ENV_VAR, None)
+        return subprocess.run(
+            [
+                sys.executable, "-m", "repro.runner", "run", "soap-campaign",
+                "--set", "n=30", "--trials", "6", "--seed", "3",
+                "--workers", "2", "--quiet",
+                "--cache-dir", str(tmp_path / "cache"),
+                *extra,
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+
+    def test_interrupt_exits_130_without_shm_leaks_then_resumes(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        interrupted = self._run_cli(
+            tmp_path,
+            "--journal", str(journal),
+            "--inject-faults", "executor.unit=interrupt@3",
+        )
+        assert interrupted.returncode == 130, interrupted.stderr
+        assert "interrupted" in interrupted.stderr
+        assert _pool_segments() == []
+        assert journal.exists()
+        # The journal holds the three completed units; --resume replays
+        # them and finishes the rest bit-identically to a clean run.
+        resumed = self._run_cli(
+            tmp_path, "--journal", str(journal), "--resume", "--no-cache",
+            "--json", str(tmp_path / "resumed.json"),
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "3 replayed" in resumed.stdout
+        clean = self._run_cli(
+            tmp_path, "--no-journal", "--no-cache",
+            "--json", str(tmp_path / "clean.json"),
+        )
+        assert clean.returncode == 0, clean.stderr
+        resumed_rows = json.loads((tmp_path / "resumed.json").read_text())
+        clean_rows = json.loads((tmp_path / "clean.json").read_text())
+        assert resumed_rows == clean_rows

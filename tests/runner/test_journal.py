@@ -1,0 +1,181 @@
+"""Campaign journals: crash-tolerant parsing, header pinning, bit-identical resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.runner import faults
+from repro.runner.cache import ResultCache
+from repro.runner.executor import execute, run_scenario
+from repro.runner.journal import JOURNAL_SCHEMA, CampaignJournal, journal_header
+from repro.runner.pool import shutdown_pools
+from repro.runner.registry import get_scenario
+from repro.runner.spec import ScenarioSpec
+
+
+@pytest.fixture(autouse=True)
+def _clean(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    monkeypatch.delenv(faults.STATE_ENV_VAR, raising=False)
+    faults.reset()
+    yield
+    shutdown_pools()
+    faults.reset()
+
+
+def _spec(**overrides):
+    kwargs = dict(
+        name="fig3-walkthrough", params={}, grid={}, trials=3, seed=5
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+def _header(spec=None, units=3):
+    spec = spec or _spec()
+    sc = get_scenario(spec.name)
+    return journal_header(spec.resolved(sc.defaults), sc.version, units)
+
+
+class TestJournalFile:
+    def test_roundtrip_header_units_complete(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        header = _header()
+        journal = CampaignJournal(path)
+        journal.open(header)
+        journal.record_unit(0, {"m": 1.5})
+        journal.record_unit(2, {"m": -0.25})
+        journal.finish()
+        recorded, units, complete = CampaignJournal(path)._read()
+        assert recorded == json.loads(json.dumps(header))
+        assert units == {0: {"m": 1.5}, 2: {"m": -0.25}}
+        assert complete
+
+    def test_header_pins_identity_and_environment(self):
+        header = _header()
+        assert header["journal"] == JOURNAL_SCHEMA
+        for key in (
+            "scenario", "version", "spec_hash", "seed", "trials", "units",
+            "graph_backend", "bfs_batch", "popcount_lut",
+        ):
+            assert key in header
+
+    def test_truncated_trailing_line_is_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        journal.open(_header())
+        journal.record_unit(0, {"m": 1.0})
+        journal.close()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"unit": 1, "metr')  # crash mid-append
+        replay = CampaignJournal(path).resume_state(_header())
+        assert replay == {0: {"m": 1.0}}
+
+    def test_mid_file_corruption_fails_loudly(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        journal.open(_header())
+        journal.record_unit(0, {"m": 1.0})
+        journal.close()
+        lines = path.read_text().splitlines()
+        lines.insert(1, "not json")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigError, match="corrupt at line 2"):
+            CampaignJournal(path).resume_state(_header())
+
+    def test_resume_without_a_journal_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="nothing to resume"):
+            CampaignJournal(tmp_path / "absent.jsonl").resume_state(_header())
+
+    def test_header_mismatch_names_the_fields(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        journal.open(_header(_spec(seed=5)))
+        journal.close()
+        with pytest.raises(ConfigError, match="seed"):
+            CampaignJournal(path).resume_state(_header(_spec(seed=6)))
+
+    def test_missing_header_fails(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"unit": 0, "metrics": {}}\n{"unit": 1, "metrics": {}}\n')
+        with pytest.raises(ConfigError, match="header"):
+            CampaignJournal(path).resume_state(_header())
+
+    def test_out_of_range_unit_fails(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        journal.open(_header(units=3))
+        journal.record_unit(7, {"m": 1.0})
+        journal.close()
+        with pytest.raises(ConfigError, match="out-of-range"):
+            CampaignJournal(path).resume_state(_header(units=3))
+
+
+class TestExecutorIntegration:
+    def test_resume_without_journal_path_is_a_config_error(self):
+        with pytest.raises(ConfigError, match="no journal given"):
+            execute(_spec(), resume=True)
+
+    def test_fresh_run_journals_every_unit(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        result = execute(_spec(), journal=path)
+        assert result.journal_path == str(path)
+        assert result.replayed == 0
+        _, units, complete = CampaignJournal(path)._read()
+        assert sorted(units) == [0, 1, 2]
+        assert complete
+
+    def test_complete_journal_replays_fully_and_bit_identically(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        first = execute(_spec(), journal=path)
+        second = execute(_spec(), journal=path, resume=True)
+        assert second.replayed == 3
+        assert second.unit_metrics == first.unit_metrics
+        assert [a.row() for a in second.aggregates] == [
+            a.row() for a in first.aggregates
+        ]
+
+    def test_interrupt_then_resume_is_bit_identical(self, tmp_path):
+        baseline = run_scenario("soap-campaign", params={"n": 30}, trials=6, seed=3)
+        path = tmp_path / "j.jsonl"
+        spec = ScenarioSpec(
+            name="soap-campaign", params={"n": 30}, grid={}, trials=6, seed=3
+        )
+        faults.install("executor.unit=interrupt@3")
+        with pytest.raises(KeyboardInterrupt):
+            execute(spec, workers=2, journal=path, shard_size=1)
+        faults.install("")
+        _, units, complete = CampaignJournal(path)._read()
+        assert len(units) == 3 and not complete
+        resumed = execute(spec, workers=2, journal=path, shard_size=1, resume=True)
+        assert resumed.replayed == 3
+        assert resumed.unit_metrics == baseline.unit_metrics
+
+    def test_cache_hits_are_journaled_for_later_resume(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        execute(_spec(), cache=cache)  # warm the cache, no journal
+        path = tmp_path / "j.jsonl"
+        warm = execute(_spec(), cache=cache, journal=path)
+        assert warm.cache_hits == 3
+        # Every cache-served unit landed in the journal too.
+        resumed = execute(_spec(), journal=path, resume=True)
+        assert resumed.replayed == 3
+        assert resumed.unit_metrics == warm.unit_metrics
+
+    def test_journal_mismatch_on_resume_propagates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        execute(_spec(seed=5), journal=path)
+        with pytest.raises(ConfigError, match="does not match this campaign"):
+            execute(_spec(seed=6), journal=path, resume=True)
+
+    def test_fresh_run_truncates_a_stale_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        execute(_spec(seed=5), journal=path)
+        execute(_spec(seed=6), journal=path)  # no --resume: start over
+        header, units, complete = CampaignJournal(path)._read()
+        assert header["seed"] == 6
+        assert sorted(units) == [0, 1, 2]
+        assert complete

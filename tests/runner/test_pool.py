@@ -196,7 +196,12 @@ class TestFailurePaths:
         finally:
             unregister("test-pool-kamikaze")
 
-    def test_repeatedly_killed_worker_raises_pool_error_with_context(self, tmp_path):
+    def test_repeatedly_killed_worker_raises_pool_error_with_context(
+        self, tmp_path, monkeypatch
+    ):
+        # Degraded-serial would run the kamikaze *in-parent* (killing the
+        # test process); disable it to reach the fail-fast PoolError path.
+        monkeypatch.setenv("REPRO_DEGRADED_SERIAL", "0")
         _register_kamikaze("test-pool-kamikaze-always", kills="always")
         try:
             with pytest.raises(PoolError, match="unfinished"):
