@@ -487,10 +487,16 @@ class DDSROverlay:
                 "avg_closeness": 0.0,
             }
         if sample_size is None and closeness_sample is None:
-            if path_workers > 1 and backend.resolve_for(graph) == "fast":
+            if backend.resolve_for(graph) == "fast":
                 from repro.runner.executor import sharded_full_path_metrics
+                from repro.runner.journal import active_unit_scope
 
-                return sharded_full_path_metrics(graph, workers=path_workers)
+                # The sharded path also carries sub-unit checkpoint
+                # journaling: inside a journaled campaign's in-parent unit
+                # it is taken even serially, so every exact checkpoint
+                # journals (and can replay) its accumulator shards.
+                if path_workers > 1 or active_unit_scope() is not None:
+                    return sharded_full_path_metrics(graph, workers=path_workers)
             return backend.full_path_metrics(graph)
         components, largest = backend.component_summary(graph)
         working = (

@@ -1270,6 +1270,76 @@ def accumulate_path_shard(
     return ecc, totals
 
 
+def serialize_accumulators(ecc: np.ndarray, totals: np.ndarray) -> Dict[str, str]:
+    """Encode one shard's ``(ecc, totals)`` accumulators for the journal.
+
+    zlib-compressed little-endian int64 bytes, base64-armored for JSON --
+    the exact integer payload of :func:`accumulate_path_shard`, so a
+    deserialized state merges bit-identically with freshly computed shards.
+    """
+    import base64
+    import zlib
+
+    def _pack(array: np.ndarray) -> str:
+        data = np.ascontiguousarray(array, dtype="<i8").tobytes()
+        return base64.b64encode(zlib.compress(data, 6)).decode("ascii")
+
+    return {"ecc": _pack(ecc), "totals": _pack(totals)}
+
+
+def deserialize_accumulators(
+    state: Dict[str, str], n: int
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Decode a journaled accumulator state; ``None`` when it cannot be trusted.
+
+    Validates shape (both arrays must decode to exactly ``n`` int64
+    entries) and survives any decode failure -- a corrupt or mis-sized
+    state means the shard recomputes, never crashes the resume.
+    """
+    import base64
+    import binascii
+    import zlib
+
+    def _unpack(encoded: str) -> Optional[np.ndarray]:
+        try:
+            data = zlib.decompress(base64.b64decode(encoded, validate=True))
+        except (binascii.Error, ValueError, zlib.error, TypeError):
+            return None
+        if len(data) != 8 * n:
+            return None
+        return np.frombuffer(data, dtype="<i8").astype(np.int64)
+
+    try:
+        ecc = _unpack(state["ecc"])
+        totals = _unpack(state["totals"])
+    except (KeyError, TypeError):
+        return None
+    if ecc is None or totals is None:
+        return None
+    return ecc, totals
+
+
+def accumulator_state_key(csr: CSRGraph, sources: np.ndarray) -> str:
+    """Content hash anchoring journaled accumulators to one exact checkpoint.
+
+    Digests the CSR snapshot (``n``, ``indptr``, ``indices``, the alive
+    mask when one exists) and the full source set, so a resumed campaign
+    replays a saved shard only when the graph it would recompute against is
+    byte-for-byte the graph it was computed on.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    digest.update(int(csr.n).to_bytes(8, "little"))
+    digest.update(np.ascontiguousarray(csr.indptr, dtype="<i8").tobytes())
+    digest.update(np.ascontiguousarray(csr.indices, dtype="<i4").tobytes())
+    alive = getattr(csr, "alive", None)
+    if alive is not None:
+        digest.update(np.ascontiguousarray(alive, dtype=np.uint8).tobytes())
+    digest.update(np.ascontiguousarray(sources, dtype="<i8").tobytes())
+    return digest.hexdigest()[:32]
+
+
 def full_path_metrics(graph: UndirectedGraph, *, shard_runner=None) -> Dict:
     """Exact diameter, ASPL and closeness of the largest component, one campaign.
 

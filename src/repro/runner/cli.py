@@ -1,4 +1,5 @@
-"""Command-line entry point: ``python -m repro.runner list|run|sweep|telemetry``.
+"""Command-line entry point: ``python -m repro.runner
+list|run|sweep|telemetry|journal``.
 
 Examples::
 
@@ -8,6 +9,7 @@ Examples::
         --grid size=200,500,1000 --trials 2 --workers 4 --csv fig6.csv
     python -m repro.runner run soap-campaign --telemetry obs.json
     python -m repro.runner telemetry obs.json
+    python -m repro.runner journal .repro-cache/journals/<spec-hash>.jsonl
 
 ``run`` executes one scenario at its defaults plus ``--set`` overrides;
 ``sweep`` additionally crosses ``--grid`` axes.  Both cache per-unit results
@@ -24,8 +26,13 @@ Crash safety: unless ``--no-journal`` is given, every cached run journals
 completed units under ``<cache-dir>/journals/<spec-hash>.jsonl`` (override
 with ``--journal PATH``); after a crash or ^C, ``--resume`` replays the
 journal's units verbatim and finishes the remainder, bit-identical to an
-uninterrupted run.  ``--inject-faults SPEC`` arms the deterministic fault
-plane (:mod:`repro.runner.faults`) for chaos testing.
+uninterrupted run.  Journal schema v2 additionally records sub-unit
+checkpoint state, so a campaign killed *inside* a long unit re-enters it
+from its first incomplete path-metric checkpoint shard.  ``journal PATH``
+inspects a journal without running anything: schema version, progress,
+whether ``--resume`` in the current environment would accept it (exit 0
+valid / 3 mismatched-or-corrupt).  ``--inject-faults SPEC`` arms the
+deterministic fault plane (:mod:`repro.runner.faults`) for chaos testing.
 
 Exit codes are distinct per failure class so scripts and CI can tell them
 apart:
@@ -33,8 +40,10 @@ apart:
 * ``0``   success
 * ``2``   usage errors (unknown scenario, bad ``--set``/``--grid`` values)
 * ``3``   configuration errors (:class:`~repro.core.errors.ConfigError`:
-  bad environment policy, malformed fault spec, journal mismatch on resume)
-* ``4``   the worker pool failed (:class:`~repro.runner.pool.PoolError`)
+  bad environment policy, malformed fault spec, journal mismatch on
+  resume or inspect)
+* ``4``   the worker pool failed (:class:`~repro.runner.pool.PoolError`,
+  including an in-parent hang caught by the parent watchdog)
 * ``5``   a task failed inside a worker
   (:class:`~repro.runner.pool.PoolTaskError`)
 * ``130`` interrupted (^C); pools are torn down and the journal stays
@@ -161,6 +170,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "telemetry", help="validate and pretty-print a saved telemetry report"
     )
     telemetry_parser.add_argument("report", help="path to a --telemetry JSON report")
+
+    journal_parser = sub.add_parser(
+        "journal", help="validate and summarize a campaign journal"
+    )
+    journal_parser.add_argument("journal", help="path to a campaign journal (.jsonl)")
     return parser
 
 
@@ -275,6 +289,8 @@ def _cmd_run(args: argparse.Namespace, grid_args: Sequence[str]) -> int:
         f", {result.cache_corrupt} corrupt evicted" if result.cache_corrupt else ""
     )
     replay_note = f", {result.replayed} replayed" if result.replayed else ""
+    if result.checkpoints_replayed:
+        replay_note += f", {result.checkpoints_replayed} ckpt shard(s) replayed"
     print(
         f"\n{len(result.unit_metrics)} unit(s) "
         f"[{result.cache_hits} cached, {result.cache_misses} computed"
@@ -312,12 +328,64 @@ def _cmd_run(args: argparse.Namespace, grid_args: Sequence[str]) -> int:
                 "resumed": bool(args.resume),
                 "replayed": result.replayed,
                 "units": len(result.unit_metrics),
+                "checkpoints_recorded": result.checkpoints_recorded,
+                "checkpoints_replayed": result.checkpoints_replayed,
             }
         if args.inject_faults:
             meta["injected_faults"] = args.inject_faults
         report = render_report(collector, meta=meta)
         write_report(telemetry_out, report)
         print(f"wrote telemetry report {telemetry_out}")
+    return 0
+
+
+def _cmd_journal(args: argparse.Namespace) -> int:
+    """Inspect a campaign journal: exit 0 when --resume would accept it."""
+    from repro.core.errors import ConfigError
+    from repro.runner import journal as journal_mod
+
+    try:
+        summary = journal_mod.inspect(args.journal)
+    except FileNotFoundError:
+        print(f"{args.journal}: no such journal", file=sys.stderr)
+        return EXIT_CONFIG
+    except ConfigError as error:
+        print(f"{args.journal}: invalid journal -- {error}", file=sys.stderr)
+        return EXIT_CONFIG
+    print(f"journal   {summary['path']}")
+    print(f"schema    {summary['schema']}")
+    print(
+        f"campaign  {summary['scenario']} v{summary['version']} "
+        f"(spec hash {summary['spec_hash']}, seed {summary['seed']}, "
+        f"{summary['trials']} trial(s))"
+    )
+    state = "complete" if summary["complete"] else "in progress"
+    print(
+        f"progress  {summary['units_complete']}/{summary['units_total']} "
+        f"unit(s) ({summary['percent_complete']:.1f}%), {state}"
+    )
+    if summary["checkpoints"]:
+        print(
+            f"sub-unit  {summary['checkpoint_shards']} checkpoint shard(s) "
+            f"across {summary['checkpoints']} checkpoint(s)"
+        )
+    for key in summary["environment_mismatches"]:
+        print(
+            f"mismatch  {key}: journal recorded "
+            f"{summary['environment'][key]!r} but the current environment "
+            "differs",
+            file=sys.stderr,
+        )
+    if summary["out_of_range_units"]:
+        print(
+            f"mismatch  out-of-range unit record(s) "
+            f"{summary['out_of_range_units']}",
+            file=sys.stderr,
+        )
+    if not summary["resumable"]:
+        print("resume    would be REFUSED in this environment", file=sys.stderr)
+        return EXIT_CONFIG
+    print("resume    would be accepted in this environment")
     return 0
 
 
@@ -349,6 +417,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args, grid_args=args.grid)
     if args.command == "telemetry":
         return _cmd_telemetry(args)
+    if args.command == "journal":
+        return _cmd_journal(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -144,10 +144,27 @@ def _run_shard(
     whatever the scenario's instrumented subsystems recorded) that the
     parent merges.  Collection is shard-scoped precisely so merging the
     returned snapshots can never double-count a long-lived worker.
+
+    Each unit runs under a sub-unit checkpoint scope
+    (:func:`repro.runner.journal.unit_scope`) and beats the parent
+    watchdog when it finishes.  Both are process-local no-ops in a pool
+    worker; they only bite when this function is the *degraded-serial
+    fallback* running in the parent of a journaled campaign -- there, a
+    long unit's path-metric checkpoints journal at shard granularity and
+    feed the drain's hang deadline.
     """
+    from repro.runner import journal as journal_mod
+    from repro.runner import pool as pool_mod
+
+    def one_unit(index: int, params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+        with journal_mod.unit_scope(index):
+            metrics = run_unit(scenario_name, module, params, seed)
+        pool_mod.watchdog_beat()
+        return metrics
+
     if not _WORKER_TELEMETRY["enabled"]:
         return [
-            (index, run_unit(scenario_name, module, params, seed))
+            (index, one_unit(index, params, seed))
             for index, params, seed in shard
         ], None
     from repro.obs import telemetry
@@ -157,7 +174,7 @@ def _run_shard(
         results = []
         for index, params, seed in shard:
             with collector.span("runner.unit"):
-                results.append((index, run_unit(scenario_name, module, params, seed)))
+                results.append((index, one_unit(index, params, seed)))
     finally:
         telemetry.disable()
     return results, collector.snapshot()
@@ -188,6 +205,11 @@ class RunResult:
     replayed: int = 0
     #: Where this campaign journaled its progress (``None`` when off).
     journal_path: Optional[str] = None
+    #: Sub-unit checkpoint shards replayed from the journal instead of
+    #: recomputed (``--resume`` re-entering a partially-finished unit).
+    checkpoints_replayed: int = 0
+    #: Fresh sub-unit checkpoint shards appended to the journal.
+    checkpoints_recorded: int = 0
 
     def rows(self) -> List[Dict[str, Any]]:
         """One reporting/export row per grid point: params + aggregate metrics.
@@ -261,12 +283,21 @@ def execute(
     journal's recorded units are replayed verbatim first (header-validated
     against this spec and environment), so a campaign interrupted by a
     crash or ^C finishes with aggregates bit-identical to an uninterrupted
-    run.  ``resume=True`` without a journal raises
-    :class:`~repro.core.errors.ConfigError`.
+    run.  Journaled campaigns also checkpoint *inside* long units: exact
+    path-metric checkpoints computed in the parent process journal their
+    integer accumulators per shard (journal schema v2), and ``--resume``
+    re-enters a partially-finished unit from its first incomplete
+    checkpoint shard -- still bit-identical, because the accumulator
+    merges are exact-integer and order-free.  ``resume=True`` without a
+    journal raises :class:`~repro.core.errors.ConfigError`.
 
     ``KeyboardInterrupt`` mid-campaign tears the worker pools down
     deterministically (workers SIGKILLed, every ``repro-pool-*``
-    shared-memory segment unlinked) before re-raising.
+    shared-memory segment unlinked) before re-raising; serial in-parent
+    units run under the parent watchdog (``REPRO_TASK_TIMEOUT``), whose
+    :class:`~repro.runner.pool.ParentTimeoutError` gets the same teardown.
+    Every exit path closes the journal, so whatever progress was recorded
+    stays resumable.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -294,8 +325,11 @@ def execute(
     from repro.core.errors import ConfigError
     from repro.runner import faults
 
+    from repro.runner import journal as journal_mod
+
     jrnl = None
     replay: Dict[int, Dict[str, float]] = {}
+    saved_checkpoints: Dict[Tuple[int, int], Dict[str, Any]] = {}
     if journal is not None:
         from repro.runner.journal import CampaignJournal, journal_header
 
@@ -303,6 +337,15 @@ def execute(
         header = journal_header(spec, sc.version, len(units))
         if resume:
             replay = jrnl.resume_state(header)
+            # Sub-unit checkpoint states of units the journal did NOT
+            # finish: the replayed units above never recompute, so their
+            # checkpoint records are dead weight -- only partial units
+            # re-enter.
+            saved_checkpoints = {
+                key: value
+                for key, value in jrnl.checkpoints.items()
+                if key[0] not in replay
+            }
         jrnl.open(header, resume=resume)
     elif resume:
         raise ConfigError(
@@ -362,59 +405,96 @@ def execute(
                 f"({len(results)}/{len(units)} complete)"
             )
 
+    ckpt_replayed = 0
+    ckpt_recorded = 0
     try:
-        if pending and workers == 1:
-            for unit in pending:
-                with tel.span("runner.unit"):
-                    metrics = sc.call(seed=unit.seed, **unit.params)
-                finish_unit(unit.index, metrics)
-        elif pending:
-            shards = _shards(pending, shard_size)
-            max_workers = min(workers, len(shards))
-            if tel.enabled:
-                # The fan-out shape: shard count, effective width, pool size.
-                tel.gauge("runner.shards", len(shards))
-                tel.gauge("runner.shard_size", shard_size)
-                tel.gauge("runner.pool_workers", max_workers)
-            from repro.graphs import backend
-            from repro.runner.pool import get_pool
+        with journal_mod.campaign_checkpoints(jrnl, saved_checkpoints) as ckpt_ctx:
+            try:
+                if pending and workers == 1:
+                    from repro.runner.pool import parent_deadline
 
-            # Everything policy-like ships per task: the persistent pool
-            # outlives this campaign, so workers re-force the parent's
-            # resolved policies for every shard instead of baking them in
-            # at spin-up.
-            ctx = {
-                "module": sc.module,
-                "backend": backend.policy(),
-                "bfs_batch": backend.bfs_batch_policy(),
-                "telemetry": tel.enabled,
-            }
+                    for unit in pending:
+                        # The unit scope lets in-parent path-metric
+                        # checkpoints journal at shard granularity; the
+                        # deadline bounds an in-parent hang the pool
+                        # watchdog cannot see (there is no worker to kill).
+                        with journal_mod.unit_scope(unit.index), parent_deadline(
+                            f"work unit {unit.index} of scenario {spec.name!r}"
+                        ):
+                            with tel.span("runner.unit"):
+                                metrics = sc.call(seed=unit.seed, **unit.params)
+                        finish_unit(unit.index, metrics)
+                elif pending:
+                    shards = _shards(pending, shard_size)
+                    max_workers = min(workers, len(shards))
+                    if tel.enabled:
+                        # The fan-out shape: shard count, effective width,
+                        # pool size.
+                        tel.gauge("runner.shards", len(shards))
+                        tel.gauge("runner.shard_size", shard_size)
+                        tel.gauge("runner.pool_workers", max_workers)
+                    from repro.graphs import backend
+                    from repro.runner.pool import get_pool
 
-            def on_shard(shard_results, shard_snapshot) -> None:
-                if shard_snapshot is not None:
-                    tel.merge_snapshot(shard_snapshot)
-                for unit_index, metrics in shard_results:
-                    finish_unit(unit_index, metrics)
+                    # Everything policy-like ships per task: the persistent
+                    # pool outlives this campaign, so workers re-force the
+                    # parent's resolved policies for every shard instead of
+                    # baking them in at spin-up.
+                    ctx = {
+                        "module": sc.module,
+                        "backend": backend.policy(),
+                        "bfs_batch": backend.bfs_batch_policy(),
+                        "telemetry": tel.enabled,
+                    }
 
-            get_pool(workers).run_unit_shards(ctx, spec.name, shards, on_shard)
-    except KeyboardInterrupt:
-        # Deterministic interruption: kill the pools (unlinking every
-        # repro-pool-* shm segment) and leave the journal resumable.
-        from repro.runner.pool import shutdown_pools
+                    def on_shard(shard_results, shard_snapshot) -> None:
+                        if shard_snapshot is not None:
+                            tel.merge_snapshot(shard_snapshot)
+                        for unit_index, metrics in shard_results:
+                            finish_unit(unit_index, metrics)
 
-        logger.warning(
-            "interrupted mid-campaign; terminating worker pools%s",
-            "" if jrnl is None else f" (resume with the journal at {jrnl.path})",
-        )
-        shutdown_pools(terminate=True)
+                    get_pool(workers).run_unit_shards(ctx, spec.name, shards, on_shard)
+            except KeyboardInterrupt:
+                # Deterministic interruption: kill the pools (unlinking
+                # every repro-pool-* shm segment) and leave the journal
+                # resumable.
+                from repro.runner.pool import shutdown_pools
+
+                logger.warning(
+                    "interrupted mid-campaign; terminating worker pools%s",
+                    "" if jrnl is None else f" (resume with the journal at {jrnl.path})",
+                )
+                shutdown_pools(terminate=True)
+                raise
+            except Exception as error:
+                from repro.runner.pool import ParentTimeoutError, shutdown_pools
+
+                if isinstance(error, ParentTimeoutError):
+                    # An in-parent hang blew REPRO_TASK_TIMEOUT: same
+                    # deterministic teardown as ^C, then the distinct
+                    # pool-failure exit path.
+                    logger.warning(
+                        "in-parent hang timed out mid-campaign; terminating "
+                        "worker pools%s",
+                        ""
+                        if jrnl is None
+                        else f" (resume with the journal at {jrnl.path})",
+                    )
+                    shutdown_pools(terminate=True)
+                raise
+            if ckpt_ctx is not None:
+                ckpt_replayed = ckpt_ctx.shards_replayed
+                ckpt_recorded = ckpt_ctx.shards_recorded
+
+        drain_ready()
+        ordered = [results[unit.index] for unit in units]
+        if jrnl is not None:
+            jrnl.finish()
+    finally:
+        # Whatever got us here -- success, ^C, a watchdog timeout, an
+        # injected fault -- the journal ends up closed and resumable.
         if jrnl is not None:
             jrnl.close()
-        raise
-
-    drain_ready()
-    ordered = [results[unit.index] for unit in units]
-    if jrnl is not None:
-        jrnl.finish()
 
     elapsed = time.perf_counter() - started
     tel.record_span("runner.execute", elapsed)
@@ -430,6 +510,8 @@ def execute(
         elapsed_seconds=elapsed,
         replayed=len(replay),
         journal_path=str(jrnl.path) if jrnl is not None else None,
+        checkpoints_replayed=ckpt_replayed,
+        checkpoints_recorded=ckpt_recorded,
     )
 
 
@@ -459,8 +541,17 @@ def sharded_full_path_metrics(
     shared memory once, consecutive checkpoints broadcast only delta
     patches (or re-attach after an overflow/compaction), and pool spin-up
     is paid once per invocation instead of once per checkpoint.
+
+    Inside a journaled campaign's in-parent work unit
+    (:func:`repro.runner.journal.active_unit_scope`), every completed shard
+    journals its serialized accumulators under a checkpoint-scoped content
+    hash, and a ``--resume`` re-run replays matching shards from the
+    journal instead of recomputing them (``runner.journal.ckpt_replayed``)
+    -- with ``workers=1`` the whole source set is one span, so the
+    journaled path stays bit-identical to the plain serial call.
     """
     from repro.graphs import backend, fast
+    from repro.runner import journal as journal_mod
 
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -471,24 +562,97 @@ def sharded_full_path_metrics(
             "sharded full-population path metrics need the fast graph "
             "backend, but numpy is not importable"
         )
-    if workers == 1:
+    scope = journal_mod.active_unit_scope()
+    if workers == 1 and scope is None:
         return fast.full_path_metrics(graph)
 
     def fan_out(working, csr, sources):
         import numpy as np
 
-        from repro.runner.pool import get_pool
+        from repro.runner import faults
+        from repro.runner import pool as pool_mod
 
         tel = _telemetry()
-        per_shard = shard_size or -(-max(int(sources.size), 1) // workers)
-        shards = [
-            sources[offset:offset + per_shard]
-            for offset in range(0, int(sources.size), per_shard)
+        faults.fault_point("executor.checkpoint")
+        size = int(sources.size)
+        per_shard = shard_size or -(-max(size, 1) // workers)
+        spans = [
+            (offset, min(offset + per_shard, size))
+            for offset in range(0, size, per_shard)
         ]
         ecc = np.zeros(csr.n, dtype=np.int64)
         totals = np.zeros(csr.n, dtype=np.int64)
-        if not shards:
+        if not spans:
             return ecc, totals
+
+        # Sub-unit journaling: anchor this checkpoint to a content hash of
+        # the exact CSR snapshot + source set, and pull whatever spans a
+        # previous (interrupted) run already journaled for it.
+        key = ""
+        seq = 0
+        saved_spans: Dict[Tuple[int, int], Any] = {}
+        if scope is not None:
+            key = fast.accumulator_state_key(csr, sources)
+            seq, saved_spans = scope.begin_checkpoint(key)
+
+        pending: List[int] = []
+        replayed = 0
+        for index, span in enumerate(spans):
+            state = saved_spans.get(span)
+            if state is not None:
+                decoded = fast.deserialize_accumulators(state, csr.n)
+                if decoded is not None:
+                    np.maximum(ecc, decoded[0], out=ecc)
+                    np.add(totals, decoded[1], out=totals)
+                    replayed += 1
+                    continue
+                tel.count("runner.journal.ckpt_invalid")
+                logger.warning(
+                    "journaled checkpoint state for span %s failed to "
+                    "decode; recomputing that shard",
+                    span,
+                )
+            pending.append(index)
+        if replayed and scope is not None:
+            scope.note_replayed(replayed)
+            pool_mod.watchdog_beat()
+
+        # Completion order is irrelevant: integer max/sum merges are
+        # associative and commutative *exactly*.
+        def merge_shard(index: int, shard_ecc, shard_totals) -> None:
+            if shard_ecc.shape != ecc.shape:
+                raise RuntimeError(
+                    "pool worker returned accumulators of shape "
+                    f"{shard_ecc.shape}, expected {ecc.shape}: worker mirror "
+                    "diverged from the parent CSR"
+                )
+            np.maximum(ecc, shard_ecc, out=ecc)
+            np.add(totals, shard_totals, out=totals)
+            if scope is not None:
+                scope.record_shard(
+                    seq,
+                    key,
+                    spans[index],
+                    len(spans),
+                    fast.serialize_accumulators(shard_ecc, shard_totals),
+                )
+            pool_mod.watchdog_beat()
+
+        if not pending:
+            # Every span replayed from the journal: the checkpoint is done
+            # without touching the pool (or the wave engine) at all.
+            return ecc, totals
+
+        if workers == 1:
+            for index in pending:
+                start, stop = spans[index]
+                shard_ecc, shard_totals = fast.accumulate_path_shard(
+                    csr, sources[start:stop]
+                )
+                merge_shard(index, shard_ecc, shard_totals)
+            return ecc, totals
+
+        shards = [sources[spans[index][0]:spans[index][1]] for index in pending]
         if tel.enabled:
             tel.gauge("runner.path_workers", min(workers, len(shards)))
             tel.gauge("runner.path_shards", len(shards))
@@ -498,29 +662,20 @@ def sharded_full_path_metrics(
             "telemetry": tel.enabled,
         }
 
-        # Completion order is irrelevant: integer max/sum merges are
-        # associative and commutative *exactly*.
-        def on_result(shard_ecc, shard_totals, shard_snapshot) -> None:
+        def on_result(task_key, shard_ecc, shard_totals, shard_snapshot) -> None:
             if shard_snapshot is not None:
                 tel.merge_snapshot(shard_snapshot)
-            if shard_ecc.shape != ecc.shape:
-                raise RuntimeError(
-                    "pool worker returned accumulators of shape "
-                    f"{shard_ecc.shape}, expected {ecc.shape}: worker mirror "
-                    "diverged from the parent CSR"
-                )
-            np.maximum(ecc, shard_ecc, out=ecc)
-            np.add(totals, shard_totals, out=totals)
+            merge_shard(pending[task_key], shard_ecc, shard_totals)
 
         try:
-            get_pool(workers).run_path_shards(working, csr, shards, ctx, on_result)
+            pool_mod.get_pool(workers).run_path_shards(
+                working, csr, shards, ctx, on_result
+            )
         except KeyboardInterrupt:
-            from repro.runner.pool import shutdown_pools
-
             logger.warning(
                 "interrupted mid path-metric fan-out; terminating worker pools"
             )
-            shutdown_pools(terminate=True)
+            pool_mod.shutdown_pools(terminate=True)
             raise
         return ecc, totals
 

@@ -76,6 +76,12 @@ SITES = {
     "executor.unit": "parent side, after one work unit's result is recorded",
     "cache.read": "result-cache lookup (ResultCache.get)",
     "cache.write": "result-cache persist (ResultCache.put)",
+    "journal.write": "campaign-journal append (CampaignJournal._append)",
+    "journal.read": "campaign-journal load (CampaignJournal._read)",
+    "executor.checkpoint": (
+        "parent side, entry of one sub-unit path-metric checkpoint "
+        "(sharded_full_path_metrics)"
+    ),
 }
 
 #: Supported actions; ``ARG`` is the sleep duration for hang/delay.

@@ -57,14 +57,17 @@ via :mod:`repro.runner.faults` (sites ``pool.task`` / ``pool.path_task`` /
 
 from __future__ import annotations
 
+import _thread
 import atexit
 import logging
 import os
 import signal
+import threading
 import time
 import uuid
 import weakref
 from collections import OrderedDict
+from contextlib import contextmanager
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -118,6 +121,19 @@ class PoolError(RuntimeError):
 
 class PoolTaskError(PoolError):
     """One task failed in a worker; the message carries its unit context."""
+
+
+class ParentTimeoutError(PoolError):
+    """In-parent work (serial units, degraded drain) blew the task deadline.
+
+    The pool watchdog can SIGKILL a hung *worker*, but work running in the
+    parent process -- the serial ``workers=1`` unit loop, in-parent
+    checkpoint shards, and above all the degraded-serial drain -- has no
+    worker to kill.  :func:`parent_deadline` monitors those stretches with
+    a heartbeat thread and converts a stall past ``REPRO_TASK_TIMEOUT``
+    into this error, so an in-parent hang terminates with a resumable
+    journal instead of hanging forever.
+    """
 
 
 class TransientTaskError(RuntimeError):
@@ -201,6 +217,174 @@ def degraded_serial_policy() -> bool:
     raise ConfigError(
         f"invalid {DEGRADED_SERIAL_ENV_VAR}={raw!r}; expected 0/1"
     )
+
+
+# ----------------------------------------------------------------------
+# Parent-side watchdog (in-parent hangs: serial units, degraded drain)
+# ----------------------------------------------------------------------
+class _ParentDeadline:
+    """A no-progress deadline over in-parent work, enforced by a monitor
+    thread.
+
+    The protected stretch calls :meth:`beat` at every progress point (unit
+    finished, checkpoint shard merged).  A daemon monitor polls; once
+    ``timeout`` seconds pass without a beat while the deadline is not
+    :meth:`pause`-d, it fires **once**: warns, counts
+    ``runner.watchdog.parent_timeout`` and interrupts the main thread.  The
+    owning :func:`parent_deadline` context converts the resulting
+    ``KeyboardInterrupt`` into :class:`ParentTimeoutError`; a genuine ^C
+    (deadline never fired) passes through untouched.
+
+    Pausing exists because the parent spends most of a pooled campaign
+    *waiting on the pool* -- a stretch the pool's own watchdog already
+    bounds; racing two watchdogs over it would misattribute worker hangs
+    to the parent.
+    """
+
+    def __init__(self, what: str, timeout: float) -> None:
+        self.what = what
+        self.timeout = timeout
+        self.fired = False
+        self._on_main = threading.current_thread() is threading.main_thread()
+        self._lock = threading.Lock()
+        self._last_beat = time.monotonic()
+        self._paused = 0
+        self._stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        self._monitor = threading.Thread(
+            target=self._watch, name="repro-parent-watchdog", daemon=True
+        )
+        self._monitor.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=1.0)
+            self._monitor = None
+
+    def beat(self) -> None:
+        with self._lock:
+            self._last_beat = time.monotonic()
+
+    def pause(self) -> None:
+        with self._lock:
+            self._paused += 1
+
+    def resume(self) -> None:
+        with self._lock:
+            if self._paused > 0:
+                self._paused -= 1
+            # Waiting on the pool made progress by definition; the clock
+            # restarts when the parent picks the work back up.
+            self._last_beat = time.monotonic()
+
+    def _watch(self) -> None:
+        poll = min(0.25, self.timeout / 4)
+        while not self._stop.wait(poll):
+            with self._lock:
+                if self._paused:
+                    continue
+                if time.monotonic() - self._last_beat < self.timeout:
+                    continue
+                self.fired = True
+            logger.warning(
+                "parent watchdog: %s made no progress within %.3gs (%s); "
+                "interrupting -- the campaign journal stays resumable",
+                self.what,
+                self.timeout,
+                TASK_TIMEOUT_ENV_VAR,
+            )
+            _telemetry().count("runner.watchdog.parent_timeout")
+            if self._on_main:
+                try:
+                    # A real SIGINT aimed at the main thread: unlike
+                    # interrupt_main()'s between-bytecodes flag, it EINTRs
+                    # whatever blocking C call the hang is stuck in.
+                    signal.pthread_kill(
+                        threading.main_thread().ident, signal.SIGINT
+                    )
+                except (AttributeError, ProcessLookupError, OSError):
+                    _thread.interrupt_main()
+            return
+
+
+#: Innermost-active-last stack of armed parent deadlines.  The runner's
+#: in-parent work is single-threaded, so a plain list suffices.
+_parent_deadlines: List[_ParentDeadline] = []
+
+
+@contextmanager
+def parent_deadline(what: str):
+    """Bound in-parent work by ``REPRO_TASK_TIMEOUT`` (no-op when unset).
+
+    Also a no-op when an *outer* deadline is already armed: the outer
+    context owns hang detection for everything nested under it, and its
+    beats (via :func:`watchdog_beat`, which always targets the innermost
+    armed deadline) keep flowing from the nested progress points.
+    """
+    timeout = task_timeout_policy()
+    if timeout is None or _parent_deadlines:
+        yield None
+        return
+    deadline = _ParentDeadline(what, timeout)
+    _parent_deadlines.append(deadline)
+    deadline.start()
+    try:
+        yield deadline
+    except KeyboardInterrupt:
+        if deadline.fired:
+            raise ParentTimeoutError(
+                f"{what} made no progress within {timeout:g}s "
+                f"({TASK_TIMEOUT_ENV_VAR}); the campaign journal stays "
+                "resumable -- rerun with --resume"
+            ) from None
+        raise
+    finally:
+        deadline.stop()
+        _parent_deadlines.remove(deadline)
+
+
+def watchdog_beat() -> None:
+    """Record progress on the innermost armed parent deadline (if any)."""
+    if _parent_deadlines:
+        _parent_deadlines[-1].beat()
+
+
+@contextmanager
+def _paused_parent_deadline():
+    """Suspend the armed parent deadline while the parent waits on the pool."""
+    deadline = _parent_deadlines[-1] if _parent_deadlines else None
+    if deadline is not None:
+        deadline.pause()
+    try:
+        yield
+    finally:
+        if deadline is not None:
+            deadline.resume()
+
+
+@contextmanager
+def _drain_deadline(what: str):
+    """Arm hang detection for the degraded-serial drain.
+
+    The drain runs under :func:`_paused_parent_deadline` (its caller,
+    ``_run_tasks``, paused the outer deadline for the pool wait), so when
+    an outer deadline exists it is *resumed* for the drain's duration and
+    re-paused after -- the owning context still does the
+    timeout-conversion.  With no outer deadline armed, a fresh one is.
+    """
+    outer = _parent_deadlines[-1] if _parent_deadlines else None
+    if outer is not None:
+        outer.resume()
+        try:
+            yield outer
+        finally:
+            outer.pause()
+        return
+    with parent_deadline(what) as deadline:
+        yield deadline
 
 
 # ----------------------------------------------------------------------
@@ -622,10 +806,14 @@ class WorkerPool:
         )
         _telemetry().count("runner.degraded_serial", len(remaining))
         self._recreate_executor()
-        for key in sorted(remaining):
-            result = fallback(key)
-            remaining.pop(key)
-            on_done(key, result)
+        with _drain_deadline(
+            f"degraded-serial drain ({len(remaining)} in-parent task(s))"
+        ):
+            for key in sorted(remaining):
+                result = fallback(key)
+                remaining.pop(key)
+                on_done(key, result)
+                watchdog_beat()
 
     def _run_tasks(
         self,
@@ -646,7 +834,23 @@ class WorkerPool:
         :class:`TransientTaskError` resubmits just that task within its
         retry budget.  Any other task exception is re-raised as
         :class:`PoolTaskError` carrying ``describe(key)``.
+
+        Any armed parent deadline is paused for the duration: while the
+        parent waits on the pool, the pool's own watchdog owns hang
+        detection (``_drain_serially`` resumes it -- in-parent work is the
+        parent watchdog's jurisdiction again).
         """
+        with _paused_parent_deadline():
+            self._run_tasks_watched(fn, tasks, on_done, describe, fallback)
+
+    def _run_tasks_watched(
+        self,
+        fn: Callable[..., Any],
+        tasks: Dict[int, Tuple],
+        on_done: Callable[[int, Any], None],
+        describe: Callable[[int], str],
+        fallback: Optional[Callable[[int], Any]] = None,
+    ) -> None:
         from repro.runner import faults
 
         # Parse the fault spec in-parent before the first worker exists, so
@@ -791,9 +995,15 @@ class WorkerPool:
         csr,
         shards: Sequence[Any],
         ctx: Dict[str, Any],
-        on_result: Callable[[Any, Any, Any], None],
+        on_result: Callable[[int, Any, Any, Any], None],
     ) -> None:
-        """Fan path-metric source shards out over the published CSR mirror."""
+        """Fan path-metric source shards out over the published CSR mirror.
+
+        ``on_result(shard_index, ecc, totals, snapshot)`` streams merged
+        results back; the shard index lets the caller map each result onto
+        its source span (sub-unit checkpoint journaling records completed
+        shards by span).
+        """
         pub = self.publish_csr(graph, csr)
         chain = list(pub.chain)
         tasks = {
@@ -821,7 +1031,7 @@ class WorkerPool:
         self._run_tasks(
             _pool_path_shard,
             tasks,
-            lambda key, result: on_result(*result),
+            lambda key, result: on_result(key, *result),
             describe,
             fallback=fallback,
         )

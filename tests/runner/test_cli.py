@@ -270,8 +270,51 @@ class TestJournalFlow:
             "resumed": False,
             "replayed": 0,
             "units": 1,
+            "checkpoints_recorded": 0,
+            "checkpoints_replayed": 0,
         }
         assert report["meta"]["injected_faults"] == "cache.read=delay(0.001)@99"
+
+
+class TestJournalInspect:
+    def _journal(self, tmp_path, capsys):
+        journal = tmp_path / "j.jsonl"
+        args = ["run", "fig3-walkthrough", "--seed", "5", "--quiet",
+                "--no-cache", "--journal", str(journal)]
+        assert main(args) == 0
+        capsys.readouterr()
+        return journal
+
+    def test_valid_journal_exits_zero(self, tmp_path, capsys):
+        journal = self._journal(tmp_path, capsys)
+        assert main(["journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "fig3-walkthrough" in out
+        assert "1/1 unit(s) (100.0%), complete" in out
+        assert "would be accepted" in out
+
+    def test_missing_journal_exits_config(self, tmp_path, capsys):
+        assert main(["journal", str(tmp_path / "absent.jsonl")]) == EXIT_CONFIG
+        assert "no such journal" in capsys.readouterr().err
+
+    def test_corrupt_journal_exits_config(self, tmp_path, capsys):
+        journal = self._journal(tmp_path, capsys)
+        lines = journal.read_text().splitlines()
+        lines.insert(1, "not json")
+        lines.append(json.dumps({"unit": 0, "metrics": {}}))
+        journal.write_text("\n".join(lines) + "\n")
+        assert main(["journal", str(journal)]) == EXIT_CONFIG
+        assert "invalid journal" in capsys.readouterr().err
+
+    def test_environment_drift_refuses_resume(self, tmp_path, capsys, monkeypatch):
+        from repro.graphs import backend
+
+        journal = self._journal(tmp_path, capsys)
+        monkeypatch.setenv(backend.ENV_VAR, "python")
+        assert main(["journal", str(journal)]) == EXIT_CONFIG
+        err = capsys.readouterr().err
+        assert "graph_backend" in err
+        assert "would be REFUSED" in err
 
 
 class TestSweep:

@@ -7,10 +7,18 @@ import json
 import pytest
 
 from repro.core.errors import ConfigError
+from repro.obs import telemetry
 from repro.runner import faults
+from repro.runner import journal as journal_mod
 from repro.runner.cache import ResultCache
 from repro.runner.executor import execute, run_scenario
-from repro.runner.journal import JOURNAL_SCHEMA, CampaignJournal, journal_header
+from repro.runner.journal import (
+    JOURNAL_SCHEMA,
+    JOURNAL_SCHEMA_V1,
+    STATE_LIMIT_ENV_VAR,
+    CampaignJournal,
+    journal_header,
+)
 from repro.runner.pool import shutdown_pools
 from repro.runner.registry import get_scenario
 from repro.runner.spec import ScenarioSpec
@@ -112,6 +120,183 @@ class TestJournalFile:
         journal.close()
         with pytest.raises(ConfigError, match="out-of-range"):
             CampaignJournal(path).resume_state(_header(units=3))
+
+
+STATE = {"ecc": "ZWNj", "totals": "dG90"}  # opaque to the journal layer
+
+
+class TestJournalV2:
+    def test_v1_journal_still_resumes(self, tmp_path):
+        """A PR 8 journal (v1 schema tag, unit records only) replays under
+        the v2 loader -- it just carries no checkpoint state."""
+        path = tmp_path / "j.jsonl"
+        header = dict(_header())
+        header["journal"] = JOURNAL_SCHEMA_V1
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            handle.write(json.dumps({"unit": 1, "metrics": {"m": 2.0}}) + "\n")
+        journal = CampaignJournal(path)
+        replay = journal.resume_state(_header())
+        assert replay == {1: {"m": 2.0}}
+        assert journal.checkpoints == {}
+
+    def test_unknown_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        header = dict(_header())
+        header["journal"] = "repro.runner/journal.v99"
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(ConfigError, match="header"):
+            CampaignJournal(path).resume_state(_header())
+
+    def test_checkpoint_record_roundtrip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        journal.open(_header())
+        assert journal.record_checkpoint_shard(0, 0, "k0", (0, 5), 2, STATE)
+        assert journal.record_checkpoint_shard(0, 0, "k0", (5, 9), 2, STATE)
+        assert journal.record_checkpoint_shard(0, 1, "k1", (0, 9), 1, STATE)
+        journal.close()
+        reader = CampaignJournal(path)
+        reader._read()
+        assert sorted(reader.checkpoints) == [(0, 0), (0, 1)]
+        entry = reader.checkpoints[(0, 0)]
+        assert entry["key"] == "k0"
+        assert sorted(entry["spans"]) == [(0, 5), (5, 9)]
+        assert entry["spans"][(0, 5)] == STATE
+
+    def test_conflicting_checkpoint_key_later_record_wins(self, tmp_path):
+        """Re-journaled checkpoints of a re-run (different graph snapshot,
+        new content key) replace the stale state wholesale."""
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        journal.open(_header())
+        journal.record_checkpoint_shard(0, 0, "old", (0, 5), 2, STATE)
+        journal.record_checkpoint_shard(0, 0, "new", (5, 9), 2, STATE)
+        journal.close()
+        reader = CampaignJournal(path)
+        reader._read()
+        entry = reader.checkpoints[(0, 0)]
+        assert entry["key"] == "new"
+        assert sorted(entry["spans"]) == [(5, 9)]
+
+    def test_malformed_checkpoint_record_is_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        journal.open(_header())
+        journal.record_unit(0, {"m": 1.0})
+        journal.close()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"ckpt": 0, "seq": 0, "key": "k"}) + "\n")
+            handle.write(json.dumps({"unit": 1, "metrics": {"m": 2.0}}) + "\n")
+        reader = CampaignJournal(path)
+        _, units, _ = reader._read()
+        # The broken ckpt record vanished; everything around it survived.
+        assert reader.checkpoints == {}
+        assert sorted(units) == [0, 1]
+
+    def test_oversized_state_is_not_written(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STATE_LIMIT_ENV_VAR, "4")
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        journal.open(_header())
+        with telemetry.collecting() as collector:
+            assert not journal.record_checkpoint_shard(0, 0, "k", (0, 5), 1, STATE)
+        journal.close()
+        assert collector.snapshot()["counters"]["runner.journal.ckpt_oversize"] == 1
+        reader = CampaignJournal(path)
+        reader._read()
+        assert reader.checkpoints == {}
+
+    def test_invalid_state_limit_is_a_config_error(self, monkeypatch):
+        monkeypatch.setenv(STATE_LIMIT_ENV_VAR, "zero")
+        with pytest.raises(ConfigError, match=STATE_LIMIT_ENV_VAR):
+            journal_mod.state_limit_policy()
+
+    def test_refused_append_degrades_writes(self, tmp_path):
+        """The first OSError on append warns, counts, and stops journaling;
+        later appends are silent no-ops (ResultCache.put posture)."""
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        faults.install("journal.write=oserror@2")
+        with telemetry.collecting() as collector:
+            journal.open(_header())       # append 1: the header
+            journal.record_unit(0, {"m": 1.0})  # append 2: refused
+            journal.record_unit(1, {"m": 2.0})  # already degraded: no-op
+        faults.install("")
+        assert journal.write_failed
+        assert collector.snapshot()["counters"]["runner.journal.write_failed"] == 1
+        _, units, _ = CampaignJournal(path)._read()
+        assert units == {}
+
+    def test_open_resume_verifies_the_on_disk_header(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        journal.open(_header(_spec(seed=5)))
+        journal.close()
+        with pytest.raises(ConfigError, match="cannot resume into journal"):
+            CampaignJournal(path).open(_header(_spec(seed=6)), resume=True)
+
+    def test_open_resume_refuses_a_headerless_file(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("")
+        with pytest.raises(ConfigError, match="no readable header"):
+            CampaignJournal(path).open(_header(), resume=True)
+
+    def test_out_of_range_checkpoint_is_dropped_not_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        journal.open(_header(units=3))
+        journal.record_checkpoint_shard(7, 0, "k", (0, 5), 1, STATE)
+        journal.close()
+        reader = CampaignJournal(path)
+        replay = reader.resume_state(_header(units=3))
+        assert replay == {}
+        assert reader.checkpoints == {}
+
+
+class TestInspect:
+    def test_inspect_a_complete_campaign(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        journal.open(_header(units=3))
+        journal.record_unit(0, {"m": 1.0})
+        journal.record_checkpoint_shard(1, 0, "k", (0, 5), 1, STATE)
+        journal.record_unit(1, {"m": 2.0})
+        journal.record_unit(2, {"m": 3.0})
+        journal.finish()
+        info = journal_mod.inspect(path)
+        assert info["schema"] == JOURNAL_SCHEMA
+        assert info["units_total"] == 3
+        assert info["units_complete"] == 3
+        assert info["percent_complete"] == 100.0
+        assert info["complete"]
+        assert info["checkpoints"] == 1
+        assert info["checkpoint_shards"] == 1
+        assert info["environment_mismatches"] == []
+        assert info["resumable"]
+
+    def test_inspect_missing_or_corrupt(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            journal_mod.inspect(tmp_path / "absent.jsonl")
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        journal.open(_header())
+        journal.close()
+        lines = path.read_text().splitlines()
+        lines.insert(1, "not json")
+        lines.append(json.dumps({"unit": 0, "metrics": {}}))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigError, match="corrupt"):
+            journal_mod.inspect(path)
+
+    def test_inspect_flags_environment_drift(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        header = dict(_header(units=3))
+        header["graph_backend"] = "something-else"
+        path.write_text(json.dumps(header) + "\n")
+        info = journal_mod.inspect(path)
+        assert info["environment_mismatches"] == ["graph_backend"]
+        assert not info["resumable"]
 
 
 class TestExecutorIntegration:

@@ -1,0 +1,412 @@
+"""Sub-unit crash safety: checkpoint journaling, parent watchdog, pressure.
+
+The PR 9 contract, each clause locked by a differential against a clean run:
+
+* a journaled campaign interrupted *inside* a multi-checkpoint exact
+  path-metric unit (injected fault, SIGKILL) resumes from its first
+  incomplete checkpoint shard -- the journal's ``ckpt`` records replay
+  (``runner.journal.ckpt_replayed``) instead of recomputing, and the final
+  aggregates are **bit-identical** to an uninterrupted run, under
+  backend-auto, forced-fast and the forced popcount-LUT matrix alike;
+* an in-parent ``hang`` -- in the serial unit loop or the degraded-serial
+  drain -- is bounded by the parent watchdog (``REPRO_TASK_TIMEOUT``):
+  :class:`~repro.runner.pool.ParentTimeoutError` within the deadline, the
+  journal left resumable;
+* filesystem pressure (``ENOSPC`` on journal appends, oversized checkpoint
+  states) degrades journaling -- warned and counted -- without perturbing
+  the campaign's results;
+* corrupt or re-partitioned checkpoint state recomputes, never replays
+  wrongly.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.graphs import backend
+from repro.obs import telemetry
+from repro.runner import faults
+from repro.runner.executor import run_scenario
+from repro.runner.journal import CampaignJournal
+from repro.runner.pool import SHM_PREFIX, ParentTimeoutError, shutdown_pools
+from repro.runner.spec import ScenarioSpec
+
+np = pytest.importorskip("numpy")
+
+
+def _pool_segments():
+    return glob.glob(f"/dev/shm/{SHM_PREFIX}*")
+
+
+@pytest.fixture(autouse=True)
+def _clean_plane(monkeypatch):
+    """Each test starts with no armed faults, cold pools, and no leaks."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    monkeypatch.delenv(faults.STATE_ENV_VAR, raising=False)
+    monkeypatch.delenv("REPRO_PATH_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_TASK_TIMEOUT", raising=False)
+    faults.reset()
+    shutdown_pools()
+    yield
+    shutdown_pools()
+    faults.reset()
+    assert _pool_segments() == []
+
+
+#: A 2-unit campaign whose every unit runs 4 exact path-metric checkpoints
+#: (initial + 3): enough sub-unit structure for mid-unit interruption.
+PARAMS = {"n": 300, "checkpoints": 3, "metric_sample": None, "closeness_sample": None}
+
+#: Same campaign kept above the backend auto-threshold (2048) at *every*
+#: checkpoint (max_fraction 0.2 leaves 2080 of 2600 nodes), so the
+#: ``backend-auto`` matrix point resolves to the fast engine -- and its
+#: sub-unit journaling path -- for the whole takedown.
+PARAMS_AUTO = {
+    "n": 2600,
+    "checkpoints": 2,
+    "max_fraction": 0.2,
+    "metric_sample": None,
+    "closeness_sample": None,
+}
+
+#: (backend policy override, force the popcount LUT) -- the satellite matrix.
+BACKEND_MATRIX = [
+    pytest.param((None, False), id="backend-auto"),
+    pytest.param(("fast", False), id="backend-fast"),
+    pytest.param(("fast", True), id="backend-fast-lut"),
+]
+
+
+@pytest.fixture
+def forced_backend(request, monkeypatch):
+    policy, lut = request.param
+    if lut:
+        monkeypatch.setenv(backend.POPCOUNT_LUT_ENV_VAR, "1")
+    if policy is None:
+        yield
+        return
+    with backend.using(policy):
+        yield
+
+
+def _run(params=PARAMS, **kwargs):
+    return run_scenario("resilience-at-scale", params=params, trials=2, seed=7, **kwargs)
+
+
+class TestMidUnitResume:
+    @pytest.mark.parametrize("forced_backend", BACKEND_MATRIX, indirect=True)
+    def test_fault_mid_unit_resumes_bit_identically(self, forced_backend, tmp_path):
+        params = PARAMS_AUTO
+        clean = _run(params)
+        path = tmp_path / "j.jsonl"
+        # Units carry 3 checkpoints each (initial + checkpoints=2); the 3rd
+        # entry is unit 0's last, leaving two journaled shards behind it.
+        faults.install("executor.checkpoint=raise@3")
+        with pytest.raises(faults.InjectedFault):
+            _run(params, journal=path)
+        faults.install("")
+        journal = CampaignJournal(path)
+        _, units, complete = journal._read()
+        assert not complete
+        # The interrupted unit's completed checkpoints are on disk.
+        assert journal.checkpoints, "no sub-unit checkpoint records journaled"
+        with telemetry.collecting() as collector:
+            resumed = _run(params, journal=path, resume=True)
+        assert resumed.unit_metrics == clean.unit_metrics
+        # Proof of re-entry: journaled shards replayed instead of recomputed.
+        assert resumed.checkpoints_replayed > 0
+        counters = collector.snapshot()["counters"]
+        assert counters["runner.journal.ckpt_replayed"] == resumed.checkpoints_replayed
+
+    def test_completed_units_keep_unit_granularity_on_resume(self, tmp_path):
+        """Checkpoint records of a *finished* unit are dead weight: the unit
+        replays verbatim, its shards never re-enter the scope."""
+        path = tmp_path / "j.jsonl"
+        with backend.using("fast"):
+            clean = _run()
+            faults.install("executor.checkpoint=raise@6")  # inside unit 1
+            with pytest.raises(faults.InjectedFault):
+                _run(journal=path)
+            faults.install("")
+            _, units, _ = CampaignJournal(path)._read()
+            assert 0 in units  # unit 0 completed before the fault
+            resumed = _run(journal=path, resume=True)
+        assert resumed.unit_metrics == clean.unit_metrics
+        assert resumed.replayed == 1
+
+    def test_corrupt_checkpoint_state_recomputes(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with backend.using("fast"):
+            clean = _run()
+            faults.install("executor.checkpoint=raise@4")
+            with pytest.raises(faults.InjectedFault):
+                _run(journal=path)
+            faults.install("")
+            # Corrupt one journaled state payload in place.
+            lines = path.read_text().splitlines()
+            for index, line in enumerate(lines):
+                record = json.loads(line)
+                if "ckpt" in record:
+                    record["state"]["ecc"] = "!!! not base64 !!!"
+                    lines[index] = json.dumps(record)
+                    break
+            path.write_text("\n".join(lines) + "\n")
+            with telemetry.collecting() as collector:
+                resumed = _run(journal=path, resume=True)
+        assert resumed.unit_metrics == clean.unit_metrics
+        assert collector.snapshot()["counters"]["runner.journal.ckpt_invalid"] >= 1
+
+    def test_repartitioned_resume_recomputes_but_stays_exact(
+        self, tmp_path, monkeypatch
+    ):
+        """Changing REPRO_PATH_WORKERS between crash and resume changes the
+        shard spans; saved spans no longer match and recompute -- exactness
+        is never sacrificed to reuse."""
+        path = tmp_path / "j.jsonl"
+        with backend.using("fast"):
+            clean = _run()
+            monkeypatch.setenv("REPRO_PATH_WORKERS", "2")
+            faults.install("executor.checkpoint=raise@4")
+            with pytest.raises(faults.InjectedFault):
+                _run(journal=path)
+            faults.install("")
+            shutdown_pools()
+            monkeypatch.setenv("REPRO_PATH_WORKERS", "1")
+            resumed = _run(journal=path, resume=True)
+        assert resumed.unit_metrics == clean.unit_metrics
+        assert resumed.checkpoints_replayed == 0
+
+    def test_pooled_path_workers_journal_and_replay(self, tmp_path, monkeypatch):
+        """The pool fan-out journals per-shard too (run_path_shards hands the
+        shard index back), and a same-partition resume replays them."""
+        path = tmp_path / "j.jsonl"
+        monkeypatch.setenv("REPRO_PATH_WORKERS", "2")
+        with backend.using("fast"):
+            clean = _run()
+            shutdown_pools()
+            faults.install("executor.checkpoint=raise@4")
+            with pytest.raises(faults.InjectedFault):
+                _run(journal=path)
+            faults.install("")
+            shutdown_pools()
+            journal = CampaignJournal(path)
+            journal._read()
+            spans = {
+                span
+                for entry in journal.checkpoints.values()
+                for span in entry["spans"]
+            }
+            assert len(spans) > 1, "pool fan-out should journal per-shard spans"
+            resumed = _run(journal=path, resume=True)
+        assert resumed.unit_metrics == clean.unit_metrics
+        assert resumed.checkpoints_replayed > 0
+
+
+class TestParentWatchdog:
+    def test_hang_in_serial_unit_is_bounded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "2")
+        path = tmp_path / "j.jsonl"
+        with backend.using("fast"):
+            clean = _run()
+            faults.install("executor.checkpoint=hang@6")
+            started = time.monotonic()
+            with telemetry.collecting() as collector:
+                with pytest.raises(ParentTimeoutError, match="REPRO_TASK_TIMEOUT"):
+                    _run(journal=path)
+            elapsed = time.monotonic() - started
+            faults.install("")
+            assert elapsed < 60, f"hang not bounded: {elapsed:.1f}s"
+            counters = collector.snapshot()["counters"]
+            assert counters["runner.watchdog.parent_timeout"] == 1
+            # The journal survived the timeout and resumes bit-identically.
+            monkeypatch.delenv("REPRO_TASK_TIMEOUT")
+            resumed = _run(journal=path, resume=True)
+        assert resumed.unit_metrics == clean.unit_metrics
+        assert resumed.replayed >= 1 or resumed.checkpoints_replayed >= 1
+
+    def test_hang_in_degraded_drain_is_bounded(self, tmp_path, monkeypatch):
+        """Kill the pool into the degraded-serial drain, then hang the parent
+        mid-drain: the drain's own deadline fires (the PR 8 follow-on)."""
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "2")
+        path = tmp_path / "j.jsonl"
+        spec = ScenarioSpec(
+            name="soap-campaign", params={"n": 30}, grid={}, trials=6, seed=3
+        )
+        from repro.runner.executor import execute
+
+        baseline = execute(spec, shard_size=1)
+        shutdown_pools()
+        # Three kills guarantee degradation: a generation's 2 workers can
+        # consume at most 2 kill clauses before the broken pool is observed
+        # (one respawn), so the respawned generation always eats another
+        # kill and exhausts the budget.  The drain then owns whatever is
+        # left -- including the last unit, so finish_unit invocation 6 is
+        # always mid-drain.
+        faults.install(
+            "pool.task=kill@1,pool.task=kill@2,pool.task=kill@3,"
+            "executor.unit=hang@6"
+        )
+        started = time.monotonic()
+        with telemetry.collecting() as collector:
+            with pytest.raises(ParentTimeoutError, match="REPRO_TASK_TIMEOUT"):
+                execute(spec, workers=2, shard_size=1, journal=path)
+        elapsed = time.monotonic() - started
+        faults.install("")
+        assert elapsed < 120, f"drain hang not bounded: {elapsed:.1f}s"
+        counters = collector.snapshot()["counters"]
+        assert counters["runner.degraded_serial"] >= 1
+        assert counters["runner.watchdog.parent_timeout"] == 1
+        shutdown_pools()
+        # The hang fires *after* finish_unit journals its record, so every
+        # unit is on disk -- but no complete marker: resume replays all 6.
+        _, units, complete = CampaignJournal(path)._read()
+        assert len(units) == 6 and not complete
+        monkeypatch.delenv("REPRO_TASK_TIMEOUT")
+        resumed = execute(spec, shard_size=1, journal=path, resume=True)
+        assert resumed.unit_metrics == baseline.unit_metrics
+        assert resumed.replayed == 6
+
+    def test_no_timeout_means_no_watchdog_thread(self):
+        from repro.runner.pool import parent_deadline
+
+        with parent_deadline("anything") as deadline:
+            assert deadline is None
+
+    def test_nested_deadlines_do_not_stack(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "60")
+        from repro.runner.pool import parent_deadline
+
+        with parent_deadline("outer") as outer:
+            assert outer is not None
+            with parent_deadline("inner") as inner:
+                assert inner is None
+            # The outer deadline survives the nested no-op context.
+            assert not outer.fired
+        assert not outer.fired
+
+
+class TestJournalPressure:
+    def test_enospc_mid_campaign_degrades_not_crashes(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with backend.using("fast"):
+            clean = _run()
+            # Invocation 1 is the header; fail the first checkpoint append.
+            faults.install("journal.write=oserror@2")
+            with telemetry.collecting() as collector:
+                result = _run(journal=path)
+        assert result.unit_metrics == clean.unit_metrics
+        counters = collector.snapshot()["counters"]
+        assert counters["runner.journal.write_failed"] == 1
+        journal = CampaignJournal(path)
+        header, units, complete = journal._read()
+        # Degraded after the header: the campaign carried on un-journaled.
+        assert header is not None
+        assert units == {} and not complete
+        assert journal.checkpoints == {}
+
+    def test_oversized_checkpoint_state_falls_back_to_unit_granularity(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_JOURNAL_STATE_LIMIT", "16")
+        path = tmp_path / "j.jsonl"
+        with backend.using("fast"):
+            clean = _run()
+            with telemetry.collecting() as collector:
+                result = _run(journal=path)
+        assert result.unit_metrics == clean.unit_metrics
+        assert result.checkpoints_recorded == 0
+        assert collector.snapshot()["counters"]["runner.journal.ckpt_oversize"] > 0
+        journal = CampaignJournal(path)
+        _, units, complete = journal._read()
+        # Unit-granularity journaling still works: units landed, no ckpts.
+        assert sorted(units) == [0, 1] and complete
+        assert journal.checkpoints == {}
+
+    def test_read_fault_on_resume_is_a_config_error(self, tmp_path):
+        from repro.core.errors import ConfigError
+
+        path = tmp_path / "j.jsonl"
+        with backend.using("fast"):
+            _run(journal=path)
+            faults.install("journal.read=oserror@1")
+            with pytest.raises(ConfigError, match="could not be read"):
+                _run(journal=path, resume=True)
+
+
+class TestSigkillSubprocess:
+    """The acceptance scenario: a real SIGKILL mid-unit, resumed via the CLI."""
+
+    def _run_cli(self, tmp_path, *extra, check=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+        env.pop(faults.ENV_VAR, None)
+        env.pop(faults.STATE_ENV_VAR, None)
+        env["REPRO_GRAPH_BACKEND"] = "fast"
+        return subprocess.run(
+            [
+                sys.executable, "-m", "repro.runner", "run",
+                "resilience-at-scale",
+                "--set", "n=300", "--set", "checkpoints=3",
+                "--trials", "2", "--seed", "7", "--quiet",
+                "--cache-dir", str(tmp_path / "cache"), "--no-cache",
+                *extra,
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+
+    def test_sigkill_mid_unit_then_resume_bit_identical(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        killed = self._run_cli(
+            tmp_path,
+            "--journal", str(journal),
+            "--inject-faults", "executor.checkpoint=kill@4",
+        )
+        assert killed.returncode == -9, (killed.returncode, killed.stderr)
+        assert journal.exists()
+        reader = CampaignJournal(journal)
+        reader._read()
+        assert reader.checkpoints, "SIGKILL left no checkpoint records"
+
+        # The inspect subcommand accepts the leftover journal (exit 0).
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+        env["REPRO_GRAPH_BACKEND"] = "fast"
+        inspect = subprocess.run(
+            [sys.executable, "-m", "repro.runner", "journal", str(journal)],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert inspect.returncode == 0, inspect.stderr
+        assert "would be accepted" in inspect.stdout
+        assert "checkpoint shard" in inspect.stdout
+
+        resumed = self._run_cli(
+            tmp_path, "--journal", str(journal), "--resume",
+            "--json", str(tmp_path / "resumed.json"),
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "ckpt shard(s) replayed" in resumed.stdout
+        clean = self._run_cli(
+            tmp_path, "--no-journal", "--json", str(tmp_path / "clean.json"),
+        )
+        assert clean.returncode == 0, clean.stderr
+        resumed_rows = json.loads((tmp_path / "resumed.json").read_text())
+        clean_rows = json.loads((tmp_path / "clean.json").read_text())
+        assert resumed_rows == clean_rows
+
+
+class TestFaultSites:
+    def test_new_sites_are_registered(self):
+        for site in ("journal.write", "journal.read", "executor.checkpoint"):
+            (clause,) = faults.parse_spec(f"{site}=raise@1")
+            assert clause.site == site
